@@ -1,0 +1,39 @@
+# FaaSnap-Go development targets. Pure Go, stdlib only.
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench experiments figures fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./... -timeout 1500s
+
+test-short:
+	$(GO) test ./... -short -timeout 600s
+
+bench:
+	$(GO) test -bench=. -benchmem -timeout 1500s
+
+# Regenerate every paper table/figure (writes bench_results.txt).
+experiments:
+	$(GO) run ./cmd/faasnap-bench -exp all | tee bench_results.txt
+
+# Figure SVGs for the plot-backed experiments.
+figures:
+	$(GO) run ./cmd/faasnap-bench -exp fig7,fig8,fig10,fig11 -svg figures
+
+# Short fuzz pass over the parsers.
+fuzz:
+	$(GO) test ./internal/kvstore/ -fuzz FuzzReadCommand -fuzztime 30s -run XXX
+	$(GO) test ./internal/snapfile/ -fuzz FuzzRead -fuzztime 30s -run XXX
+	$(GO) test ./internal/workload/ -fuzz FuzzParseSpec -fuzztime 30s -run XXX
+
+clean:
+	rm -rf figures

@@ -1,0 +1,123 @@
+package faasnap_test
+
+// One benchmark per table and figure of the paper's evaluation: each
+// regenerates the corresponding experiment (in reduced "quick" form so
+// a -bench=. sweep stays tractable) and reports the virtual-time result
+// of its headline cell alongside the real time the simulation took.
+// Run the full-fidelity versions with: go run ./cmd/faasnap-bench -exp all
+
+import (
+	"testing"
+	"time"
+
+	"faasnap"
+	"faasnap/internal/core"
+	"faasnap/internal/experiments"
+	"faasnap/internal/workload"
+)
+
+func benchExperiment(b *testing.B, name string) {
+	b.Helper()
+	exp, err := experiments.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := experiments.Options{Quick: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := exp.Run(opt)
+		if len(rep.Rows) == 0 {
+			b.Fatalf("experiment %s produced no rows", name)
+		}
+	}
+}
+
+func BenchmarkFig1TimeBreakdown(b *testing.B)      { benchExperiment(b, "fig1") }
+func BenchmarkFig2FaultDistribution(b *testing.B)  { benchExperiment(b, "fig2") }
+func BenchmarkTable2Catalog(b *testing.B)          { benchExperiment(b, "table2") }
+func BenchmarkFig6BenchmarkFunctions(b *testing.B) { benchExperiment(b, "fig6") }
+func BenchmarkFig7SyntheticFunctions(b *testing.B) { benchExperiment(b, "fig7") }
+func BenchmarkFig8InputSensitivity(b *testing.B)   { benchExperiment(b, "fig8") }
+func BenchmarkTable3Analysis(b *testing.B)         { benchExperiment(b, "table3") }
+func BenchmarkFig9OptimizationSteps(b *testing.B)  { benchExperiment(b, "fig9") }
+func BenchmarkFig10Bursts(b *testing.B)            { benchExperiment(b, "fig10") }
+func BenchmarkFig11RemoteStorage(b *testing.B)     { benchExperiment(b, "fig11") }
+func BenchmarkFootprint(b *testing.B)              { benchExperiment(b, "footprint") }
+func BenchmarkTieredStorage(b *testing.B)          { benchExperiment(b, "tiered") }
+
+// Per-mode invocation microbenchmarks: how fast the simulator serves
+// one image-diff invocation end to end, with the virtual total
+// reported as a metric.
+func benchInvoke(b *testing.B, mode core.Mode) {
+	fn, err := workload.ByName("image")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.DefaultHostConfig()
+	arts, _ := core.Record(cfg, fn, fn.A)
+	var virtual time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := core.RunSingle(cfg, arts, mode, fn.B)
+		virtual = res.Total
+	}
+	b.ReportMetric(float64(virtual)/float64(time.Millisecond), "virtual-ms")
+}
+
+func BenchmarkInvokeWarm(b *testing.B)        { benchInvoke(b, core.ModeWarm) }
+func BenchmarkInvokeFirecracker(b *testing.B) { benchInvoke(b, core.ModeFirecracker) }
+func BenchmarkInvokeCached(b *testing.B)      { benchInvoke(b, core.ModeCached) }
+func BenchmarkInvokeREAP(b *testing.B)        { benchInvoke(b, core.ModeREAP) }
+func BenchmarkInvokeFaaSnap(b *testing.B)     { benchInvoke(b, core.ModeFaaSnap) }
+
+// BenchmarkRecordPhase measures a full record phase (restore, traced
+// execution with both recorders, artifact construction).
+func BenchmarkRecordPhase(b *testing.B) {
+	fn, err := workload.ByName("json")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.DefaultHostConfig()
+	for i := 0; i < b.N; i++ {
+		arts, _ := core.Record(cfg, fn, fn.A)
+		if arts.WS.Pages() == 0 {
+			b.Fatal("empty working set")
+		}
+	}
+}
+
+// BenchmarkBurst64 measures the heaviest single simulation in the
+// suite: a 64-way same-snapshot FaaSnap burst.
+func BenchmarkBurst64(b *testing.B) {
+	fn, err := workload.ByName("hello-world")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.DefaultHostConfig()
+	arts, _ := core.Record(cfg, fn, fn.A)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		br := core.RunBurst(cfg, arts, core.ModeFaaSnap, fn.A, 64, true)
+		if len(br.Results) != 64 {
+			b.Fatal("missing results")
+		}
+	}
+}
+
+// BenchmarkPublicAPI exercises the facade the way the quickstart does.
+func BenchmarkPublicAPI(b *testing.B) {
+	p := faasnap.New()
+	fn, err := p.Register("hello-world")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := fn.Record("A"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fn.Invoke(faasnap.ModeFaaSnap, "B"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+// Command faasnap-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	faasnap-bench -exp fig6            # one experiment
+//	faasnap-bench -exp all             # everything, paper order
+//	faasnap-bench -exp fig8 -quick     # reduced smoke run
+//	faasnap-bench -exp fig11 -csv      # CSV output
+//
+// Each experiment prints the same rows/series the corresponding paper
+// table or figure reports, with a note describing the expected shape.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"faasnap/internal/blockdev"
+	"faasnap/internal/core"
+	"faasnap/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment to run (fig1, fig2, table2, fig6, fig7, fig8, table3, fig9, fig10, fig11, footprint, or all)")
+		quick  = flag.Bool("quick", false, "reduced function sets and single trials")
+		trials = flag.Int("trials", 0, "override trial count (0 = paper defaults)")
+		csv    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		svgDir = flag.String("svg", "", "also write figure SVGs into this directory")
+		disk   = flag.String("disk", "nvme", "snapshot storage device: nvme or ebs")
+		cores  = flag.Int("cores", 0, "host cores (0 = default)")
+		list   = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-10s %s\n", e.Name, e.Title)
+		}
+		return
+	}
+
+	opt := experiments.Options{Quick: *quick, Trials: *trials}
+	host := core.DefaultHostConfig()
+	switch *disk {
+	case "nvme":
+	case "ebs":
+		host.Disk = blockdev.EBSRemote()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown disk %q (nvme or ebs)\n", *disk)
+		os.Exit(2)
+	}
+	if *cores > 0 {
+		host.Cores = *cores
+	}
+	opt.Host = host
+
+	var todo []experiments.Experiment
+	if *exp == "all" {
+		todo = experiments.All()
+	} else {
+		for _, name := range strings.Split(*exp, ",") {
+			e, err := experiments.ByName(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			todo = append(todo, e)
+		}
+	}
+
+	if *svgDir != "" {
+		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	for _, e := range todo {
+		start := time.Now()
+		rep := e.Run(opt)
+		if *csv {
+			fmt.Print(rep.CSV())
+		} else {
+			fmt.Print(rep.String())
+		}
+		if *svgDir != "" {
+			for _, c := range rep.Charts {
+				path := filepath.Join(*svgDir, c.Name+".svg")
+				if err := os.WriteFile(path, []byte(c.SVG), 0o644); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				fmt.Printf("(wrote %s)\n", path)
+			}
+		}
+		fmt.Printf("(%s regenerated in %v)\n\n", e.Name, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,123 @@
+// Command faasnap-trace records and analyzes the page-fault timeline
+// of one invocation — the role bpftrace plays in the paper's Sections
+// 3 and 6.5 measurements.
+//
+//	faasnap-trace -fn image -mode faasnap -input B
+//	faasnap-trace -fn image -mode reap -input B -jsonl faults.jsonl
+//
+// The summary shows per-10ms buckets of fault kinds, the Figure 2
+// style log₂ latency histogram, and the slowest individual faults.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"time"
+
+	"faasnap/internal/core"
+	"faasnap/internal/hostmm"
+	"faasnap/internal/metrics"
+	"faasnap/internal/workload"
+)
+
+func main() {
+	var (
+		fnName   = flag.String("fn", "image", "function to invoke")
+		modeName = flag.String("mode", "faasnap", "restore mode")
+		input    = flag.String("input", "B", "test input (A, B, ratio:<x>)")
+		record   = flag.String("record", "A", "record-phase input (A or B)")
+		jsonl    = flag.String("jsonl", "", "write per-fault events as JSON lines to this file")
+		top      = flag.Int("top", 10, "show the N slowest faults")
+	)
+	flag.Parse()
+
+	fn, err := workload.ByName(*fnName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mode, err := core.ParseMode(*modeName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	recIn := fn.A
+	if *record == "B" {
+		recIn = fn.B
+	}
+	var in workload.Input
+	switch *input {
+	case "A":
+		in = fn.A
+	case "B":
+		in = fn.B
+	default:
+		var ratio float64
+		if _, err := fmt.Sscanf(*input, "ratio:%g", &ratio); err != nil || ratio <= 0 {
+			log.Fatalf("bad input %q", *input)
+		}
+		in = fn.InputForRatio(ratio)
+	}
+
+	cfg := core.DefaultHostConfig()
+	fmt.Fprintf(os.Stderr, "recording %s with input %s...\n", fn.Name, recIn.Name)
+	arts, _ := core.Record(cfg, fn, recIn)
+	fmt.Fprintf(os.Stderr, "invoking %s under %s with input %s (traced)...\n", fn.Name, mode, in.Name)
+	res := core.RunSingleTraced(cfg, arts, mode, in)
+
+	fmt.Printf("%s / %s / input %s: total %v (setup %v, invoke %v)\n",
+		fn.Name, mode, in.Name, res.Total.Round(100*time.Microsecond),
+		res.Setup.Round(100*time.Microsecond), res.Invoke.Round(100*time.Microsecond))
+	fmt.Printf("faults: %v\n\n", res.Faults)
+
+	if *jsonl != "" {
+		f, err := os.Create(*jsonl)
+		if err != nil {
+			log.Fatal(err)
+		}
+		enc := json.NewEncoder(f)
+		for _, ev := range res.FaultTrace {
+			if err := enc.Encode(map[string]interface{}{
+				"at_us":  ev.At.Microseconds(),
+				"page":   ev.Page,
+				"kind":   ev.Kind.String(),
+				"dur_us": float64(ev.Duration) / float64(time.Microsecond),
+				"write":  ev.Write,
+			}); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d events to %s\n", len(res.FaultTrace), *jsonl)
+	}
+
+	// Timeline: fault kinds per 10ms bucket of the invocation.
+	fmt.Println("timeline (10ms buckets of the invocation phase):")
+	fmt.Printf("%8s %8s %8s %8s %8s %8s\n", "t (ms)", "anon", "minor", "major", "uffd", "pte-fix")
+	for _, b := range hostmm.Timeline(res.FaultTrace, res.Setup, 10*time.Millisecond) {
+		c := b.Counts
+		fmt.Printf("%8d %8d %8d %8d %8d %8d\n", b.Start.Milliseconds(),
+			c[metrics.FaultAnon], c[metrics.FaultMinor], c[metrics.FaultMajor],
+			c[metrics.FaultUffd], c[metrics.FaultPTEFix])
+	}
+
+	fmt.Println("\nfault-time distribution (Figure 2 buckets):")
+	fmt.Print(res.Faults.Hist.String())
+
+	if *top > 0 && len(res.FaultTrace) > 0 {
+		events := append([]hostmm.FaultEvent(nil), res.FaultTrace...)
+		sort.Slice(events, func(i, j int) bool { return events[i].Duration > events[j].Duration })
+		if len(events) > *top {
+			events = events[:*top]
+		}
+		fmt.Printf("\nslowest %d faults:\n", len(events))
+		for _, ev := range events {
+			fmt.Printf("  t=%-10v page=%-8d kind=%-7s dur=%v\n",
+				ev.At.Round(10*time.Microsecond), ev.Page, ev.Kind, ev.Duration.Round(100*time.Nanosecond))
+		}
+	}
+}

@@ -1,0 +1,167 @@
+// Command faasnapctl is a CLI client for the FaaSnap daemon.
+//
+//	faasnapctl -addr 127.0.0.1:8700 create hello-world
+//	faasnapctl record hello-world A
+//	faasnapctl invoke hello-world faasnap B
+//	faasnapctl burst hello-world faasnap A 16 same
+//	faasnapctl list
+//	faasnapctl metrics
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+)
+
+var addr = flag.String("addr", "127.0.0.1:8700", "daemon address")
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: faasnapctl [-addr host:port] <command> [args]
+
+commands:
+  list                                      list functions
+  create <fn>                               register and boot a catalog function
+  create-custom <spec.json>                 register a custom function from a spec file
+  record <fn> [input]                       run the record phase (input: A, B, ratio:<x>)
+  invoke <fn> [mode] [input]                invoke (mode: warm|firecracker|cached|reap|faasnap|...)
+  burst <fn> <mode> <input> <parallel> [same|diff]
+  delete <fn>                               remove a function
+  traces [id]                               list invocation traces, or fetch one (Zipkin v2 JSON)
+  metrics                                   daemon counters
+`)
+	os.Exit(2)
+}
+
+func call(method, path string, body interface{}) {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			fatal(err)
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequest(method, "http://"+*addr+path, rd)
+	if err != nil {
+		fatal(err)
+	}
+	if rd != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode/100 != 2 {
+		fmt.Fprintf(os.Stderr, "error (%d): %s\n", resp.StatusCode, bytes.TrimSpace(raw))
+		os.Exit(1)
+	}
+	var pretty bytes.Buffer
+	if len(raw) > 0 && json.Indent(&pretty, raw, "", "  ") == nil {
+		fmt.Println(pretty.String())
+	} else if len(raw) > 0 {
+		fmt.Println(string(bytes.TrimSpace(raw)))
+	} else {
+		fmt.Println("ok")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "faasnapctl:", err)
+	os.Exit(1)
+}
+
+func main() {
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "list":
+		call("GET", "/functions", nil)
+	case "metrics":
+		call("GET", "/metrics", nil)
+	case "traces":
+		if len(rest) == 0 {
+			call("GET", "/traces", nil)
+		} else {
+			call("GET", "/traces/"+rest[0], nil)
+		}
+	case "create":
+		if len(rest) != 1 {
+			usage()
+		}
+		call("PUT", "/functions/"+rest[0], nil)
+	case "create-custom":
+		if len(rest) != 1 {
+			usage()
+		}
+		raw, err := os.ReadFile(rest[0])
+		if err != nil {
+			fatal(err)
+		}
+		var spec map[string]interface{}
+		if err := json.Unmarshal(raw, &spec); err != nil {
+			fatal(fmt.Errorf("bad spec file: %w", err))
+		}
+		name, _ := spec["name"].(string)
+		if name == "" {
+			fatal(fmt.Errorf("spec file has no name"))
+		}
+		call("PUT", "/functions/"+name, spec)
+	case "delete":
+		if len(rest) != 1 {
+			usage()
+		}
+		call("DELETE", "/functions/"+rest[0], nil)
+	case "record":
+		if len(rest) < 1 || len(rest) > 2 {
+			usage()
+		}
+		input := "A"
+		if len(rest) == 2 {
+			input = rest[1]
+		}
+		call("POST", "/functions/"+rest[0]+"/record", map[string]string{"input": input})
+	case "invoke":
+		if len(rest) < 1 || len(rest) > 3 {
+			usage()
+		}
+		mode, input := "faasnap", "A"
+		if len(rest) >= 2 {
+			mode = rest[1]
+		}
+		if len(rest) == 3 {
+			input = rest[2]
+		}
+		call("POST", "/functions/"+rest[0]+"/invoke", map[string]string{"mode": mode, "input": input})
+	case "burst":
+		if len(rest) < 4 || len(rest) > 5 {
+			usage()
+		}
+		parallel, err := strconv.Atoi(rest[3])
+		if err != nil {
+			fatal(fmt.Errorf("bad parallel count %q", rest[3]))
+		}
+		same := true
+		if len(rest) == 5 && rest[4] == "diff" {
+			same = false
+		}
+		call("POST", "/functions/"+rest[0]+"/burst", map[string]interface{}{
+			"mode": rest[1], "input": rest[2], "parallel": parallel, "same_snapshot": same,
+		})
+	default:
+		usage()
+	}
+}

@@ -1,0 +1,71 @@
+// Command faasnapd runs the FaaSnap daemon: a REST control plane for
+// function registration, snapshot recording, and invocation serving.
+//
+//	faasnapd -listen :8700 -state /var/lib/faasnap -kv 127.0.0.1:6379
+//
+// With -kv-embedded it also starts the bundled Redis-like kvstore and
+// wires the daemon to it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"faasnap/internal/blockdev"
+	"faasnap/internal/core"
+	"faasnap/internal/daemon"
+	"faasnap/internal/kvstore"
+)
+
+func main() {
+	var (
+		listen     = flag.String("listen", "127.0.0.1:8700", "daemon listen address")
+		state      = flag.String("state", "", "state directory for snapshot persistence (empty = none)")
+		kvAddr     = flag.String("kv", "", "kvstore address for input descriptors (empty = none)")
+		kvEmbedded = flag.Bool("kv-embedded", false, "start an embedded kvstore and use it")
+		disk       = flag.String("disk", "nvme", "snapshot storage device: nvme or ebs")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "faasnapd: ", log.LstdFlags)
+
+	host := core.DefaultHostConfig()
+	switch *disk {
+	case "nvme":
+	case "ebs":
+		host.Disk = blockdev.EBSRemote()
+	default:
+		logger.Fatalf("unknown disk %q (nvme or ebs)", *disk)
+	}
+
+	if *kvEmbedded {
+		kv := kvstore.NewServer()
+		addr, err := kv.Listen("127.0.0.1:0")
+		if err != nil {
+			logger.Fatal(err)
+		}
+		defer kv.Close()
+		*kvAddr = addr
+		logger.Printf("embedded kvstore listening on %s", addr)
+	}
+
+	d, err := daemon.New(daemon.Config{
+		StateDir: *state,
+		Host:     host,
+		KVAddr:   *kvAddr,
+		Logger:   logger,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+	defer d.Close()
+
+	logger.Printf("FaaSnap daemon listening on %s (disk=%s state=%q)", *listen, *disk, *state)
+	fmt.Fprintf(os.Stderr, "try: curl -X PUT http://%s/functions/hello-world\n", *listen)
+	if err := http.ListenAndServe(*listen, d.Handler()); err != nil {
+		logger.Fatal(err)
+	}
+}

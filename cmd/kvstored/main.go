@@ -1,0 +1,32 @@
+// Command kvstored runs the bundled Redis-like key-value store, used
+// by FaaS functions for inputs, outputs, and intermediate data.
+//
+//	kvstored -listen 127.0.0.1:6379
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+
+	"faasnap/internal/kvstore"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:6379", "listen address")
+	flag.Parse()
+
+	srv := kvstore.NewServer()
+	addr, err := srv.Listen(*listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("kvstored listening on %s", addr)
+
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	<-ch
+	log.Print("shutting down")
+	srv.Close()
+}

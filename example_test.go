@@ -1,0 +1,82 @@
+package faasnap_test
+
+import (
+	"fmt"
+	"sort"
+
+	"faasnap"
+)
+
+// ExampleCatalog lists the paper's Table 2 functions.
+func ExampleCatalog() {
+	names := faasnap.Catalog()
+	fmt.Println(len(names), "functions")
+	fmt.Println(names[0], names[1], names[2])
+	// Output:
+	// 12 functions
+	// hello-world read-list mmap
+}
+
+// ExampleModes shows the comparison systems of the evaluation.
+func ExampleModes() {
+	var names []string
+	for _, m := range faasnap.Modes() {
+		names = append(names, m.String())
+	}
+	sort.Strings(names)
+	fmt.Println(names)
+	// Output:
+	// [cached faasnap firecracker reap warm]
+}
+
+// ExampleFunction_Record runs the record phase and reports the
+// artifacts it produces.
+func ExampleFunction_Record() {
+	p := faasnap.New()
+	fn, err := p.Register("hello-world")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	rec, err := fn.Record("A")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("working set recorded:", rec.WSPages > 0)
+	fmt.Println("loading set built:", rec.LSPages > 0 && rec.LSRegions > 0)
+	fmt.Println("loading set is compact:", rec.LSRegions < 100)
+	// Output:
+	// working set recorded: true
+	// loading set built: true
+	// loading set is compact: true
+}
+
+// ExampleFunction_Invoke compares FaaSnap against vanilla Firecracker
+// restore on a changed input.
+func ExampleFunction_Invoke() {
+	p := faasnap.New()
+	fn, _ := p.Register("json")
+	if _, err := fn.Record("A"); err != nil {
+		fmt.Println(err)
+		return
+	}
+	fs, _ := fn.Invoke(faasnap.ModeFaaSnap, "B")
+	fc, _ := fn.Invoke(faasnap.ModeFirecracker, "B")
+	fmt.Println("faasnap faster:", fs.Total < fc.Total)
+	fmt.Println("faasnap majors below firecracker:", fs.Faults.Majors() < fc.Faults.Majors())
+	// Output:
+	// faasnap faster: true
+	// faasnap majors below firecracker: true
+}
+
+// ExampleParseMode resolves mode names from strings.
+func ExampleParseMode() {
+	m, err := faasnap.ParseMode("faasnap")
+	fmt.Println(m, err)
+	_, err = faasnap.ParseMode("nope")
+	fmt.Println(err != nil)
+	// Output:
+	// faasnap <nil>
+	// true
+}

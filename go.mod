@@ -1,0 +1,3 @@
+module faasnap
+
+go 1.22

@@ -1,0 +1,219 @@
+package faasnap_test
+
+// End-to-end integration tests: each test exercises a full user
+// journey across multiple subsystems rather than one package.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"faasnap"
+	"faasnap/internal/core"
+	"faasnap/internal/daemon"
+	"faasnap/internal/kvstore"
+	"faasnap/internal/workload"
+)
+
+// TestIntegrationPaperPipeline runs the full record→test pipeline for
+// three functions across every comparison mode and checks the paper's
+// global orderings hold simultaneously.
+func TestIntegrationPaperPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	p := faasnap.New()
+	for _, name := range []string{"hello-world", "json", "image"} {
+		fn, err := p.Register(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fn.Record("A"); err != nil {
+			t.Fatal(err)
+		}
+		results := map[faasnap.Mode]*faasnap.Result{}
+		for _, mode := range faasnap.Modes() {
+			r, err := fn.Invoke(mode, "B")
+			if err != nil {
+				t.Fatal(err)
+			}
+			results[mode] = r
+		}
+		warm := results[faasnap.ModeWarm].Total
+		fc := results[faasnap.ModeFirecracker].Total
+		fs := results[faasnap.ModeFaaSnap].Total
+		cached := results[faasnap.ModeCached].Total
+		if !(warm < fs && fs < fc) {
+			t.Errorf("%s: warm %v < faasnap %v < firecracker %v violated", name, warm, fs, fc)
+		}
+		if fs > cached*13/10 {
+			t.Errorf("%s: faasnap %v not within 30%% of cached %v", name, fs, cached)
+		}
+		if results[faasnap.ModeFaaSnap].Faults.Majors() >= results[faasnap.ModeFirecracker].Faults.Majors() {
+			t.Errorf("%s: faasnap majors not below firecracker", name)
+		}
+	}
+}
+
+// TestIntegrationDaemonJourney drives the daemon the way an operator
+// would: boot, record, invoke all modes, burst, inspect traces, then
+// restart on the same state directory and keep serving.
+func TestIntegrationDaemonJourney(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	dir := t.TempDir()
+	kv := kvstore.NewServer()
+	kvAddr, err := kv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv.Close()
+
+	newDaemon := func() (*daemon.Daemon, *httptest.Server) {
+		d, err := daemon.New(daemon.Config{
+			StateDir: dir,
+			KVAddr:   kvAddr,
+			Logger:   log.New(io.Discard, "", 0),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d, httptest.NewServer(d.Handler())
+	}
+	d, srv := newDaemon()
+
+	do := func(base, method, path string, body interface{}, out interface{}) int {
+		var rd io.Reader
+		if body != nil {
+			raw, err := json.Marshal(body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rd = bytes.NewReader(raw)
+		}
+		req, err := http.NewRequest(method, base+path, rd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if out != nil && resp.StatusCode/100 == 2 {
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return resp.StatusCode
+	}
+
+	if code := do(srv.URL, "PUT", "/functions/pyaes", nil, nil); code != 200 {
+		t.Fatalf("create = %d", code)
+	}
+	if code := do(srv.URL, "POST", "/functions/pyaes/record", map[string]string{"input": "A"}, nil); code != 200 {
+		t.Fatalf("record = %d", code)
+	}
+	var last daemon.InvokeResponse
+	for _, mode := range []string{"firecracker", "cached", "reap", "faasnap", "cold", "warm"} {
+		if code := do(srv.URL, "POST", "/functions/pyaes/invoke",
+			map[string]string{"mode": mode, "input": "B"}, &last); code != 200 {
+			t.Fatalf("invoke %s = %d", mode, code)
+		}
+		if last.TotalMs <= 0 {
+			t.Fatalf("invoke %s = %+v", mode, last)
+		}
+	}
+	var burst daemon.BurstResponse
+	if code := do(srv.URL, "POST", "/functions/pyaes/burst",
+		map[string]interface{}{"mode": "faasnap", "parallel": 8}, &burst); code != 200 || len(burst.Results) != 8 {
+		t.Fatalf("burst = %d %+v", code, burst)
+	}
+	var traces []string
+	do(srv.URL, "GET", "/traces", nil, &traces)
+	if len(traces) == 0 {
+		t.Fatal("no traces recorded")
+	}
+
+	// Restart: persisted snapfile keeps serving without a new record.
+	srv.Close()
+	d.Close()
+	d2, srv2 := newDaemon()
+	defer func() {
+		srv2.Close()
+		d2.Close()
+	}()
+	if code := do(srv2.URL, "POST", "/functions/pyaes/invoke",
+		map[string]string{"mode": "faasnap", "input": "B"}, &last); code != 200 {
+		t.Fatalf("invoke after restart = %d", code)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "pyaes.snap")); err != nil {
+		t.Fatalf("snapfile missing: %v", err)
+	}
+}
+
+// TestIntegrationCustomFunctionConfig registers the shipped example
+// custom-function config and runs it end to end.
+func TestIntegrationCustomFunctionConfig(t *testing.T) {
+	raw, err := os.ReadFile("configs/custom-function.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := workload.ParseSpec(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "thumbnailer" {
+		t.Fatalf("spec = %+v", spec)
+	}
+	var cfg faasnap.CustomSpec
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		t.Fatal(err)
+	}
+	p := faasnap.New()
+	fn, err := p.RegisterCustom(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fn.Record("A"); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := fn.Invoke(faasnap.ModeFaaSnap, "ratio:2.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := fn.Invoke(faasnap.ModeFirecracker, "ratio:2.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Total >= fc.Total {
+		t.Fatalf("custom fn: faasnap %v not faster than firecracker %v", fs.Total, fc.Total)
+	}
+}
+
+// TestIntegrationDeterministicEndToEnd runs the same full pipeline
+// twice and requires bit-identical outcomes.
+func TestIntegrationDeterministicEndToEnd(t *testing.T) {
+	run := func() (time.Duration, int64) {
+		fn, err := workload.ByName("chameleon")
+		if err != nil {
+			t.Fatal(err)
+		}
+		arts, _ := core.Record(core.DefaultHostConfig(), fn, fn.A)
+		r := core.RunSingle(core.DefaultHostConfig(), arts, core.ModeFaaSnap, fn.B)
+		return r.Total, r.Faults.Total()
+	}
+	t1, f1 := run()
+	t2, f2 := run()
+	if t1 != t2 || f1 != f2 {
+		t.Fatalf("nondeterministic pipeline: %v/%d vs %v/%d", t1, f1, t2, f2)
+	}
+}

@@ -1,0 +1,206 @@
+package blockdev
+
+import (
+	"testing"
+	"time"
+
+	"faasnap/internal/sim"
+)
+
+func TestSingleReadLatency(t *testing.T) {
+	e := sim.NewEnv(1)
+	d := New(e, NVMeLocal())
+	var got time.Duration
+	e.Go("r", func(p *sim.Proc) {
+		got = d.Read(p, 4096, FaultRead)
+	})
+	e.Run()
+	// Latency jitters ±5% around the profile value.
+	want := NVMeLocal().Latency + d.transferTime(4096)
+	lo := want - NVMeLocal().Latency/20
+	hi := want + NVMeLocal().Latency/20
+	if got < lo || got > hi {
+		t.Fatalf("read time = %v, want %v ±5%% latency", got, want)
+	}
+}
+
+func TestIOPSBoundForSmallReads(t *testing.T) {
+	// 5000 concurrent 4 KiB reads must take about 5000/285000 s plus
+	// the initial latency, i.e. be IOPS-bound, not bandwidth-bound.
+	e := sim.NewEnv(1)
+	d := New(e, NVMeLocal())
+	var end sim.Time
+	n := 5000
+	done := 0
+	for i := 0; i < n; i++ {
+		e.Go("r", func(p *sim.Proc) {
+			d.Read(p, 4096, FaultRead)
+			done++
+			if done == n {
+				end = p.Now()
+			}
+		})
+	}
+	e.Run()
+	minWant := time.Duration(float64(n) / 285000 * float64(time.Second))
+	if end < minWant {
+		t.Fatalf("total = %v, faster than the IOPS ceiling %v", end, minWant)
+	}
+	if end > 2*minWant+time.Millisecond {
+		t.Fatalf("total = %v, way over the IOPS ceiling %v", end, minWant)
+	}
+}
+
+func TestBandwidthBoundForLargeReads(t *testing.T) {
+	// 100 concurrent 1 MiB reads ≈ 100 MiB at ~1.5 GB/s ≈ 63ms.
+	e := sim.NewEnv(1)
+	d := New(e, NVMeLocal())
+	var end sim.Time
+	n := 100
+	done := 0
+	for i := 0; i < n; i++ {
+		e.Go("r", func(p *sim.Proc) {
+			d.Read(p, 1<<20, FetchRead)
+			done++
+			if done == n {
+				end = p.Now()
+			}
+		})
+	}
+	e.Run()
+	bytes := int64(n) << 20
+	ideal := time.Duration(float64(bytes) / float64(NVMeLocal().Bandwidth) * float64(time.Second))
+	if end < ideal {
+		t.Fatalf("total = %v, faster than the bandwidth ceiling %v", end, ideal)
+	}
+	if end > ideal+ideal/4 {
+		t.Fatalf("total = %v, want within 25%% of %v", end, ideal)
+	}
+}
+
+func TestEBSSlowerThanNVMe(t *testing.T) {
+	run := func(prof Profile) time.Duration {
+		e := sim.NewEnv(1)
+		d := New(e, prof)
+		var got time.Duration
+		e.Go("r", func(p *sim.Proc) { got = d.Read(p, 4096, FaultRead) })
+		e.Run()
+		return got
+	}
+	nvme := run(NVMeLocal())
+	ebs := run(EBSRemote())
+	if ebs <= nvme {
+		t.Fatalf("EBS 4KiB read %v not slower than NVMe %v", ebs, nvme)
+	}
+	if ebs < 140*time.Microsecond {
+		t.Fatalf("EBS read %v, want >= ~150µs access latency", ebs)
+	}
+}
+
+func TestQueueDepthLimitsParallelism(t *testing.T) {
+	// With queue depth 64, request 65 must wait for a slot.
+	e := sim.NewEnv(1)
+	prof := NVMeLocal()
+	d := New(e, prof)
+	waits := make([]time.Duration, 0, 65)
+	for i := 0; i < 65; i++ {
+		e.Go("r", func(p *sim.Proc) {
+			waits = append(waits, d.Read(p, 4096, FaultRead))
+		})
+	}
+	e.Run()
+	if d.Stats().QueueWait == 0 {
+		t.Fatal("expected nonzero queue wait with 65 requests at QD 64")
+	}
+}
+
+func TestStatsByClass(t *testing.T) {
+	e := sim.NewEnv(1)
+	d := New(e, NVMeLocal())
+	e.Go("r", func(p *sim.Proc) {
+		d.Read(p, 4096, FaultRead)
+		d.Read(p, 8192, PrefetchRead)
+		d.Read(p, 8192, PrefetchRead)
+		d.Write(p, 1<<20, SnapshotWrite)
+	})
+	e.Run()
+	s := d.Stats()
+	if s.Requests != 4 || s.Bytes != 4096+8192+8192+1<<20 {
+		t.Fatalf("totals = %+v", s)
+	}
+	if c := s.Class(FaultRead); c.Requests != 1 || c.Bytes != 4096 {
+		t.Fatalf("fault class = %+v", c)
+	}
+	if c := s.Class(PrefetchRead); c.Requests != 2 || c.Bytes != 16384 {
+		t.Fatalf("prefetch class = %+v", c)
+	}
+	if c := s.Class(SnapshotWrite); c.Requests != 1 {
+		t.Fatalf("write class = %+v", c)
+	}
+}
+
+func TestZeroSizeReadIsFree(t *testing.T) {
+	e := sim.NewEnv(1)
+	d := New(e, NVMeLocal())
+	e.Go("r", func(p *sim.Proc) {
+		if got := d.Read(p, 0, FaultRead); got != 0 {
+			t.Errorf("zero-size read took %v", got)
+		}
+	})
+	e.Run()
+	if d.Stats().Requests != 0 {
+		t.Fatal("zero-size read was counted")
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	e := sim.NewEnv(1)
+	d := New(e, NVMeLocal())
+	e.Go("r", func(p *sim.Proc) { d.Read(p, 4096, FaultRead) })
+	e.Run()
+	d.ResetStats()
+	if s := d.Stats(); s.Requests != 0 || s.Bytes != 0 {
+		t.Fatalf("stats after reset = %+v", s)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	for c, want := range map[Class]string{
+		FaultRead:     "fault",
+		PrefetchRead:  "prefetch",
+		FetchRead:     "fetch",
+		SnapshotWrite: "snapshot-write",
+	} {
+		if c.String() != want {
+			t.Fatalf("Class(%d).String() = %q, want %q", int(c), c.String(), want)
+		}
+	}
+}
+
+func TestSequentialBeatsScatteredForSameBytes(t *testing.T) {
+	// The core motivation for loading-set files: reading 8 MiB as one
+	// large sequential stream must be much faster than as 2048
+	// scattered 4 KiB requests.
+	run := func(sizes []int64) time.Duration {
+		e := sim.NewEnv(1)
+		d := New(e, NVMeLocal())
+		var end sim.Time
+		e.Go("r", func(p *sim.Proc) {
+			for _, s := range sizes {
+				d.Read(p, s, FetchRead)
+			}
+			end = p.Now()
+		})
+		e.Run()
+		return end
+	}
+	scattered := make([]int64, 2048)
+	for i := range scattered {
+		scattered[i] = 4096
+	}
+	seq := run([]int64{8 << 20})
+	scat := run(scattered)
+	if scat < 10*seq {
+		t.Fatalf("scattered %v vs sequential %v: want >= 10x gap", scat, seq)
+	}
+}

@@ -1,0 +1,192 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"faasnap/internal/policy"
+)
+
+func costs(rssMB int64) policy.Costs {
+	return policy.Costs{
+		WarmStart:     0,
+		SnapshotStart: 70 * time.Millisecond,
+		ColdStart:     time.Second,
+		Exec:          100 * time.Millisecond,
+		WarmRSSBytes:  rssMB << 20,
+		SnapshotBytes: 120 << 20,
+	}
+}
+
+func fn(name string, gap time.Duration, seed int64) Function {
+	return Function{
+		Name:  name,
+		Costs: costs(256),
+		Trace: policy.TraceSpec{MeanInterarrival: gap, Horizon: 12 * time.Hour, Seed: seed},
+	}
+}
+
+func baseConfig() Config {
+	return Config{
+		Hosts:     2,
+		HostMem:   4 << 30,
+		KeepAlive: 15 * time.Minute,
+		Snapshots: ProactiveSnapshots,
+		Horizon:   12 * time.Hour,
+	}
+}
+
+func TestFrequentFunctionStaysWarmInCluster(t *testing.T) {
+	res := Simulate(baseConfig(), []Function{fn("hot", 30*time.Second, 1)})
+	if res.Starts[policy.ColdStart] != 1 {
+		t.Fatalf("cold = %d, want 1", res.Starts[policy.ColdStart])
+	}
+	if res.StartFraction(policy.WarmStart) < 0.9 {
+		t.Fatalf("warm fraction = %v", res.StartFraction(policy.WarmStart))
+	}
+}
+
+func TestStartsSumToInvocations(t *testing.T) {
+	fns := []Function{
+		fn("a", time.Minute, 1),
+		fn("b", 10*time.Minute, 2),
+		fn("c", time.Hour, 3),
+	}
+	res := Simulate(baseConfig(), fns)
+	sum := res.Starts[0] + res.Starts[1] + res.Starts[2]
+	if sum != res.Invocations || res.Invocations == 0 {
+		t.Fatalf("starts %v vs invocations %d", res.Starts, res.Invocations)
+	}
+}
+
+func TestMemoryPressureForcesEvictions(t *testing.T) {
+	// 12 functions × 256 MB on one 1 GB host: only ~4 warm VMs fit, so
+	// pressure evictions must occur and the peak pool stays bounded.
+	cfg := baseConfig()
+	cfg.Hosts = 1
+	cfg.HostMem = 1 << 30
+	var fns []Function
+	for i := 0; i < 12; i++ {
+		fns = append(fns, fn(string(rune('a'+i)), 2*time.Minute, int64(i+1)))
+	}
+	res := Simulate(cfg, fns)
+	if res.PressureEvictions == 0 {
+		t.Fatal("no pressure evictions despite oversubscribed memory")
+	}
+	if res.PeakHostVMs > 4 {
+		t.Fatalf("peak host VMs = %d, capacity allows 4", res.PeakHostVMs)
+	}
+}
+
+func TestMoreMemoryMeansMoreWarmStarts(t *testing.T) {
+	var fns []Function
+	for i := 0; i < 12; i++ {
+		fns = append(fns, fn(string(rune('a'+i)), 2*time.Minute, int64(i+1)))
+	}
+	small := baseConfig()
+	small.Hosts = 1
+	small.HostMem = 1 << 30
+	big := small
+	big.HostMem = 8 << 30
+	resSmall := Simulate(small, fns)
+	resBig := Simulate(big, fns)
+	if resBig.StartFraction(policy.WarmStart) <= resSmall.StartFraction(policy.WarmStart) {
+		t.Fatalf("warm fraction: big %v <= small %v",
+			resBig.StartFraction(policy.WarmStart), resSmall.StartFraction(policy.WarmStart))
+	}
+	if resBig.P95Start > resSmall.P95Start {
+		t.Fatalf("p95: big %v > small %v", resBig.P95Start, resSmall.P95Start)
+	}
+}
+
+func TestSnapshotPoliciesOrdering(t *testing.T) {
+	// Under memory pressure, snapshots absorb evicted functions'
+	// restarts: p95 must order no-snapshots >= evict-to-snapshot >=
+	// proactive (proactive has snapshots earliest).
+	var fns []Function
+	for i := 0; i < 12; i++ {
+		fns = append(fns, fn(string(rune('a'+i)), 5*time.Minute, int64(i+1)))
+	}
+	run := func(p SnapshotPolicy) Result {
+		cfg := baseConfig()
+		cfg.Hosts = 1
+		cfg.HostMem = 1 << 30
+		cfg.Snapshots = p
+		return Simulate(cfg, fns)
+	}
+	none := run(NoSnapshots)
+	evict := run(SnapshotOnEviction)
+	pro := run(ProactiveSnapshots)
+	if none.Starts[policy.SnapshotStart] != 0 {
+		t.Fatal("no-snapshots policy used snapshots")
+	}
+	if evict.Starts[policy.SnapshotStart] == 0 {
+		t.Fatal("evict-to-snapshot never used a snapshot under pressure")
+	}
+	if !(pro.MeanStart <= evict.MeanStart && evict.MeanStart < none.MeanStart) {
+		t.Fatalf("mean start ordering violated: proactive %v, evict %v, none %v",
+			pro.MeanStart, evict.MeanStart, none.MeanStart)
+	}
+	// Eviction-driven snapshots hold storage for no longer than
+	// proactive ones.
+	if evict.SnapshotGBHours > pro.SnapshotGBHours {
+		t.Fatalf("evict-to-snapshot storage %v above proactive %v",
+			evict.SnapshotGBHours, pro.SnapshotGBHours)
+	}
+}
+
+func TestQueueStallsWhenEverythingBusy(t *testing.T) {
+	// One host fitting a single VM, bursts of simultaneous arrivals:
+	// later burst members must wait for capacity.
+	cfg := baseConfig()
+	cfg.Hosts = 1
+	cfg.HostMem = 300 << 20 // one 256 MB VM fits
+	f := fn("bursty", time.Minute, 7)
+	f.Trace.BurstProb = 1
+	f.Trace.BurstSize = 4
+	res := Simulate(cfg, []Function{f})
+	if res.QueueStalls == 0 || res.QueueWait == 0 {
+		t.Fatalf("no queue stalls despite single-VM capacity: %+v", res)
+	}
+}
+
+func TestClusterInvariantsProperty(t *testing.T) {
+	f := func(seed int64, nFns, hostGB uint8, pol uint8) bool {
+		n := int(nFns%8) + 1
+		var fns []Function
+		for i := 0; i < n; i++ {
+			fns = append(fns, fn(string(rune('a'+i)), time.Duration(i+1)*4*time.Minute, seed+int64(i)))
+		}
+		cfg := baseConfig()
+		cfg.Hosts = 2
+		cfg.HostMem = int64(hostGB%8+1) << 30
+		cfg.Snapshots = SnapshotPolicy(pol % 3)
+		res := Simulate(cfg, fns)
+		if res.Starts[0]+res.Starts[1]+res.Starts[2] != res.Invocations {
+			return false
+		}
+		if cfg.Snapshots == NoSnapshots && res.Starts[policy.SnapshotStart] != 0 {
+			return false
+		}
+		if res.WarmGBHours < 0 || res.SnapshotGBHours < 0 || res.QueueWait < 0 {
+			return false
+		}
+		// P99 dominates P95 by construction.
+		if res.P99Start < res.P95Start {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	if NoSnapshots.String() != "no-snapshots" ||
+		ProactiveSnapshots.String() != "proactive" ||
+		SnapshotOnEviction.String() != "evict-to-snapshot" {
+		t.Fatal("bad policy strings")
+	}
+}

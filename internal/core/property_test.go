@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"faasnap/internal/metrics"
+	"faasnap/internal/workload"
+)
+
+// TestPropertyInvokeAccounting checks cross-cutting invariants of any
+// invocation result, across functions, modes, and input ratios:
+// timing adds up, fault counts are bounded by the program's page
+// population, and mode-specific fault kinds appear only where legal.
+func TestPropertyInvokeAccounting(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy property test")
+	}
+	fns := []string{"hello-world", "json", "image"}
+	modes := []Mode{ModeWarm, ModeFirecracker, ModeCached, ModeREAP, ModeFaaSnap, ModeConcurrentPaging, ModePerRegion}
+	f := func(fnIdx, modeIdx uint8, ratioStep uint8) bool {
+		fn, err := workload.ByName(fns[int(fnIdx)%len(fns)])
+		if err != nil {
+			return false
+		}
+		mode := modes[int(modeIdx)%len(modes)]
+		ratio := []float64{0.5, 1, 2}[int(ratioStep)%3]
+		arts := artifactsFor(t, fn.Name)
+		in := fn.InputForRatio(ratio)
+		r := RunSingle(DefaultHostConfig(), arts, mode, in)
+
+		if r.Total != r.Setup+r.Invoke {
+			return false
+		}
+		if r.Setup < 0 || r.Invoke <= 0 {
+			return false
+		}
+		// Fault count bounded by guest memory size and at least the
+		// input pages (every invocation allocates its input).
+		if r.Faults.Total() > workload.GuestPages {
+			return false
+		}
+		if mode != ModeWarm && r.Faults.Total() == 0 {
+			return false
+		}
+		// Mode-specific legality.
+		switch mode {
+		case ModeCached:
+			if r.Faults.Count[metrics.FaultMajor] != 0 {
+				return false
+			}
+			if r.Faults.Count[metrics.FaultUffd] != 0 {
+				return false
+			}
+		case ModeWarm:
+			if r.Faults.Count[metrics.FaultMinor] != 0 || r.Faults.Count[metrics.FaultMajor] != 0 {
+				return false
+			}
+		case ModeFirecracker, ModeConcurrentPaging:
+			if r.Faults.Count[metrics.FaultUffd] != 0 {
+				return false
+			}
+		case ModeREAP:
+			if r.Faults.Count[metrics.FaultAnon] != 0 {
+				return false // whole guest is file-mapped + uffd
+			}
+		case ModeFaaSnap, ModePerRegion:
+			if r.Faults.Count[metrics.FaultUffd] != 0 {
+				return false
+			}
+		}
+		// Fault service time is part of the invocation.
+		if r.Faults.TotalTime() > r.Invoke {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"time"
+
+	"faasnap/internal/guest"
+	"faasnap/internal/hostmm"
+	"faasnap/internal/sim"
+	"faasnap/internal/snapshot"
+	"faasnap/internal/workload"
+)
+
+// ProvisionResult reports the cost of producing a clean snapshot.
+type ProvisionResult struct {
+	BootTime     time.Duration // kernel boot
+	InitTime     time.Duration // runtime/library initialization
+	Total        time.Duration
+	NonZeroPages int64 // clean memory file size (sparse)
+}
+
+// Provision produces a function's "clean" snapshot by actually running
+// the cold-start pipeline in the simulator — boot the guest kernel,
+// initialize the runtime and libraries from the root filesystem, pause
+// — rather than synthesizing the memory image (Figure 5's entry
+// point: "restoring a 'clean' snapshot" presupposes this step).
+func Provision(cfg HostConfig, fn *workload.Spec) (*snapshot.MemoryFile, guest.AllocState, ProvisionResult) {
+	h := NewHost(cfg)
+	gcfg := fn.GuestConfig()
+
+	// The rootfs holds the kernel, runtime, and libraries; it spans the
+	// boot image plus the stable region.
+	rootSpan := fn.BootPages
+	for _, r := range fn.CleanMemory().NonZeroRegions() {
+		if r.End() > rootSpan {
+			rootSpan = r.End()
+		}
+	}
+	rootfs := h.Cache.Register(fn.Name+".rootfs", h.Dev, rootSpan)
+
+	as := hostmm.New(h.Env, h.Cache, cfg.Costs, gcfg.Pages)
+	as.Mmap(nil, 0, gcfg.Pages, hostmm.BackAnon, nil, 0)
+	as.Mmap(nil, 0, rootSpan, hostmm.BackFile, rootfs, 0)
+
+	vm := guest.NewVM(h.Env, h.CPU, as, snapshot.NewMemoryFile(gcfg.Pages), guest.AllocState{}, gcfg)
+	var res ProvisionResult
+	var mem *snapshot.MemoryFile
+	var alloc guest.AllocState
+	h.Env.Go("provision", func(p *sim.Proc) {
+		start := p.Now()
+		p.Sleep(cfg.KernelBoot)
+		// The booted kernel and loaded binaries occupy the boot image.
+		for pg := int64(0); pg < fn.BootPages; pg++ {
+			vm.Memory().SetZero(pg, false)
+		}
+		res.BootTime = p.Now() - start
+
+		initStart := p.Now()
+		vm.Exec(p, fn.InitProgram())
+		res.InitTime = p.Now() - initStart
+		res.Total = p.Now() - start
+
+		mem = vm.Memory().Clone()
+		alloc = vm.AllocState()
+		res.NonZeroPages = mem.NonZeroPages()
+	})
+	h.Env.Run()
+	return mem, alloc, res
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"time"
+
+	"faasnap/internal/guest"
+	"faasnap/internal/hostmm"
+	"faasnap/internal/sim"
+	"faasnap/internal/workingset"
+	"faasnap/internal/workload"
+)
+
+// RecordResult reports record-phase measurements.
+type RecordResult struct {
+	Duration      time.Duration // record invocation wall time
+	WSPages       int64         // FaaSnap working-set pages (host page record)
+	LSPages       int64         // loading-set file pages
+	LSRegions     int
+	ReapWSPages   int64 // REAP working-set pages (faulted only)
+	MincoreScans  int
+	NonZeroPages  int64 // non-zero pages of the new memory file
+	SnapshotBytes int64 // sparse size of the new memory file
+}
+
+// Record runs the record phase for fn with input in: the VM is
+// restored from the "clean" (post-boot, post-init) snapshot with the
+// whole memory file mapped, executes the invocation with freed-page
+// sanitizing enabled while both recorders observe it, and a new
+// snapshot plus working-set artifacts are produced (Figure 5, left).
+//
+// A single record run drives both recorders: the userfaultfd recorder
+// sees exactly the faulting pages (REAP's record), while the mincore
+// recorder additionally captures readahead-populated pages (FaaSnap's
+// host page recording) — the two systems' artifacts therefore derive
+// from the identical guest execution, as when REAP runs as a mode
+// inside the FaaSnap platform (§5).
+func Record(cfg HostConfig, fn *workload.Spec, in workload.Input) (*Artifacts, RecordResult) {
+	// The clean snapshot comes out of the simulated boot+init pipeline
+	// (Figure 5's entry point).
+	cleanMem, cleanAlloc, _ := Provision(cfg, fn)
+
+	h := NewHost(cfg)
+	gcfg := fn.GuestConfig()
+	memFile := h.Cache.Register(fn.Name+".clean.mem", h.Dev, gcfg.Pages)
+
+	as := hostmm.New(h.Env, h.Cache, cfg.Costs, gcfg.Pages)
+	as.Mmap(nil, 0, gcfg.Pages, hostmm.BackFile, memFile, 0)
+
+	vm := guest.NewVM(h.Env, h.CPU, as, cleanMem.Clone(), cleanAlloc, gcfg)
+	vm.SetSanitize(true)
+
+	uffdRec := workingset.NewUffdRecorder(h.Cache, memFile)
+	as.RegisterUffd(0, gcfg.Pages, uffdRec)
+	minRec := workingset.NewMincoreRecorder(h.Env, h.Cache, memFile, as, 250*time.Microsecond)
+
+	var res RecordResult
+	var arts *Artifacts
+	h.Env.Go("record-driver", func(p *sim.Proc) {
+		minRec.Start(h.Env)
+		start := p.Now()
+		vm.Exec(p, fn.Program(in))
+		res.Duration = p.Now() - start
+		minRec.Stop()
+		// Disable sanitizing before taking the snapshot (§5); the
+		// daemon flips the guest's procfs knob.
+		vm.SetSanitize(false)
+
+		newMem := vm.Memory().Clone()
+		ws := minRec.WorkingSet()
+		ls := workingset.BuildLoadingSet(ws, newMem, workingset.DefaultMergeGap)
+		arts = &Artifacts{
+			Fn:          fn,
+			RecordInput: in,
+			Mem:         newMem,
+			Alloc:       vm.AllocState(),
+			WS:          ws,
+			LS:          ls,
+			LSUnmerged:  workingset.BuildLoadingSet(ws, newMem, 0),
+			ReapWS:      workingset.NewWSFile(uffdRec.Pages()),
+		}
+		res.WSPages = ws.Pages()
+		res.LSPages = ls.Total
+		res.LSRegions = len(ls.Regions)
+		res.ReapWSPages = arts.ReapWS.PageCount()
+		res.MincoreScans = minRec.Scans()
+		res.NonZeroPages = newMem.NonZeroPages()
+		res.SnapshotBytes = newMem.SparseBytes()
+	})
+	h.Env.Run()
+	if arts == nil {
+		panic("core: record produced no artifacts")
+	}
+	return arts, res
+}

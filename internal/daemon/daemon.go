@@ -1,0 +1,813 @@
+// Package daemon implements the FaaSnap daemon: the control-plane
+// service that manages function VMs and snapshot artifacts and serves
+// invocation requests (§4.1). It exposes a REST API to remote clients
+// (load balancers and cluster resource managers in a production
+// deployment), drives each Firecracker-style VMM over its API socket,
+// persists snapshot artifacts as snapfiles in a state directory, and
+// keeps function input descriptors in the Redis-like kvstore.
+//
+// The data plane (paging, loading, execution timing) runs in the
+// deterministic simulator; everything else — HTTP, VMM lifecycle,
+// persistence — is real.
+package daemon
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"faasnap/internal/core"
+	"faasnap/internal/guestagent"
+	"faasnap/internal/kvstore"
+	"faasnap/internal/snapfile"
+	"faasnap/internal/trace"
+	"faasnap/internal/vmm"
+	"faasnap/internal/workload"
+)
+
+// Config configures a daemon.
+type Config struct {
+	// StateDir is where snapfiles are persisted; empty disables
+	// persistence.
+	StateDir string
+	// Host is the simulated measurement host configuration.
+	Host core.HostConfig
+	// KVAddr is the kvstore address for input descriptors; empty
+	// disables kvstore integration.
+	KVAddr string
+	// Logger receives operational logs; nil discards them.
+	Logger *log.Logger
+}
+
+// fnState is one managed function.
+type fnState struct {
+	mu      sync.Mutex
+	spec    *workload.Spec
+	machine *vmm.Machine
+	agent   *guestagent.Agent
+	arts    *core.Artifacts
+	record  *core.RecordResult
+}
+
+// Daemon is the FaaSnap control plane.
+type Daemon struct {
+	cfg Config
+	log *log.Logger
+	kv  *kvstore.Client
+
+	mu  sync.RWMutex
+	fns map[string]*fnState
+
+	traces *trace.Store
+
+	stats struct {
+		sync.Mutex
+		Records     int64
+		Invocations int64
+		ByMode      map[string]int64
+	}
+}
+
+// New builds a daemon, reloading persisted snapshots from StateDir.
+func New(cfg Config) (*Daemon, error) {
+	if cfg.Logger == nil {
+		cfg.Logger = log.New(os.Stderr, "faasnapd: ", log.LstdFlags)
+	}
+	if cfg.Host.Disk.Bandwidth == 0 {
+		cfg.Host = core.DefaultHostConfig()
+	}
+	d := &Daemon{cfg: cfg, log: cfg.Logger, fns: make(map[string]*fnState), traces: trace.NewStore(512)}
+	d.stats.ByMode = make(map[string]int64)
+	if cfg.KVAddr != "" {
+		kv, err := kvstore.Dial(cfg.KVAddr)
+		if err != nil {
+			return nil, fmt.Errorf("daemon: kvstore: %w", err)
+		}
+		d.kv = kv
+	}
+	if cfg.StateDir != "" {
+		if err := os.MkdirAll(cfg.StateDir, 0o755); err != nil {
+			return nil, fmt.Errorf("daemon: state dir: %w", err)
+		}
+		if err := d.reload(); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// Close shuts down managed VMMs and connections.
+func (d *Daemon) Close() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, fs := range d.fns {
+		if fs.machine != nil {
+			fs.machine.Close()
+		}
+		if fs.agent != nil {
+			fs.agent.Close()
+		}
+	}
+	if d.kv != nil {
+		_ = d.kv.Close()
+	}
+}
+
+// reload restores functions whose snapfiles exist in the state dir.
+func (d *Daemon) reload() error {
+	entries, err := os.ReadDir(d.cfg.StateDir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".snap") {
+			continue
+		}
+		path := filepath.Join(d.cfg.StateDir, e.Name())
+		arts, err := snapfile.Load(path)
+		if err != nil {
+			d.log.Printf("skipping corrupt snapfile %s: %v", path, err)
+			continue
+		}
+		d.fns[arts.Fn.Name] = &fnState{spec: arts.Fn, arts: arts}
+		d.log.Printf("reloaded snapshot for %s (%d WS pages)", arts.Fn.Name, arts.WS.Pages())
+	}
+	return nil
+}
+
+func (d *Daemon) fn(name string) (*fnState, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	fs, ok := d.fns[name]
+	return fs, ok
+}
+
+// Handler returns the daemon's REST API handler.
+func (d *Daemon) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	})
+	mux.HandleFunc("GET /metrics", d.handleMetrics)
+	mux.HandleFunc("GET /functions", d.handleList)
+	mux.HandleFunc("PUT /functions/{name}", d.handleCreate)
+	mux.HandleFunc("GET /functions/{name}", d.handleGet)
+	mux.HandleFunc("DELETE /functions/{name}", d.handleDelete)
+	mux.HandleFunc("POST /functions/{name}/record", d.handleRecord)
+	mux.HandleFunc("POST /functions/{name}/invoke", d.handleInvoke)
+	mux.HandleFunc("POST /functions/{name}/burst", d.handleBurst)
+	mux.HandleFunc("GET /traces", d.handleTraceList)
+	mux.HandleFunc("GET /traces/{id}", d.handleTraceGet)
+	return mux
+}
+
+// recordTrace builds a Zipkin-style span tree for one invocation, as
+// the paper's artifact exposes through Zipkin (App. A.4).
+func (d *Daemon) recordTrace(fn string, r *core.InvokeResult) trace.ID {
+	id := d.traces.NextID()
+	b := trace.NewBuilder(id, fmt.Sprintf("invoke %s [%s]", fn, r.Mode))
+	root := b.Span("invocation", "", 0, r.Total, map[string]string{
+		"function": fn,
+		"mode":     r.Mode.String(),
+		"input":    r.Input,
+		"faults":   fmt.Sprintf("%d", r.Faults.Total()),
+		"majors":   fmt.Sprintf("%d", r.Faults.Majors()),
+	})
+	b.Span("vm-setup", root, 0, r.Setup, map[string]string{
+		"mmap_calls": fmt.Sprintf("%d", r.MmapCalls),
+	})
+	if r.Fetch > 0 {
+		fetchStart := r.Setup // concurrent loaders start when the VM does
+		if r.Mode == core.ModeREAP {
+			fetchStart = r.Setup - r.Fetch // REAP's fetch is a blocking prefix of setup
+		}
+		b.Span("working-set-fetch", root, fetchStart, r.Fetch, map[string]string{
+			"bytes": fmt.Sprintf("%d", r.FetchBytes),
+		})
+	}
+	b.Span("function-execution", root, r.Setup, r.Invoke, map[string]string{
+		"fault_time": r.Faults.TotalTime().String(),
+	})
+	d.traces.Put(b.Finish())
+	return id
+}
+
+func (d *Daemon) handleTraceList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, d.traces.List())
+}
+
+func (d *Daemon) handleTraceGet(w http.ResponseWriter, r *http.Request) {
+	t, ok := d.traces.Get(trace.ID(r.PathValue("id")))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown trace %q", r.PathValue("id"))
+		return
+	}
+	raw, err := t.MarshalZipkin()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(raw)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...interface{}) {
+	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// FunctionInfo is the API representation of a managed function.
+type FunctionInfo struct {
+	Name         string  `json:"name"`
+	Description  string  `json:"description"`
+	VMState      string  `json:"vm_state,omitempty"`
+	HasSnapshot  bool    `json:"has_snapshot"`
+	WSPages      int64   `json:"ws_pages,omitempty"`
+	LSPages      int64   `json:"ls_pages,omitempty"`
+	LSRegions    int     `json:"ls_regions,omitempty"`
+	ReapWSPages  int64   `json:"reap_ws_pages,omitempty"`
+	SnapshotMB   float64 `json:"snapshot_mb,omitempty"`
+	RecordInput  string  `json:"record_input,omitempty"`
+	WorkingSetMB float64 `json:"paper_ws_a_mb,omitempty"`
+	// GuestInvocations counts requests served by the in-guest agent.
+	GuestInvocations int64 `json:"guest_invocations,omitempty"`
+}
+
+func (d *Daemon) info(fs *fnState) FunctionInfo {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	info := FunctionInfo{
+		Name:         fs.spec.Name,
+		Description:  fs.spec.Description,
+		HasSnapshot:  fs.arts != nil,
+		WorkingSetMB: fs.spec.WSA,
+	}
+	if fs.machine != nil {
+		info.VMState = string(fs.machine.State())
+	}
+	if fs.agent != nil {
+		info.GuestInvocations = fs.agent.Invocations()
+	}
+	if fs.arts != nil {
+		info.WSPages = fs.arts.WS.Pages()
+		info.LSPages = fs.arts.LS.Total
+		info.LSRegions = len(fs.arts.LS.Regions)
+		info.ReapWSPages = fs.arts.ReapWS.PageCount()
+		info.SnapshotMB = float64(fs.arts.Mem.SparseBytes()) / (1 << 20)
+		info.RecordInput = fs.arts.RecordInput.Name
+	}
+	return info
+}
+
+func (d *Daemon) handleList(w http.ResponseWriter, r *http.Request) {
+	d.mu.RLock()
+	fns := make([]*fnState, 0, len(d.fns))
+	for _, fs := range d.fns {
+		fns = append(fns, fs)
+	}
+	d.mu.RUnlock()
+	out := make([]FunctionInfo, 0, len(fns))
+	for _, fs := range fns {
+		out = append(out, d.info(fs))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (d *Daemon) handleCreate(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	spec, err := workload.ByName(name)
+	if err != nil {
+		// Not in the catalog: the body may carry a custom spec.
+		if r.Body == nil || r.ContentLength == 0 {
+			writeErr(w, http.StatusNotFound, "unknown function %q (catalog: %s; or PUT a custom spec body)", name, strings.Join(workload.Names(), ", "))
+			return
+		}
+		raw, rerr := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if rerr != nil {
+			writeErr(w, http.StatusBadRequest, "read body: %v", rerr)
+			return
+		}
+		spec, err = workload.ParseSpec(raw)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if spec.Name != name {
+			writeErr(w, http.StatusBadRequest, "spec name %q does not match path %q", spec.Name, name)
+			return
+		}
+	}
+	d.mu.Lock()
+	fs, exists := d.fns[name]
+	if !exists {
+		fs = &fnState{spec: spec}
+		d.fns[name] = fs
+	}
+	d.mu.Unlock()
+
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.machine == nil {
+		// Boot a clean VM through the Firecracker-style API.
+		m := vmm.Launch(name)
+		c := m.Client()
+		if err := c.SetMachineConfig(vmm.MachineConfig{VcpuCount: 2, MemSizeMib: 2048}); err != nil {
+			m.Close()
+			writeErr(w, http.StatusInternalServerError, "machine config: %v", err)
+			return
+		}
+		if err := c.Start(); err != nil {
+			m.Close()
+			writeErr(w, http.StatusInternalServerError, "instance start: %v", err)
+			return
+		}
+		fs.machine = m
+		// The in-guest server comes up with the VM; invocation
+		// requests are forwarded to it.
+		fs.agent = guestagent.Start(name, func(req guestagent.InvokeRequest) (guestagent.InvokeReply, error) {
+			return guestagent.InvokeReply{}, nil
+		})
+		if err := fs.agent.Client().Health(); err != nil {
+			writeErr(w, http.StatusInternalServerError, "guest agent: %v", err)
+			return
+		}
+		d.log.Printf("booted VM for %s (guest agent up)", name)
+	}
+	writeJSON(w, http.StatusOK, d.infoLocked(fs))
+}
+
+// infoLocked is info for a caller already holding fs.mu.
+func (d *Daemon) infoLocked(fs *fnState) FunctionInfo {
+	info := FunctionInfo{
+		Name:         fs.spec.Name,
+		Description:  fs.spec.Description,
+		HasSnapshot:  fs.arts != nil,
+		WorkingSetMB: fs.spec.WSA,
+	}
+	if fs.machine != nil {
+		info.VMState = string(fs.machine.State())
+	}
+	if fs.agent != nil {
+		info.GuestInvocations = fs.agent.Invocations()
+	}
+	if fs.arts != nil {
+		info.WSPages = fs.arts.WS.Pages()
+		info.LSPages = fs.arts.LS.Total
+		info.LSRegions = len(fs.arts.LS.Regions)
+		info.ReapWSPages = fs.arts.ReapWS.PageCount()
+		info.SnapshotMB = float64(fs.arts.Mem.SparseBytes()) / (1 << 20)
+		info.RecordInput = fs.arts.RecordInput.Name
+	}
+	return info
+}
+
+func (d *Daemon) handleGet(w http.ResponseWriter, r *http.Request) {
+	fs, ok := d.fn(r.PathValue("name"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "function not registered")
+		return
+	}
+	writeJSON(w, http.StatusOK, d.info(fs))
+}
+
+func (d *Daemon) handleDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	d.mu.Lock()
+	fs, ok := d.fns[name]
+	delete(d.fns, name)
+	d.mu.Unlock()
+	if !ok {
+		writeErr(w, http.StatusNotFound, "function not registered")
+		return
+	}
+	fs.mu.Lock()
+	if fs.machine != nil {
+		fs.machine.Close()
+	}
+	if fs.agent != nil {
+		fs.agent.Close()
+	}
+	fs.mu.Unlock()
+	if d.cfg.StateDir != "" {
+		_ = os.Remove(filepath.Join(d.cfg.StateDir, name+".snap"))
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// regionMaps converts the artifacts' mapping plan into the VMM API's
+// region-map extension.
+func regionMaps(arts *core.Artifacts, name string) []vmm.RegionMap {
+	var out []vmm.RegionMap
+	for _, m := range arts.MappingPlan(true) {
+		rm := vmm.RegionMap{StartPage: m.Start, Pages: m.Pages}
+		switch m.Backing {
+		case core.MapAnon:
+			rm.Backing = "anonymous"
+		case core.MapMemoryFile:
+			rm.Backing = "memory_file"
+			rm.Path = "/snapshots/" + name + ".mem"
+			rm.Offset = m.FileOff
+		case core.MapLoadingSet:
+			rm.Backing = "loading_set"
+			rm.Path = "/snapshots/" + name + ".ls"
+			rm.Offset = m.FileOff
+		}
+		out = append(out, rm)
+	}
+	return out
+}
+
+// restoreVMM sends the snapshot-load request a restore of the given
+// mode implies to a fresh VMM instance, validating the control-plane
+// path the paper's daemon exercises for every invocation.
+func (d *Daemon) restoreVMM(name string, arts *core.Artifacts, mode core.Mode) error {
+	m := vmm.Launch(name + "-restore")
+	defer m.Close()
+	req := vmm.SnapshotLoadRequest{
+		SnapshotPath: "/snapshots/" + name + ".state",
+		MemBackend:   vmm.MemBackend{BackendType: "File", BackendPath: "/snapshots/" + name + ".mem"},
+		ResumeVM:     true,
+	}
+	if mode == core.ModeFaaSnap || mode == core.ModePerRegion {
+		req.RegionMaps = regionMaps(arts, name)
+	}
+	if err := m.Client().LoadSnapshot(req); err != nil {
+		return err
+	}
+	if st := m.State(); st != vmm.StateRunning {
+		return fmt.Errorf("restored VM in state %q", st)
+	}
+	return nil
+}
+
+// inputDescriptor is what the daemon stores in the kvstore per input.
+type inputDescriptor struct {
+	Name      string `json:"name"`
+	Bytes     int64  `json:"bytes"`
+	Seed      int64  `json:"seed"`
+	DataPages int64  `json:"data_pages"`
+}
+
+// resolveInput maps an API input name ("A", "B", "ratio:2.0") to a
+// workload input, consulting the kvstore first when configured.
+func (d *Daemon) resolveInput(spec *workload.Spec, name string) (workload.Input, error) {
+	if name == "" {
+		name = "A"
+	}
+	if d.kv != nil {
+		if raw, err := d.kv.Get("input:" + spec.Name + ":" + name); err == nil {
+			var desc inputDescriptor
+			if err := json.Unmarshal(raw, &desc); err == nil {
+				return workload.Input{Name: desc.Name, Bytes: desc.Bytes, Seed: desc.Seed, DataPages: desc.DataPages}, nil
+			}
+		}
+	}
+	switch {
+	case name == "A":
+		return spec.A, nil
+	case name == "B":
+		return spec.B, nil
+	case strings.HasPrefix(name, "ratio:"):
+		ratio, err := strconv.ParseFloat(strings.TrimPrefix(name, "ratio:"), 64)
+		if err != nil || ratio <= 0 {
+			return workload.Input{}, fmt.Errorf("bad ratio input %q", name)
+		}
+		return spec.InputForRatio(ratio), nil
+	}
+	return workload.Input{}, fmt.Errorf("unknown input %q (use A, B, or ratio:<x>)", name)
+}
+
+// storeInput publishes the input descriptor to the kvstore, as
+// function inputs live in external storage (§5).
+func (d *Daemon) storeInput(spec *workload.Spec, in workload.Input) {
+	if d.kv == nil {
+		return
+	}
+	desc, _ := json.Marshal(inputDescriptor{Name: in.Name, Bytes: in.Bytes, Seed: in.Seed, DataPages: in.DataPages})
+	if err := d.kv.Set("input:"+spec.Name+":"+in.Name, desc); err != nil {
+		d.log.Printf("kvstore set failed: %v", err)
+	}
+}
+
+type recordRequest struct {
+	Input string `json:"input"`
+}
+
+// RecordResponse is the record endpoint's reply.
+type RecordResponse struct {
+	Function string            `json:"function"`
+	Input    string            `json:"input"`
+	Result   core.RecordResult `json:"result"`
+	Duration string            `json:"record_duration"`
+}
+
+func (d *Daemon) handleRecord(w http.ResponseWriter, r *http.Request) {
+	fs, ok := d.fn(r.PathValue("name"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "function not registered; PUT /functions/%s first", r.PathValue("name"))
+		return
+	}
+	var req recordRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	in, err := d.resolveInput(fs.spec, req.Input)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	// The §5 record flow: sanitizing on for the traced invocation,
+	// toggled off through the guest's procfs interface before the
+	// snapshot is taken.
+	if fs.agent != nil {
+		ac := fs.agent.Client()
+		if err := ac.SetSanitize(true); err != nil {
+			writeErr(w, http.StatusInternalServerError, "enable sanitizing: %v", err)
+			return
+		}
+		defer func() {
+			if err := ac.SetSanitize(false); err != nil {
+				d.log.Printf("disable sanitizing: %v", err)
+			}
+		}()
+	}
+	// Drive the VMM snapshot lifecycle: pause, snapshot, resume.
+	if fs.machine != nil {
+		c := fs.machine.Client()
+		if err := c.Pause(); err != nil {
+			writeErr(w, http.StatusConflict, "pause: %v", err)
+			return
+		}
+		snapReq := vmm.SnapshotCreateRequest{
+			SnapshotPath: fmt.Sprintf("/snapshots/%s.state", fs.spec.Name),
+			MemFilePath:  fmt.Sprintf("/snapshots/%s.mem", fs.spec.Name),
+		}
+		if err := c.CreateSnapshot(snapReq); err != nil {
+			writeErr(w, http.StatusInternalServerError, "snapshot create: %v", err)
+			return
+		}
+		if err := c.Resume(); err != nil {
+			writeErr(w, http.StatusInternalServerError, "resume: %v", err)
+			return
+		}
+	}
+
+	arts, res := core.Record(d.cfg.Host, fs.spec, in)
+	fs.arts = arts
+	fs.record = &res
+	d.storeInput(fs.spec, in)
+	if d.cfg.StateDir != "" {
+		path := filepath.Join(d.cfg.StateDir, fs.spec.Name+".snap")
+		if err := snapfile.Save(path, arts); err != nil {
+			writeErr(w, http.StatusInternalServerError, "persist snapshot: %v", err)
+			return
+		}
+	}
+	d.stats.Lock()
+	d.stats.Records++
+	d.stats.Unlock()
+	d.log.Printf("recorded %s input %s: ws=%d ls=%d regions=%d", fs.spec.Name, in.Name, res.WSPages, res.LSPages, res.LSRegions)
+	writeJSON(w, http.StatusOK, RecordResponse{
+		Function: fs.spec.Name,
+		Input:    in.Name,
+		Result:   res,
+		Duration: res.Duration.String(),
+	})
+}
+
+type invokeRequest struct {
+	Mode  string `json:"mode"`
+	Input string `json:"input"`
+}
+
+// InvokeResponse is the invoke endpoint's reply.
+type InvokeResponse struct {
+	Function      string  `json:"function"`
+	Mode          string  `json:"mode"`
+	Input         string  `json:"input"`
+	SetupMs       float64 `json:"setup_ms"`
+	InvokeMs      float64 `json:"invoke_ms"`
+	TotalMs       float64 `json:"total_ms"`
+	FetchMs       float64 `json:"fetch_ms"`
+	FetchMB       float64 `json:"fetch_mb"`
+	Faults        int64   `json:"faults"`
+	MajorFaults   int64   `json:"major_faults"`
+	FaultTimeMs   float64 `json:"fault_time_ms"`
+	MmapCalls     int     `json:"mmap_calls"`
+	BlockRequests int64   `json:"block_requests"`
+	TraceID       string  `json:"trace_id,omitempty"`
+}
+
+func toResponse(fn string, r *core.InvokeResult) InvokeResponse {
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	return InvokeResponse{
+		Function:      fn,
+		Mode:          r.Mode.String(),
+		Input:         r.Input,
+		SetupMs:       ms(r.Setup),
+		InvokeMs:      ms(r.Invoke),
+		TotalMs:       ms(r.Total),
+		FetchMs:       ms(r.Fetch),
+		FetchMB:       float64(r.FetchBytes) / (1 << 20),
+		Faults:        r.Faults.Total(),
+		MajorFaults:   r.Faults.Majors(),
+		FaultTimeMs:   ms(r.Faults.TotalTime()),
+		MmapCalls:     r.MmapCalls,
+		BlockRequests: r.BlockRequests,
+	}
+}
+
+var errNoSnapshot = errors.New("function has no snapshot; POST /functions/{name}/record first")
+
+func (d *Daemon) invokeArgs(r *http.Request) (*fnState, core.Mode, workload.Input, error) {
+	fs, ok := d.fn(r.PathValue("name"))
+	if !ok {
+		return nil, 0, workload.Input{}, errors.New("function not registered")
+	}
+	var req invokeRequest
+	if err := decodeBody(r, &req); err != nil {
+		return nil, 0, workload.Input{}, err
+	}
+	if req.Mode == "" {
+		req.Mode = "faasnap"
+	}
+	mode, err := core.ParseMode(req.Mode)
+	if err != nil {
+		return nil, 0, workload.Input{}, err
+	}
+	in, err := d.resolveInput(fs.spec, req.Input)
+	if err != nil {
+		return nil, 0, workload.Input{}, err
+	}
+	fs.mu.Lock()
+	arts := fs.arts
+	fs.mu.Unlock()
+	if arts == nil {
+		return nil, 0, workload.Input{}, errNoSnapshot
+	}
+	return fs, mode, in, nil
+}
+
+func (d *Daemon) handleInvoke(w http.ResponseWriter, r *http.Request) {
+	fs, mode, in, err := d.invokeArgs(r)
+	if err != nil {
+		code := http.StatusBadRequest
+		if err == errNoSnapshot || err.Error() == "function not registered" {
+			code = http.StatusNotFound
+		}
+		writeErr(w, code, "%v", err)
+		return
+	}
+	fs.mu.Lock()
+	arts := fs.arts
+	fs.mu.Unlock()
+	// Drive the restore through the Firecracker-style API: a fresh VMM
+	// gets the snapshot-load request, including the per-region mapping
+	// plan for FaaSnap modes (the §5 API extension).
+	if mode != core.ModeWarm && mode != core.ModeCold {
+		if err := d.restoreVMM(fs.spec.Name, arts, mode); err != nil {
+			writeErr(w, http.StatusInternalServerError, "vmm restore: %v", err)
+			return
+		}
+	}
+	res := core.RunSingle(d.cfg.Host, arts, mode, in)
+	// Forward the request to the in-guest server, as the daemon does
+	// for a live VM ("it uses the guest IP address to connect to the
+	// Flask server for invoking functions", §5).
+	fs.mu.Lock()
+	agent := fs.agent
+	fs.mu.Unlock()
+	if agent != nil {
+		if _, err := agent.Client().Invoke(guestagent.InvokeRequest{Input: in.Name}); err != nil {
+			d.log.Printf("guest agent invoke: %v", err)
+		}
+	}
+	d.stats.Lock()
+	d.stats.Invocations++
+	d.stats.ByMode[mode.String()]++
+	d.stats.Unlock()
+	out := toResponse(fs.spec.Name, res)
+	out.TraceID = string(d.recordTrace(fs.spec.Name, res))
+	writeJSON(w, http.StatusOK, out)
+}
+
+type burstRequest struct {
+	Mode         string `json:"mode"`
+	Input        string `json:"input"`
+	Parallel     int    `json:"parallel"`
+	SameSnapshot *bool  `json:"same_snapshot,omitempty"`
+}
+
+// BurstResponse is the burst endpoint's reply.
+type BurstResponse struct {
+	Function string           `json:"function"`
+	Mode     string           `json:"mode"`
+	Parallel int              `json:"parallel"`
+	Same     bool             `json:"same_snapshot"`
+	MeanMs   float64          `json:"mean_ms"`
+	StdMs    float64          `json:"std_ms"`
+	Results  []InvokeResponse `json:"results"`
+}
+
+func (d *Daemon) handleBurst(w http.ResponseWriter, r *http.Request) {
+	fs, ok := d.fn(r.PathValue("name"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "function not registered")
+		return
+	}
+	var req burstRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Mode == "" {
+		req.Mode = "faasnap"
+	}
+	mode, err := core.ParseMode(req.Mode)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Parallel <= 0 || req.Parallel > 256 {
+		writeErr(w, http.StatusBadRequest, "parallel must be in [1,256]")
+		return
+	}
+	in, err := d.resolveInput(fs.spec, req.Input)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	fs.mu.Lock()
+	arts := fs.arts
+	fs.mu.Unlock()
+	if arts == nil {
+		writeErr(w, http.StatusNotFound, "%v", errNoSnapshot)
+		return
+	}
+	same := true
+	if req.SameSnapshot != nil {
+		same = *req.SameSnapshot
+	}
+	br := core.RunBurst(d.cfg.Host, arts, mode, in, req.Parallel, same)
+	resp := BurstResponse{
+		Function: fs.spec.Name,
+		Mode:     mode.String(),
+		Parallel: req.Parallel,
+		Same:     same,
+		MeanMs:   float64(br.Mean) / float64(time.Millisecond),
+		StdMs:    float64(br.Std) / float64(time.Millisecond),
+	}
+	for _, res := range br.Results {
+		resp.Results = append(resp.Results, toResponse(fs.spec.Name, res))
+	}
+	d.stats.Lock()
+	d.stats.Invocations += int64(req.Parallel)
+	d.stats.ByMode[mode.String()] += int64(req.Parallel)
+	d.stats.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (d *Daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	d.stats.Lock()
+	out := map[string]interface{}{
+		"records":     d.stats.Records,
+		"invocations": d.stats.Invocations,
+		"by_mode":     d.stats.ByMode,
+	}
+	d.stats.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+func decodeBody(r *http.Request, v interface{}) error {
+	if r.Body == nil || r.ContentLength == 0 {
+		return nil
+	}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,390 @@
+package daemon
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"faasnap/internal/kvstore"
+)
+
+func newTestDaemon(t *testing.T, cfg Config) (*Daemon, *httptest.Server) {
+	t.Helper()
+	cfg.Logger = log.New(io.Discard, "", 0)
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(d.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		d.Close()
+	})
+	return d, srv
+}
+
+func doJSON(t *testing.T, method, url string, body interface{}, out interface{}) *http.Response {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	if out != nil && resp.StatusCode/100 == 2 {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode response: %v", err)
+		}
+	}
+	return resp
+}
+
+func TestHealthz(t *testing.T) {
+	_, srv := newTestDaemon(t, Config{})
+	var out map[string]bool
+	resp := doJSON(t, "GET", srv.URL+"/healthz", nil, &out)
+	if resp.StatusCode != 200 || !out["ok"] {
+		t.Fatalf("healthz = %d %v", resp.StatusCode, out)
+	}
+}
+
+func TestFullLifecycle(t *testing.T) {
+	_, srv := newTestDaemon(t, Config{StateDir: t.TempDir()})
+
+	// Register and boot.
+	var info FunctionInfo
+	resp := doJSON(t, "PUT", srv.URL+"/functions/hello-world", nil, &info)
+	if resp.StatusCode != 200 {
+		t.Fatalf("create = %d", resp.StatusCode)
+	}
+	if info.VMState != "Running" || info.HasSnapshot {
+		t.Fatalf("info = %+v", info)
+	}
+
+	// Record.
+	var rec RecordResponse
+	resp = doJSON(t, "POST", srv.URL+"/functions/hello-world/record", map[string]string{"input": "A"}, &rec)
+	if resp.StatusCode != 200 {
+		t.Fatalf("record = %d", resp.StatusCode)
+	}
+	if rec.Result.WSPages == 0 || rec.Result.LSPages == 0 {
+		t.Fatalf("record result = %+v", rec.Result)
+	}
+
+	// Invoke under two modes.
+	for _, mode := range []string{"faasnap", "firecracker"} {
+		var inv InvokeResponse
+		resp = doJSON(t, "POST", srv.URL+"/functions/hello-world/invoke",
+			map[string]string{"mode": mode, "input": "B"}, &inv)
+		if resp.StatusCode != 200 {
+			t.Fatalf("invoke %s = %d", mode, resp.StatusCode)
+		}
+		if inv.TotalMs <= 0 || inv.Faults == 0 {
+			t.Fatalf("invoke %s = %+v", mode, inv)
+		}
+	}
+
+	// Function listing reflects the snapshot.
+	var list []FunctionInfo
+	doJSON(t, "GET", srv.URL+"/functions", nil, &list)
+	if len(list) != 1 || !list[0].HasSnapshot {
+		t.Fatalf("list = %+v", list)
+	}
+
+	// Metrics counted.
+	var metricsOut map[string]interface{}
+	doJSON(t, "GET", srv.URL+"/metrics", nil, &metricsOut)
+	if metricsOut["invocations"].(float64) != 2 {
+		t.Fatalf("metrics = %v", metricsOut)
+	}
+
+	// Delete.
+	resp = doJSON(t, "DELETE", srv.URL+"/functions/hello-world", nil, nil)
+	if resp.StatusCode != 204 {
+		t.Fatalf("delete = %d", resp.StatusCode)
+	}
+	resp = doJSON(t, "GET", srv.URL+"/functions/hello-world", nil, nil)
+	if resp.StatusCode != 404 {
+		t.Fatalf("get after delete = %d", resp.StatusCode)
+	}
+}
+
+func TestInvokeWithoutSnapshotFails(t *testing.T) {
+	_, srv := newTestDaemon(t, Config{})
+	doJSON(t, "PUT", srv.URL+"/functions/json", nil, nil)
+	resp := doJSON(t, "POST", srv.URL+"/functions/json/invoke", map[string]string{"mode": "faasnap"}, nil)
+	if resp.StatusCode != 404 {
+		t.Fatalf("invoke without snapshot = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestUnknownFunctionRejected(t *testing.T) {
+	_, srv := newTestDaemon(t, Config{})
+	resp := doJSON(t, "PUT", srv.URL+"/functions/not-a-function", nil, nil)
+	if resp.StatusCode != 404 {
+		t.Fatalf("create unknown = %d", resp.StatusCode)
+	}
+}
+
+func TestBadModeAndInputRejected(t *testing.T) {
+	_, srv := newTestDaemon(t, Config{})
+	doJSON(t, "PUT", srv.URL+"/functions/hello-world", nil, nil)
+	doJSON(t, "POST", srv.URL+"/functions/hello-world/record", nil, nil)
+	resp := doJSON(t, "POST", srv.URL+"/functions/hello-world/invoke", map[string]string{"mode": "bogus"}, nil)
+	if resp.StatusCode != 400 {
+		t.Fatalf("bogus mode = %d", resp.StatusCode)
+	}
+	resp = doJSON(t, "POST", srv.URL+"/functions/hello-world/invoke", map[string]string{"input": "Z"}, nil)
+	if resp.StatusCode != 400 {
+		t.Fatalf("bogus input = %d", resp.StatusCode)
+	}
+}
+
+func TestRatioInput(t *testing.T) {
+	_, srv := newTestDaemon(t, Config{})
+	doJSON(t, "PUT", srv.URL+"/functions/json", nil, nil)
+	doJSON(t, "POST", srv.URL+"/functions/json/record", map[string]string{"input": "A"}, nil)
+	var inv InvokeResponse
+	resp := doJSON(t, "POST", srv.URL+"/functions/json/invoke",
+		map[string]string{"mode": "faasnap", "input": "ratio:2.0"}, &inv)
+	if resp.StatusCode != 200 {
+		t.Fatalf("ratio invoke = %d", resp.StatusCode)
+	}
+	if inv.Input != "r2.00" {
+		t.Fatalf("input = %q", inv.Input)
+	}
+}
+
+func TestBurstEndpoint(t *testing.T) {
+	_, srv := newTestDaemon(t, Config{})
+	doJSON(t, "PUT", srv.URL+"/functions/hello-world", nil, nil)
+	doJSON(t, "POST", srv.URL+"/functions/hello-world/record", nil, nil)
+	var out BurstResponse
+	resp := doJSON(t, "POST", srv.URL+"/functions/hello-world/burst",
+		map[string]interface{}{"mode": "faasnap", "parallel": 4}, &out)
+	if resp.StatusCode != 200 {
+		t.Fatalf("burst = %d", resp.StatusCode)
+	}
+	if len(out.Results) != 4 || out.MeanMs <= 0 {
+		t.Fatalf("burst = %+v", out)
+	}
+}
+
+func TestPersistenceAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	_, srv := newTestDaemon(t, Config{StateDir: dir})
+	doJSON(t, "PUT", srv.URL+"/functions/hello-world", nil, nil)
+	resp := doJSON(t, "POST", srv.URL+"/functions/hello-world/record", nil, nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("record = %d", resp.StatusCode)
+	}
+
+	// A freshly constructed daemon over the same state dir serves
+	// invocations without re-recording.
+	_, srv2 := newTestDaemon(t, Config{StateDir: dir})
+	var inv InvokeResponse
+	resp = doJSON(t, "POST", srv2.URL+"/functions/hello-world/invoke",
+		map[string]string{"mode": "faasnap", "input": "B"}, &inv)
+	if resp.StatusCode != 200 {
+		t.Fatalf("invoke after restart = %d", resp.StatusCode)
+	}
+	if inv.TotalMs <= 0 {
+		t.Fatalf("invoke = %+v", inv)
+	}
+}
+
+func TestKVStoreIntegration(t *testing.T) {
+	kv := kvstore.NewServer()
+	addr, err := kv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv.Close()
+
+	_, srv := newTestDaemon(t, Config{KVAddr: addr})
+	doJSON(t, "PUT", srv.URL+"/functions/pyaes", nil, nil)
+	doJSON(t, "POST", srv.URL+"/functions/pyaes/record", map[string]string{"input": "A"}, nil)
+
+	// The record phase published the input descriptor.
+	c, err := kvstore.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	raw, err := c.Get("input:pyaes:A")
+	if err != nil {
+		t.Fatalf("input descriptor not in kvstore: %v", err)
+	}
+	var desc map[string]interface{}
+	if err := json.Unmarshal(raw, &desc); err != nil {
+		t.Fatal(err)
+	}
+	if desc["name"] != "A" {
+		t.Fatalf("descriptor = %v", desc)
+	}
+
+	// A custom input planted in the kvstore is honored on invoke.
+	custom, _ := json.Marshal(map[string]interface{}{
+		"name": "huge", "bytes": 1 << 20, "seed": 42, "data_pages": 2000,
+	})
+	if err := c.Set("input:pyaes:huge", custom); err != nil {
+		t.Fatal(err)
+	}
+	var inv InvokeResponse
+	resp := doJSON(t, "POST", srv.URL+"/functions/pyaes/invoke",
+		map[string]string{"mode": "faasnap", "input": "huge"}, &inv)
+	if resp.StatusCode != 200 {
+		t.Fatalf("custom input invoke = %d", resp.StatusCode)
+	}
+	if inv.Input != "huge" {
+		t.Fatalf("input = %q", inv.Input)
+	}
+}
+
+func TestGuestAgentIntegration(t *testing.T) {
+	d, srv := newTestDaemon(t, Config{})
+	doJSON(t, "PUT", srv.URL+"/functions/hello-world", nil, nil)
+	doJSON(t, "POST", srv.URL+"/functions/hello-world/record", nil, nil)
+	for i := 0; i < 3; i++ {
+		doJSON(t, "POST", srv.URL+"/functions/hello-world/invoke",
+			map[string]string{"mode": "faasnap", "input": "B"}, nil)
+	}
+	var info FunctionInfo
+	doJSON(t, "GET", srv.URL+"/functions/hello-world", nil, &info)
+	if info.GuestInvocations != 3 {
+		t.Fatalf("guest invocations = %d, want 3 (requests must be forwarded to the in-guest server)", info.GuestInvocations)
+	}
+	// The record flow must leave sanitizing disabled (§5: it is only
+	// needed during the record phase).
+	fs, _ := d.fn("hello-world")
+	if fs.agent.Sanitizing() {
+		t.Fatal("sanitizing left enabled after record")
+	}
+}
+
+func TestCustomFunctionLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	_, srv := newTestDaemon(t, Config{StateDir: dir})
+	spec := map[string]interface{}{
+		"name": "my-svc", "boot_mb": 100, "stable_pages": 2500, "chunk_mean": 4,
+		"retain_frac": 0.2, "base_ms": 30, "per_page_us": 1,
+		"input_a": map[string]int64{"bytes": 4096, "data_pages": 200},
+		"input_b": map[string]int64{"bytes": 8192, "data_pages": 400},
+	}
+	var info FunctionInfo
+	resp := doJSON(t, "PUT", srv.URL+"/functions/my-svc", spec, &info)
+	if resp.StatusCode != 200 {
+		t.Fatalf("custom create = %d", resp.StatusCode)
+	}
+	resp = doJSON(t, "POST", srv.URL+"/functions/my-svc/record", nil, nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("custom record = %d", resp.StatusCode)
+	}
+	var inv InvokeResponse
+	resp = doJSON(t, "POST", srv.URL+"/functions/my-svc/invoke",
+		map[string]string{"mode": "faasnap", "input": "B"}, &inv)
+	if resp.StatusCode != 200 || inv.TotalMs <= 0 {
+		t.Fatalf("custom invoke = %d %+v", resp.StatusCode, inv)
+	}
+
+	// Custom functions survive restarts via their embedded spec.
+	_, srv2 := newTestDaemon(t, Config{StateDir: dir})
+	resp = doJSON(t, "POST", srv2.URL+"/functions/my-svc/invoke",
+		map[string]string{"mode": "faasnap", "input": "B"}, &inv)
+	if resp.StatusCode != 200 {
+		t.Fatalf("custom invoke after restart = %d", resp.StatusCode)
+	}
+
+	// Mismatched name and invalid bodies are rejected.
+	spec["name"] = "other"
+	resp = doJSON(t, "PUT", srv.URL+"/functions/my-svc2", spec, nil)
+	if resp.StatusCode != 400 {
+		t.Fatalf("mismatched name = %d", resp.StatusCode)
+	}
+	resp = doJSON(t, "PUT", srv.URL+"/functions/bad", map[string]string{"nope": "x"}, nil)
+	if resp.StatusCode != 400 {
+		t.Fatalf("invalid custom spec = %d", resp.StatusCode)
+	}
+}
+
+func TestTraceEndpoints(t *testing.T) {
+	_, srv := newTestDaemon(t, Config{})
+	doJSON(t, "PUT", srv.URL+"/functions/hello-world", nil, nil)
+	doJSON(t, "POST", srv.URL+"/functions/hello-world/record", nil, nil)
+	var inv InvokeResponse
+	doJSON(t, "POST", srv.URL+"/functions/hello-world/invoke",
+		map[string]string{"mode": "reap", "input": "B"}, &inv)
+	if inv.TraceID == "" {
+		t.Fatal("invoke response has no trace id")
+	}
+
+	var ids []string
+	doJSON(t, "GET", srv.URL+"/traces", nil, &ids)
+	if len(ids) != 1 || ids[0] != inv.TraceID {
+		t.Fatalf("trace list = %v", ids)
+	}
+
+	var spans []map[string]interface{}
+	resp := doJSON(t, "GET", srv.URL+"/traces/"+inv.TraceID, nil, &spans)
+	if resp.StatusCode != 200 {
+		t.Fatalf("trace get = %d", resp.StatusCode)
+	}
+	names := map[string]bool{}
+	for _, s := range spans {
+		names[s["name"].(string)] = true
+		if s["traceId"].(string) != inv.TraceID {
+			t.Fatalf("span traceId = %v", s["traceId"])
+		}
+	}
+	for _, want := range []string{"invocation", "vm-setup", "working-set-fetch", "function-execution"} {
+		if !names[want] {
+			t.Fatalf("missing span %q in %v", want, names)
+		}
+	}
+
+	resp = doJSON(t, "GET", srv.URL+"/traces/bogus", nil, nil)
+	if resp.StatusCode != 404 {
+		t.Fatalf("bogus trace = %d", resp.StatusCode)
+	}
+}
+
+func TestConcurrentInvokes(t *testing.T) {
+	_, srv := newTestDaemon(t, Config{})
+	doJSON(t, "PUT", srv.URL+"/functions/hello-world", nil, nil)
+	doJSON(t, "POST", srv.URL+"/functions/hello-world/record", nil, nil)
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			body, _ := json.Marshal(map[string]string{"mode": "faasnap", "input": "B"})
+			resp, err := http.Post(srv.URL+"/functions/hello-world/invoke", "application/json", bytes.NewReader(body))
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					err = fmt.Errorf("status %d", resp.StatusCode)
+				}
+			}
+			errs <- err
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

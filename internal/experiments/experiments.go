@@ -1,0 +1,230 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (and the Section 3 analysis): Figures 1, 2, 6, 7,
+// 8, 9, 10, 11 and Tables 2 and 3, plus the Section 7.3 memory
+// footprint discussion. Each experiment returns a Report that renders
+// as an aligned text table (and CSV), with the same rows and series the
+// paper presents.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"text/tabwriter"
+	"time"
+
+	"faasnap/internal/core"
+	"faasnap/internal/workload"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Host is the simulated host; zero value means the paper's
+	// platform (c5d.metal + local NVMe).
+	Host core.HostConfig
+	// Trials is the number of repeated runs per data point (the paper
+	// uses 5 for Figures 6/7 and 3 for Figures 8/11). Zero picks the
+	// paper's count per experiment.
+	Trials int
+	// Quick restricts function sets and trials for fast smoke runs.
+	Quick bool
+}
+
+func (o Options) host() core.HostConfig {
+	if o.Host.Disk.Bandwidth == 0 {
+		return core.DefaultHostConfig()
+	}
+	return o.Host
+}
+
+func (o Options) trials(def int) int {
+	if o.Quick {
+		return 1
+	}
+	if o.Trials > 0 {
+		return o.Trials
+	}
+	return def
+}
+
+// NamedSVG is a rendered figure attached to a report.
+type NamedSVG struct {
+	Name string // file-name stem, e.g. "fig8-image"
+	SVG  string
+}
+
+// Report is a rendered experiment result.
+type Report struct {
+	Name   string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+	// Charts holds SVG renderings of the figure, when the experiment
+	// produces one (written by faasnap-bench -svg).
+	Charts []NamedSVG
+}
+
+// String renders the report as an aligned text table.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.Name, r.Title)
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(r.Header, "\t"))
+	for _, row := range r.Rows {
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	tw.Flush()
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the report as comma-separated values.
+func (r *Report) CSV() string {
+	var b strings.Builder
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	row := make([]string, 0, len(r.Header))
+	for _, h := range r.Header {
+		row = append(row, esc(h))
+	}
+	b.WriteString(strings.Join(row, ",") + "\n")
+	for _, rr := range r.Rows {
+		row = row[:0]
+		for _, c := range rr {
+			row = append(row, esc(c))
+		}
+		b.WriteString(strings.Join(row, ",") + "\n")
+	}
+	return b.String()
+}
+
+// artifact cache: record phases are deterministic and reused across
+// experiments within one process.
+var (
+	artsMu    sync.Mutex
+	artsCache = map[string]*core.Artifacts{}
+)
+
+// artifactsFor records fn with the given input (cached).
+func artifactsFor(host core.HostConfig, fn *workload.Spec, in workload.Input) *core.Artifacts {
+	key := fmt.Sprintf("%s/%s/%d/%s", fn.Name, in.Name, in.Seed, host.Disk.Name)
+	artsMu.Lock()
+	defer artsMu.Unlock()
+	if a, ok := artsCache[key]; ok {
+		return a
+	}
+	recHost := host
+	recHost.Seed = 1
+	arts, _ := core.Record(recHost, fn, in)
+	artsCache[key] = arts
+	return arts
+}
+
+// sample is a set of repeated measurements.
+type sample []time.Duration
+
+func (s sample) mean() time.Duration {
+	if len(s) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s {
+		sum += float64(v)
+	}
+	return time.Duration(sum / float64(len(s)))
+}
+
+func (s sample) std() time.Duration {
+	if len(s) < 2 {
+		return 0
+	}
+	m := float64(s.mean())
+	var varsum float64
+	for _, v := range s {
+		d := float64(v) - m
+		varsum += d * d
+	}
+	return time.Duration(math.Sqrt(varsum / float64(len(s))))
+}
+
+// runTrials invokes (arts, mode, in) `trials` times with distinct
+// seeds and returns the results.
+func runTrials(host core.HostConfig, arts *core.Artifacts, mode core.Mode, in workload.Input, trials int) []*core.InvokeResult {
+	out := make([]*core.InvokeResult, trials)
+	for t := 0; t < trials; t++ {
+		cfg := host
+		cfg.Seed = int64(1000*t + 7)
+		out[t] = core.RunSingle(cfg, arts, mode, in)
+	}
+	return out
+}
+
+func totals(results []*core.InvokeResult) sample {
+	s := make(sample, len(results))
+	for i, r := range results {
+		s[i] = r.Total
+	}
+	return s
+}
+
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.1f", float64(d)/float64(time.Millisecond))
+}
+
+func msPair(s sample) string {
+	return fmt.Sprintf("%s±%s", ms(s.mean()), ms(s.std()))
+}
+
+// Experiment is a named, runnable experiment.
+type Experiment struct {
+	Name  string
+	Title string
+	Run   func(Options) *Report
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"fig1", "Time breakdown of function invocations (§3.2)", Fig1},
+		{"fig2", "Page-fault handling time distributions, image-diff (§3.3)", Fig2},
+		{"table2", "Evaluation functions and working sets (§6.1)", Table2},
+		{"fig6", "Execution time of the benchmark functions (§6.2)", Fig6},
+		{"fig7", "Execution time of the synthetic functions (§6.2)", Fig7},
+		{"fig8", "Execution time under varying input-size ratios (§6.3)", Fig8},
+		{"table3", "Performance analysis: REAP vs FaaSnap (§6.4)", Table3},
+		{"fig9", "Optimization steps and their effects (§6.5)", Fig9},
+		{"fig10", "Performance with bursty workloads (§6.6)", Fig10},
+		{"fig11", "Performance using remote storage (§6.7)", Fig11},
+		{"footprint", "Memory footprints by restore mode (§7.3)", Footprint},
+		{"tiered", "Tiered snapshot storage: loading sets local, memory remote (§7.2)", Tiered},
+		{"coldstart", "Cold starts vs snapshots vs warm starts (§2.1, §7.1)", ColdStart},
+		{"policy", "Serving policies: warm vs snapshot vs cold (§7.1)", PolicyReport},
+		{"ablations", "Design-constant ablations: merge gap, group size (§4.3, §4.6)", Ablations},
+		{"cluster", "Multi-host serving tier: snapshot policies under memory pressure (§7.1, §7.2)", ClusterReport},
+		{"claims", "Artifact-appendix claims C1–C4, verified numerically (A.4.1)", Claims},
+	}
+}
+
+// ByName returns the named experiment.
+func ByName(name string) (Experiment, error) {
+	for _, e := range All() {
+		if e.Name == name {
+			return e, nil
+		}
+	}
+	var names []string
+	for _, e := range All() {
+		names = append(names, e.Name)
+	}
+	sort.Strings(names)
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q (have: %s)", name, strings.Join(names, ", "))
+}

@@ -1,0 +1,219 @@
+// Package guestagent implements the in-guest invocation server: the
+// paper runs "a Flask-based server... in the guest [that] waits for
+// HTTP invocation requests and invokes function code" (§5), plus the
+// procfs interface through which the daemon toggles freed-page
+// sanitizing between the record and test phases.
+//
+// The agent serves HTTP over the guest's virtual network device
+// (an in-memory connection here). Function execution itself is
+// delegated to an Executor callback, since the data plane runs in the
+// simulator.
+package guestagent
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+
+	"faasnap/internal/pipenet"
+)
+
+// InvokeRequest asks the agent to run the installed function.
+type InvokeRequest struct {
+	Input string `json:"input"`
+}
+
+// InvokeReply carries the function's result.
+type InvokeReply struct {
+	Output     json.RawMessage `json:"output,omitempty"`
+	DurationMs float64         `json:"duration_ms"`
+}
+
+// Executor runs the installed function for one request.
+type Executor func(req InvokeRequest) (InvokeReply, error)
+
+// Agent is the in-guest server for one VM.
+type Agent struct {
+	name     string
+	exec     Executor
+	sanitize atomic.Bool
+
+	lis    *pipenet.Listener
+	server *http.Server
+	done   chan struct{}
+
+	invocations atomic.Int64
+}
+
+// Start launches the agent for the named function VM.
+func Start(name string, exec Executor) *Agent {
+	a := &Agent{
+		name: name,
+		exec: exec,
+		lis:  pipenet.NewListener(name + "-guest:80"),
+		done: make(chan struct{}),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", a.handleHealth)
+	mux.HandleFunc("POST /invoke", a.handleInvoke)
+	mux.HandleFunc("GET /proc/sys/vm/sanitize_freed_pages", a.handleGetSanitize)
+	mux.HandleFunc("PUT /proc/sys/vm/sanitize_freed_pages", a.handlePutSanitize)
+	a.server = &http.Server{Handler: mux}
+	go func() {
+		defer close(a.done)
+		_ = a.server.Serve(a.lis)
+	}()
+	return a
+}
+
+// Close stops the agent.
+func (a *Agent) Close() {
+	_ = a.server.Close()
+	<-a.done
+}
+
+// Sanitizing reports the guest kernel's freed-page sanitizing state.
+func (a *Agent) Sanitizing() bool { return a.sanitize.Load() }
+
+// Invocations reports how many invocations the agent served.
+func (a *Agent) Invocations() int64 { return a.invocations.Load() }
+
+func (a *Agent) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"function":    a.name,
+		"ok":          true,
+		"invocations": a.invocations.Load(),
+	})
+}
+
+func (a *Agent) handleInvoke(w http.ResponseWriter, r *http.Request) {
+	var req InvokeRequest
+	if r.Body != nil {
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, "bad invoke request: %v", err)
+			return
+		}
+	}
+	if a.exec == nil {
+		writeErr(w, http.StatusServiceUnavailable, "no function installed")
+		return
+	}
+	reply, err := a.exec(req)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	a.invocations.Add(1)
+	writeJSON(w, http.StatusOK, reply)
+}
+
+type sanitizeBody struct {
+	Enabled bool `json:"enabled"`
+}
+
+func (a *Agent) handleGetSanitize(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, sanitizeBody{Enabled: a.sanitize.Load()})
+}
+
+func (a *Agent) handlePutSanitize(w http.ResponseWriter, r *http.Request) {
+	var body sanitizeBody
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad sanitize request: %v", err)
+		return
+	}
+	a.sanitize.Store(body.Enabled)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...interface{}) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// Client is the daemon-side handle to a guest agent.
+type Client struct {
+	http *http.Client
+}
+
+// Client returns an HTTP client connected to the agent over the
+// virtual network.
+func (a *Agent) Client() *Client {
+	return &Client{http: pipenet.HTTPClient(a.lis)}
+}
+
+// Health checks agent liveness.
+func (c *Client) Health() error {
+	resp, err := c.http.Get("http://guest/healthz")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("guestagent: health status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// Invoke runs the installed function.
+func (c *Client) Invoke(req InvokeRequest) (InvokeReply, error) {
+	raw, _ := json.Marshal(req)
+	resp, err := c.http.Post("http://guest/invoke", "application/json", jsonBody(raw))
+	if err != nil {
+		return InvokeReply{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e map[string]string
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return InvokeReply{}, fmt.Errorf("guestagent: invoke failed (%d): %s", resp.StatusCode, e["error"])
+	}
+	var reply InvokeReply
+	if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+		return InvokeReply{}, err
+	}
+	return reply, nil
+}
+
+// SetSanitize flips the guest kernel's freed-page sanitizing knob via
+// the agent's procfs endpoint.
+func (c *Client) SetSanitize(enabled bool) error {
+	raw, _ := json.Marshal(sanitizeBody{Enabled: enabled})
+	req, err := http.NewRequest(http.MethodPut, "http://guest/proc/sys/vm/sanitize_freed_pages", jsonBody(raw))
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("guestagent: sanitize status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// Sanitizing reads the sanitize knob.
+func (c *Client) Sanitizing() (bool, error) {
+	resp, err := c.http.Get("http://guest/proc/sys/vm/sanitize_freed_pages")
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	var body sanitizeBody
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return false, err
+	}
+	return body.Enabled, nil
+}
+
+// jsonBody wraps raw JSON for an HTTP request body.
+func jsonBody(raw []byte) io.Reader { return bytes.NewReader(raw) }

@@ -1,0 +1,115 @@
+package guestagent
+
+import (
+	"encoding/json"
+	"errors"
+	"sync"
+	"testing"
+)
+
+func newAgent(t *testing.T, exec Executor) (*Agent, *Client) {
+	t.Helper()
+	a := Start("test-fn", exec)
+	t.Cleanup(a.Close)
+	return a, a.Client()
+}
+
+func echoExec(req InvokeRequest) (InvokeReply, error) {
+	out, _ := json.Marshal(map[string]string{"echo": req.Input})
+	return InvokeReply{Output: out, DurationMs: 1.5}, nil
+}
+
+func TestHealth(t *testing.T) {
+	_, c := newAgent(t, echoExec)
+	if err := c.Health(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvoke(t *testing.T) {
+	a, c := newAgent(t, echoExec)
+	reply, err := c.Invoke(InvokeRequest{Input: "B"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]string
+	if err := json.Unmarshal(reply.Output, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out["echo"] != "B" || reply.DurationMs != 1.5 {
+		t.Fatalf("reply = %+v", reply)
+	}
+	if a.Invocations() != 1 {
+		t.Fatalf("invocations = %d", a.Invocations())
+	}
+}
+
+func TestInvokeError(t *testing.T) {
+	_, c := newAgent(t, func(InvokeRequest) (InvokeReply, error) {
+		return InvokeReply{}, errors.New("function crashed")
+	})
+	_, err := c.Invoke(InvokeRequest{Input: "A"})
+	if err == nil {
+		t.Fatal("invoke error not propagated")
+	}
+}
+
+func TestNoFunctionInstalled(t *testing.T) {
+	_, c := newAgent(t, nil)
+	if _, err := c.Invoke(InvokeRequest{}); err == nil {
+		t.Fatal("invoke without function succeeded")
+	}
+}
+
+func TestSanitizeKnob(t *testing.T) {
+	// The §5 flow: sanitizing on during record, toggled off through
+	// the procfs interface before the snapshot.
+	a, c := newAgent(t, echoExec)
+	if a.Sanitizing() {
+		t.Fatal("sanitizing on by default")
+	}
+	if err := c.SetSanitize(true); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Sanitizing() {
+		t.Fatal("sanitize toggle did not reach the guest")
+	}
+	on, err := c.Sanitizing()
+	if err != nil || !on {
+		t.Fatalf("read back = %v, %v", on, err)
+	}
+	if err := c.SetSanitize(false); err != nil {
+		t.Fatal(err)
+	}
+	if a.Sanitizing() {
+		t.Fatal("sanitize not disabled")
+	}
+}
+
+func TestConcurrentInvokes(t *testing.T) {
+	a, _ := newAgent(t, echoExec)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := a.Client()
+			if _, err := c.Invoke(InvokeRequest{Input: "x"}); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if a.Invocations() != 16 {
+		t.Fatalf("invocations = %d", a.Invocations())
+	}
+}
+
+func TestClosedAgentRefuses(t *testing.T) {
+	a := Start("dead", echoExec)
+	c := a.Client()
+	a.Close()
+	if err := c.Health(); err == nil {
+		t.Fatal("health on closed agent succeeded")
+	}
+}

@@ -1,0 +1,235 @@
+package kvstore
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"sync"
+)
+
+// Client is a RESP client for the kvstore server (or a real Redis).
+// It is safe for concurrent use; commands are serialized on one
+// connection.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Dial connects to a kvstore server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: dial %s: %w", addr, err)
+	}
+	return &Client{
+		conn: conn,
+		r:    bufio.NewReader(conn),
+		w:    bufio.NewWriter(conn),
+	}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// ErrNil is returned by Get for missing keys.
+var ErrNil = errors.New("kvstore: nil reply")
+
+// reply is one parsed RESP response.
+type reply struct {
+	kind  byte // '+', '-', ':', '$', '*'
+	str   string
+	n     int64
+	bulk  []byte
+	array []reply
+	isNil bool
+}
+
+func (c *Client) cmd(args ...[]byte) (reply, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fmt.Fprintf(c.w, "*%d\r\n", len(args))
+	for _, a := range args {
+		fmt.Fprintf(c.w, "$%d\r\n", len(a))
+		c.w.Write(a)
+		c.w.WriteString("\r\n")
+	}
+	if err := c.w.Flush(); err != nil {
+		return reply{}, err
+	}
+	return c.readReply()
+}
+
+func (c *Client) readReply() (reply, error) {
+	line, err := readLine(c.r)
+	if err != nil {
+		return reply{}, err
+	}
+	if len(line) == 0 {
+		return reply{}, errProtocol
+	}
+	switch line[0] {
+	case '+':
+		return reply{kind: '+', str: string(line[1:])}, nil
+	case '-':
+		return reply{kind: '-', str: string(line[1:])}, nil
+	case ':':
+		n, err := strconv.ParseInt(string(line[1:]), 10, 64)
+		if err != nil {
+			return reply{}, errProtocol
+		}
+		return reply{kind: ':', n: n}, nil
+	case '$':
+		l, err := strconv.Atoi(string(line[1:]))
+		if err != nil {
+			return reply{}, errProtocol
+		}
+		if l < 0 {
+			return reply{kind: '$', isNil: true}, nil
+		}
+		buf := make([]byte, l+2)
+		if _, err := io.ReadFull(c.r, buf); err != nil {
+			return reply{}, err
+		}
+		return reply{kind: '$', bulk: buf[:l]}, nil
+	case '*':
+		n, err := strconv.Atoi(string(line[1:]))
+		if err != nil || n < 0 {
+			return reply{}, errProtocol
+		}
+		out := reply{kind: '*', array: make([]reply, 0, n)}
+		for i := 0; i < n; i++ {
+			el, err := c.readReply()
+			if err != nil {
+				return reply{}, err
+			}
+			out.array = append(out.array, el)
+		}
+		return out, nil
+	}
+	return reply{}, errProtocol
+}
+
+func (r reply) err() error {
+	if r.kind == '-' {
+		return errors.New(r.str)
+	}
+	return nil
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	r, err := c.cmd([]byte("PING"))
+	if err != nil {
+		return err
+	}
+	if err := r.err(); err != nil {
+		return err
+	}
+	if r.str != "PONG" {
+		return fmt.Errorf("kvstore: unexpected ping reply %q", r.str)
+	}
+	return nil
+}
+
+// Set stores value under key.
+func (c *Client) Set(key string, value []byte) error {
+	r, err := c.cmd([]byte("SET"), []byte(key), value)
+	if err != nil {
+		return err
+	}
+	return r.err()
+}
+
+// Get fetches key's value, or ErrNil.
+func (c *Client) Get(key string) ([]byte, error) {
+	r, err := c.cmd([]byte("GET"), []byte(key))
+	if err != nil {
+		return nil, err
+	}
+	if err := r.err(); err != nil {
+		return nil, err
+	}
+	if r.isNil {
+		return nil, ErrNil
+	}
+	return r.bulk, nil
+}
+
+// Del removes keys, returning how many existed.
+func (c *Client) Del(keys ...string) (int64, error) {
+	args := [][]byte{[]byte("DEL")}
+	for _, k := range keys {
+		args = append(args, []byte(k))
+	}
+	r, err := c.cmd(args...)
+	if err != nil {
+		return 0, err
+	}
+	return r.n, r.err()
+}
+
+// Exists reports whether key is present.
+func (c *Client) Exists(key string) (bool, error) {
+	r, err := c.cmd([]byte("EXISTS"), []byte(key))
+	if err != nil {
+		return false, err
+	}
+	return r.n == 1, r.err()
+}
+
+// StrLen returns the byte length of key's value (0 if missing).
+func (c *Client) StrLen(key string) (int64, error) {
+	r, err := c.cmd([]byte("STRLEN"), []byte(key))
+	if err != nil {
+		return 0, err
+	}
+	return r.n, r.err()
+}
+
+// Append appends to key's value and returns the new length.
+func (c *Client) Append(key string, value []byte) (int64, error) {
+	r, err := c.cmd([]byte("APPEND"), []byte(key), value)
+	if err != nil {
+		return 0, err
+	}
+	return r.n, r.err()
+}
+
+// DBSize returns the number of keys.
+func (c *Client) DBSize() (int64, error) {
+	r, err := c.cmd([]byte("DBSIZE"))
+	if err != nil {
+		return 0, err
+	}
+	return r.n, r.err()
+}
+
+// FlushAll clears the store.
+func (c *Client) FlushAll() error {
+	r, err := c.cmd([]byte("FLUSHALL"))
+	if err != nil {
+		return err
+	}
+	return r.err()
+}
+
+// Keys lists keys matching pattern ("*" or exact).
+func (c *Client) Keys(pattern string) ([]string, error) {
+	r, err := c.cmd([]byte("KEYS"), []byte(pattern))
+	if err != nil {
+		return nil, err
+	}
+	if err := r.err(); err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(r.array))
+	for _, el := range r.array {
+		out = append(out, string(el.bulk))
+	}
+	return out, nil
+}

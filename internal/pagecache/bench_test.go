@@ -1,0 +1,54 @@
+package pagecache
+
+import (
+	"testing"
+
+	"faasnap/internal/blockdev"
+	"faasnap/internal/sim"
+)
+
+// BenchmarkFaultReadMiss measures the cold fault path (device read +
+// readahead + residency update).
+func BenchmarkFaultReadMiss(b *testing.B) {
+	e := sim.NewEnv(1)
+	c := New(e)
+	d := blockdev.New(e, blockdev.NVMeLocal())
+	f := c.Register("f", d, int64(b.N)*64+64)
+	e.Go("p", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			c.FaultRead(p, f, int64(i)*64, blockdev.FaultRead) // beyond any RA window
+		}
+	})
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkFaultReadHit measures the minor-fault fast path.
+func BenchmarkFaultReadHit(b *testing.B) {
+	e := sim.NewEnv(1)
+	c := New(e)
+	d := blockdev.New(e, blockdev.NVMeLocal())
+	f := c.Register("f", d, 1024)
+	c.Populate(f)
+	e.Go("p", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			c.FaultRead(p, f, int64(i)%1024, blockdev.FaultRead)
+		}
+	})
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkBulkRead measures the loader's sequential prefetch path.
+func BenchmarkBulkRead(b *testing.B) {
+	e := sim.NewEnv(1)
+	c := New(e)
+	d := blockdev.New(e, blockdev.NVMeLocal())
+	pages := int64(b.N)*8 + 8
+	f := c.Register("f", d, pages)
+	e.Go("p", func(p *sim.Proc) {
+		c.ReadRange(p, f, 0, pages, blockdev.PrefetchRead)
+	})
+	b.ResetTimer()
+	e.Run()
+}

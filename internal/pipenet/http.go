@@ -1,0 +1,23 @@
+package pipenet
+
+import (
+	"context"
+	"net"
+	"net/http"
+)
+
+// transportFor returns an http.RoundTripper whose every connection
+// dials the listener.
+func transportFor(l *Listener) http.RoundTripper {
+	return &http.Transport{
+		DialContext: func(ctx context.Context, network, address string) (net.Conn, error) {
+			return l.Dial()
+		},
+	}
+}
+
+// HTTPClient returns an HTTP client that connects to the listener
+// regardless of the request URL's host.
+func HTTPClient(l *Listener) *http.Client {
+	return &http.Client{Transport: transportFor(l)}
+}

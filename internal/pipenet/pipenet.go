@@ -1,0 +1,67 @@
+// Package pipenet provides an in-memory net.Listener/Dialer pair, used
+// wherever the real system has a local socket: the Firecracker API's
+// Unix domain socket and the daemon↔guest HTTP connection over the
+// virtual network device (tap). Connections are synchronous in-process
+// pipes; no ports are consumed and tests cannot collide.
+package pipenet
+
+import (
+	"errors"
+	"net"
+	"sync"
+)
+
+// ErrClosed is returned for operations on a closed listener.
+var ErrClosed = errors.New("pipenet: listener closed")
+
+// Listener is an in-memory net.Listener.
+type Listener struct {
+	name   string
+	conns  chan net.Conn
+	closed chan struct{}
+	once   sync.Once
+}
+
+// NewListener returns a listener with the given display name.
+func NewListener(name string) *Listener {
+	return &Listener{
+		name:   name,
+		conns:  make(chan net.Conn),
+		closed: make(chan struct{}),
+	}
+}
+
+// Accept implements net.Listener.
+func (l *Listener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.conns:
+		return c, nil
+	case <-l.closed:
+		return nil, ErrClosed
+	}
+}
+
+// Close implements net.Listener.
+func (l *Listener) Close() error {
+	l.once.Do(func() { close(l.closed) })
+	return nil
+}
+
+// Addr implements net.Listener.
+func (l *Listener) Addr() net.Addr { return addr{name: l.name} }
+
+// Dial opens a client connection to the listener.
+func (l *Listener) Dial() (net.Conn, error) {
+	client, server := net.Pipe()
+	select {
+	case l.conns <- server:
+		return client, nil
+	case <-l.closed:
+		return nil, ErrClosed
+	}
+}
+
+type addr struct{ name string }
+
+func (a addr) Network() string { return "pipe" }
+func (a addr) String() string  { return a.name }

@@ -1,0 +1,85 @@
+package pipenet
+
+import (
+	"bufio"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+func TestDialAccept(t *testing.T) {
+	l := NewListener("test")
+	defer l.Close()
+	done := make(chan string, 1)
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			done <- err.Error()
+			return
+		}
+		defer conn.Close()
+		line, _ := bufio.NewReader(conn).ReadString('\n')
+		done <- line
+	}()
+	c, err := l.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintln(c, "hello")
+	c.Close()
+	if got := <-done; got != "hello\n" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestClosedListener(t *testing.T) {
+	l := NewListener("x")
+	l.Close()
+	l.Close() // idempotent
+	if _, err := l.Dial(); err != ErrClosed {
+		t.Fatalf("dial err = %v", err)
+	}
+	if _, err := l.Accept(); err != ErrClosed {
+		t.Fatalf("accept err = %v", err)
+	}
+}
+
+func TestAddr(t *testing.T) {
+	l := NewListener("vm7-api.sock")
+	if l.Addr().Network() != "pipe" || l.Addr().String() != "vm7-api.sock" {
+		t.Fatalf("addr = %v/%v", l.Addr().Network(), l.Addr().String())
+	}
+}
+
+func TestServesHTTP(t *testing.T) {
+	l := NewListener("http")
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ping", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "pong")
+	})
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(l)
+	defer srv.Close()
+
+	client := &http.Client{Transport: transportFor(l)}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := client.Get("http://guest/ping")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			buf := make([]byte, 4)
+			n, _ := resp.Body.Read(buf)
+			if string(buf[:n]) != "pong" {
+				t.Errorf("body = %q", buf[:n])
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,219 @@
+// Package plot renders line and grouped-bar charts as standalone SVG,
+// so the benchmark harness can regenerate the paper's figures as
+// images as well as tables. It is dependency-free and deterministic.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Palette used for series, colorblind-friendly.
+var palette = []string{"#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee", "#aa3377", "#bbbbbb"}
+
+// Series is one line (or bar group member) of a chart.
+type Series struct {
+	Name string
+	X    []float64 // ignored for bar charts
+	Y    []float64
+}
+
+// Chart is a line chart.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// LogX renders the x axis in log₂ (for ratio sweeps).
+	LogX bool
+}
+
+const (
+	width   = 640.0
+	height  = 420.0
+	marginL = 70.0
+	marginR = 20.0
+	marginT = 40.0
+	marginB = 60.0
+)
+
+func fmtF(v float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.2f", v), "0"), ".")
+}
+
+// niceTicks returns ~n round tick values covering [lo, hi].
+func niceTicks(lo, hi float64, n int) []float64 {
+	if hi <= lo {
+		hi = lo + 1
+	}
+	span := hi - lo
+	step := math.Pow(10, math.Floor(math.Log10(span/float64(n))))
+	for span/step > float64(n)*2 {
+		step *= 2
+	}
+	for span/step < float64(n)/2 {
+		step /= 2
+	}
+	var ticks []float64
+	for v := math.Ceil(lo/step) * step; v <= hi+step/1e6; v += step {
+		ticks = append(ticks, v)
+	}
+	return ticks
+}
+
+// SVG renders the chart.
+func (c *Chart) SVG() string {
+	var minX, maxX, maxY float64
+	minX = math.Inf(1)
+	maxX = math.Inf(-1)
+	for _, s := range c.Series {
+		for i := range s.X {
+			x := s.X[i]
+			if c.LogX {
+				x = math.Log2(x)
+			}
+			minX = math.Min(minX, x)
+			maxX = math.Max(maxX, x)
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if math.IsInf(minX, 1) {
+		minX, maxX, maxY = 0, 1, 1
+	}
+	if maxY == 0 {
+		maxY = 1
+	}
+	maxY *= 1.08
+	plotW := width - marginL - marginR
+	plotH := height - marginT - marginB
+	sx := func(x float64) float64 {
+		if c.LogX {
+			x = math.Log2(x)
+		}
+		if maxX == minX {
+			return marginL + plotW/2
+		}
+		return marginL + (x-minX)/(maxX-minX)*plotW
+	}
+	sy := func(y float64) float64 { return marginT + plotH - y/maxY*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%g" height="%g" font-family="sans-serif" font-size="12">`+"\n", width, height)
+	fmt.Fprintf(&b, `<rect width="%g" height="%g" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%g" y="20" text-anchor="middle" font-size="14" font-weight="bold">%s</text>`+"\n", width/2, esc(c.Title))
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n", marginL, marginT, marginL, marginT+plotH)
+	fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n", marginL, marginT+plotH, marginL+plotW, marginT+plotH)
+	for _, t := range niceTicks(0, maxY, 5) {
+		y := sy(t)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#dddddd"/>`+"\n", marginL, y, marginL+plotW, y)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" text-anchor="end">%s</text>`+"\n", marginL-6, y+4, fmtF(t))
+	}
+	// X ticks at data points of the first series.
+	if len(c.Series) > 0 {
+		seen := map[float64]bool{}
+		for _, x := range c.Series[0].X {
+			if seen[x] {
+				continue
+			}
+			seen[x] = true
+			fmt.Fprintf(&b, `<text x="%g" y="%g" text-anchor="middle">%s</text>`+"\n", sx(x), marginT+plotH+16, fmtF(x))
+		}
+	}
+	fmt.Fprintf(&b, `<text x="%g" y="%g" text-anchor="middle">%s</text>`+"\n", marginL+plotW/2, height-14, esc(c.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%g" text-anchor="middle" transform="rotate(-90 16 %g)">%s</text>`+"\n", marginT+plotH/2, marginT+plotH/2, esc(c.YLabel))
+
+	// Series.
+	for i, s := range c.Series {
+		color := palette[i%len(palette)]
+		var pts []string
+		for j := range s.X {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", sx(s.X[j]), sy(s.Y[j])))
+		}
+		fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="2" points="%s"/>`+"\n", color, strings.Join(pts, " "))
+		for j := range s.X {
+			fmt.Fprintf(&b, `<circle cx="%g" cy="%g" r="3" fill="%s"/>`+"\n", sx(s.X[j]), sy(s.Y[j]), color)
+		}
+		// Legend.
+		lx := marginL + plotW - 150
+		ly := marginT + 8 + float64(i)*16
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s" stroke-width="2"/>`+"\n", lx, ly, lx+20, ly, color)
+		fmt.Fprintf(&b, `<text x="%g" y="%g">%s</text>`+"\n", lx+26, ly+4, esc(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// BarChart is a grouped bar chart (one group per label, one bar per
+// series).
+type BarChart struct {
+	Title  string
+	YLabel string
+	Groups []string // group labels along x
+	Series []Series // Y parallel to Groups
+}
+
+// SVG renders the bar chart.
+func (c *BarChart) SVG() string {
+	var maxY float64
+	for _, s := range c.Series {
+		for _, y := range s.Y {
+			maxY = math.Max(maxY, y)
+		}
+	}
+	if maxY == 0 {
+		maxY = 1
+	}
+	maxY *= 1.08
+	plotW := width - marginL - marginR
+	plotH := height - marginT - marginB
+	sy := func(y float64) float64 { return marginT + plotH - y/maxY*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%g" height="%g" font-family="sans-serif" font-size="12">`+"\n", width, height)
+	fmt.Fprintf(&b, `<rect width="%g" height="%g" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%g" y="20" text-anchor="middle" font-size="14" font-weight="bold">%s</text>`+"\n", width/2, esc(c.Title))
+	fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n", marginL, marginT, marginL, marginT+plotH)
+	fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n", marginL, marginT+plotH, marginL+plotW, marginT+plotH)
+	for _, t := range niceTicks(0, maxY, 5) {
+		y := sy(t)
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#dddddd"/>`+"\n", marginL, y, marginL+plotW, y)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" text-anchor="end">%s</text>`+"\n", marginL-6, y+4, fmtF(t))
+	}
+	fmt.Fprintf(&b, `<text x="16" y="%g" text-anchor="middle" transform="rotate(-90 16 %g)">%s</text>`+"\n", marginT+plotH/2, marginT+plotH/2, esc(c.YLabel))
+
+	ng := len(c.Groups)
+	ns := len(c.Series)
+	if ng > 0 && ns > 0 {
+		groupW := plotW / float64(ng)
+		barW := groupW * 0.8 / float64(ns)
+		for gi, label := range c.Groups {
+			gx := marginL + float64(gi)*groupW
+			for si, s := range c.Series {
+				if gi >= len(s.Y) {
+					continue
+				}
+				x := gx + groupW*0.1 + float64(si)*barW
+				y := sy(s.Y[gi])
+				fmt.Fprintf(&b, `<rect x="%g" y="%g" width="%g" height="%g" fill="%s"/>`+"\n",
+					x, y, barW, marginT+plotH-y, palette[si%len(palette)])
+			}
+			fmt.Fprintf(&b, `<text x="%g" y="%g" text-anchor="middle">%s</text>`+"\n", gx+groupW/2, marginT+plotH+16, esc(label))
+		}
+		for si, s := range c.Series {
+			lx := marginL + plotW - 150
+			ly := marginT + 8 + float64(si)*16
+			fmt.Fprintf(&b, `<rect x="%g" y="%g" width="12" height="12" fill="%s"/>`+"\n", lx, ly-8, palette[si%len(palette)])
+			fmt.Fprintf(&b, `<text x="%g" y="%g">%s</text>`+"\n", lx+18, ly+3, esc(s.Name))
+		}
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

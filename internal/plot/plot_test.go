@@ -1,0 +1,105 @@
+package plot
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func lineChart() *Chart {
+	return &Chart{
+		Title:  "image <diff>",
+		XLabel: "input size ratio",
+		YLabel: "execution time (ms)",
+		LogX:   true,
+		Series: []Series{
+			{Name: "firecracker", X: []float64{0.25, 0.5, 1, 2, 4}, Y: []float64{249, 259, 275, 308, 374}},
+			{Name: "faasnap", X: []float64{0.25, 0.5, 1, 2, 4}, Y: []float64{108, 115, 128, 155, 208}},
+		},
+	}
+}
+
+func TestLineChartWellFormedXML(t *testing.T) {
+	svg := lineChart().SVG()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("svg not well-formed: %v", err)
+		}
+	}
+}
+
+func TestLineChartContents(t *testing.T) {
+	svg := lineChart().SVG()
+	for _, want := range []string{"<svg", "polyline", "firecracker", "faasnap", "execution time", "&lt;diff&gt;"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("svg missing %q", want)
+		}
+	}
+	if got := strings.Count(svg, "<polyline"); got != 2 {
+		t.Fatalf("polylines = %d, want 2", got)
+	}
+	if got := strings.Count(svg, "<circle"); got != 10 {
+		t.Fatalf("points = %d, want 10", got)
+	}
+}
+
+func TestEmptyChartDoesNotPanic(t *testing.T) {
+	c := &Chart{Title: "empty"}
+	if !strings.Contains(c.SVG(), "</svg>") {
+		t.Fatal("empty chart did not render")
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	c := &BarChart{
+		Title:  "Figure 7",
+		YLabel: "ms",
+		Groups: []string{"hello-world", "mmap", "read-list"},
+		Series: []Series{
+			{Name: "firecracker", Y: []float64{199, 1072, 643}},
+			{Name: "reap", Y: []float64{65, 887, 868}},
+			{Name: "faasnap", Y: []float64{68, 524, 632}},
+		},
+	}
+	svg := c.SVG()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		if _, err := dec.Token(); err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("bar svg not well-formed: %v", err)
+		}
+	}
+	// 9 bars + 3 legend swatches + background.
+	if got := strings.Count(svg, "<rect"); got != 13 {
+		t.Fatalf("rects = %d, want 13", got)
+	}
+}
+
+func TestNiceTicks(t *testing.T) {
+	ticks := niceTicks(0, 1000, 5)
+	if len(ticks) < 3 || len(ticks) > 12 {
+		t.Fatalf("ticks = %v", ticks)
+	}
+	for i := 1; i < len(ticks); i++ {
+		if ticks[i] <= ticks[i-1] {
+			t.Fatalf("ticks not increasing: %v", ticks)
+		}
+	}
+	// Degenerate range must not loop forever or panic.
+	if got := niceTicks(5, 5, 5); len(got) == 0 {
+		t.Fatal("degenerate range produced no ticks")
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	if lineChart().SVG() != lineChart().SVG() {
+		t.Fatal("svg output not deterministic")
+	}
+}

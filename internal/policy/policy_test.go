@@ -1,0 +1,238 @@
+package policy
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func spec(mean, horizon time.Duration) TraceSpec {
+	return TraceSpec{MeanInterarrival: mean, Horizon: horizon, Seed: 7}
+}
+
+func TestGenerateSortedWithinHorizon(t *testing.T) {
+	arr := Generate(spec(time.Minute, time.Hour))
+	if len(arr) == 0 {
+		t.Fatal("empty trace")
+	}
+	for i, a := range arr {
+		if a < 0 || a >= time.Hour+time.Second {
+			t.Fatalf("arrival %d = %v outside horizon", i, a)
+		}
+		if i > 0 && a < arr[i-1] {
+			t.Fatal("unsorted arrivals")
+		}
+	}
+	// Poisson with mean 1/min over an hour: roughly 60 arrivals.
+	if len(arr) < 30 || len(arr) > 120 {
+		t.Fatalf("arrivals = %d, want ≈60", len(arr))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(spec(time.Minute, time.Hour))
+	b := Generate(spec(time.Minute, time.Hour))
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic trace length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic arrivals")
+		}
+	}
+}
+
+func TestGenerateBursts(t *testing.T) {
+	s := spec(time.Minute, time.Hour)
+	s.BurstProb = 1.0
+	s.BurstSize = 8
+	arr := Generate(s)
+	if len(arr)%8 != 0 {
+		t.Fatalf("arrivals = %d, want multiple of burst size", len(arr))
+	}
+}
+
+func testCosts() Costs {
+	return Costs{
+		WarmStart:     0,
+		SnapshotStart: 70 * time.Millisecond,
+		ColdStart:     900 * time.Millisecond,
+		Exec:          100 * time.Millisecond,
+		WarmRSSBytes:  256 << 20,
+		SnapshotBytes: 120 << 20,
+	}
+}
+
+func TestFrequentFunctionStaysWarm(t *testing.T) {
+	arr := Generate(spec(30*time.Second, time.Hour))
+	res := Simulate(arr, Policy{KeepAlive: 15 * time.Minute, UseSnapshot: true}, testCosts(), time.Hour)
+	if res.Starts[ColdStart] != 1 {
+		t.Fatalf("cold starts = %d, want exactly the first", res.Starts[ColdStart])
+	}
+	if res.StartFraction(WarmStart) < 0.9 {
+		t.Fatalf("warm fraction = %v, want >= 0.9 for a frequent function", res.StartFraction(WarmStart))
+	}
+}
+
+func TestRareFunctionUsesSnapshots(t *testing.T) {
+	// Invoked every ~30 minutes with a 15-minute keep-alive: warm VMs
+	// always expire; snapshots absorb what would be cold starts.
+	arr := Generate(spec(30*time.Minute, 24*time.Hour))
+	withSnap := Simulate(arr, Policy{KeepAlive: 15 * time.Minute, UseSnapshot: true}, testCosts(), 24*time.Hour)
+	without := Simulate(arr, Policy{KeepAlive: 15 * time.Minute, UseSnapshot: false}, testCosts(), 24*time.Hour)
+	if withSnap.Starts[ColdStart] > 1 {
+		t.Fatalf("cold starts with snapshots = %d, want 1", withSnap.Starts[ColdStart])
+	}
+	if without.Starts[ColdStart] < len(arr)/2 {
+		t.Fatalf("cold starts without snapshots = %d of %d, want most", without.Starts[ColdStart], len(arr))
+	}
+	if withSnap.P95StartLatency >= without.P95StartLatency {
+		t.Fatalf("snapshot p95 (%v) not below cold p95 (%v)", withSnap.P95StartLatency, without.P95StartLatency)
+	}
+}
+
+func TestKeepAliveCostsMemory(t *testing.T) {
+	arr := Generate(spec(10*time.Minute, 24*time.Hour))
+	long := Simulate(arr, Policy{KeepAlive: 60 * time.Minute}, testCosts(), 24*time.Hour)
+	short := Simulate(arr, Policy{KeepAlive: time.Minute}, testCosts(), 24*time.Hour)
+	if long.WarmGBHours <= short.WarmGBHours {
+		t.Fatalf("longer keep-alive (%v GBh) not more memory than shorter (%v GBh)",
+			long.WarmGBHours, short.WarmGBHours)
+	}
+	if long.StartFraction(WarmStart) <= short.StartFraction(WarmStart) {
+		t.Fatal("longer keep-alive did not increase warm hits")
+	}
+}
+
+func TestSnapshotStorageAccounted(t *testing.T) {
+	arr := Generate(spec(time.Hour, 24*time.Hour))
+	res := Simulate(arr, Policy{KeepAlive: 15 * time.Minute, UseSnapshot: true}, testCosts(), 24*time.Hour)
+	if res.SnapshotGBHours <= 0 {
+		t.Fatal("no snapshot storage accounted")
+	}
+	// ~120 MB held for ~24h ≈ 2.8 GBh.
+	if res.SnapshotGBHours > 3.5 {
+		t.Fatalf("snapshot GBh = %v, too large", res.SnapshotGBHours)
+	}
+}
+
+func TestBurstGrowsPool(t *testing.T) {
+	s := spec(time.Minute, time.Hour)
+	s.BurstProb = 0.2
+	s.BurstSize = 16
+	arr := Generate(s)
+	res := Simulate(arr, Policy{KeepAlive: 15 * time.Minute, UseSnapshot: true}, testCosts(), time.Hour)
+	if res.MaxPoolSize < 16 {
+		t.Fatalf("max pool = %d, want >= burst size", res.MaxPoolSize)
+	}
+}
+
+func TestStartKindString(t *testing.T) {
+	if WarmStart.String() != "warm" || SnapshotStart.String() != "snapshot" || ColdStart.String() != "cold" {
+		t.Fatal("bad kind strings")
+	}
+}
+
+func TestSimulateInvariants(t *testing.T) {
+	// Property: starts sum to invocations; fractions in [0,1]; first
+	// invocation is never warm.
+	f := func(seed int64, meanMinutes uint8, keepMinutes uint8, useSnap bool) bool {
+		mean := time.Duration(meanMinutes%60+1) * time.Minute
+		s := TraceSpec{MeanInterarrival: mean, Horizon: 12 * time.Hour, Seed: seed}
+		arr := Generate(s)
+		if len(arr) == 0 {
+			return true
+		}
+		pol := Policy{KeepAlive: time.Duration(keepMinutes%90) * time.Minute, UseSnapshot: useSnap}
+		res := Simulate(arr, pol, testCosts(), 12*time.Hour)
+		if res.Invocations != len(arr) {
+			return false
+		}
+		if res.Starts[WarmStart]+res.Starts[SnapshotStart]+res.Starts[ColdStart] != res.Invocations {
+			return false
+		}
+		if res.Starts[ColdStart] < 1 {
+			return false // the very first start cannot be warm or snapshot
+		}
+		if !useSnap && res.Starts[SnapshotStart] != 0 {
+			return false
+		}
+		if res.WarmGBHours < 0 || res.SnapshotGBHours < 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroKeepAliveNeverWarm(t *testing.T) {
+	arr := Generate(spec(time.Minute, time.Hour))
+	res := Simulate(arr, Policy{KeepAlive: 0, UseSnapshot: true}, testCosts(), time.Hour)
+	if res.Starts[WarmStart] != 0 {
+		t.Fatalf("warm starts = %d with zero keep-alive", res.Starts[WarmStart])
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	arr := Generate(spec(time.Minute, time.Hour))
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, arr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(arr) {
+		t.Fatalf("round trip lost arrivals: %d vs %d", len(back), len(arr))
+	}
+	for i := range arr {
+		diff := back[i] - arr[i]
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > time.Millisecond {
+			t.Fatalf("arrival %d drifted: %v vs %v", i, back[i], arr[i])
+		}
+	}
+}
+
+func TestParseTraceFormat(t *testing.T) {
+	in := "# header\n\n100\n50.5\n  200  \n"
+	arr, err := ParseTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Arrivals{50500 * time.Microsecond, 100 * time.Millisecond, 200 * time.Millisecond}
+	if len(arr) != 3 {
+		t.Fatalf("arrivals = %v", arr)
+	}
+	for i := range want {
+		if arr[i] != want[i] {
+			t.Fatalf("arrivals = %v, want %v (sorted)", arr, want)
+		}
+	}
+}
+
+func TestParseTraceRejectsGarbage(t *testing.T) {
+	for _, in := range []string{"abc\n", "-5\n", "1e999\n"} {
+		if _, err := ParseTrace(strings.NewReader(in)); err == nil {
+			t.Errorf("accepted %q", in)
+		}
+	}
+}
+
+func TestParsedTraceDrivesSimulation(t *testing.T) {
+	arr, err := ParseTrace(strings.NewReader("0\n60000\n120000\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Simulate(arr, Policy{KeepAlive: 10 * time.Minute}, testCosts(), time.Hour)
+	if res.Invocations != 3 || res.Starts[WarmStart] != 2 {
+		t.Fatalf("result = %+v", res)
+	}
+}

@@ -1,0 +1,51 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkEventThroughput measures raw scheduler throughput: how many
+// timer events per second the DES kernel can process.
+func BenchmarkEventThroughput(b *testing.B) {
+	e := NewEnv(1)
+	e.Go("p", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(time.Microsecond)
+		}
+	})
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkProcessChurn measures spawn/join cost.
+func BenchmarkProcessChurn(b *testing.B) {
+	e := NewEnv(1)
+	e.Go("parent", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			child := e.Go("child", func(c *Proc) { c.Sleep(time.Nanosecond) })
+			p.Join(child)
+		}
+	})
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkResourceContention measures FIFO-resource handoff with 8
+// competing processes.
+func BenchmarkResourceContention(b *testing.B) {
+	e := NewEnv(1)
+	r := NewResource(e, 1)
+	per := b.N/8 + 1
+	for i := 0; i < 8; i++ {
+		e.Go("u", func(p *Proc) {
+			for j := 0; j < per; j++ {
+				r.Acquire(p)
+				p.Sleep(time.Nanosecond)
+				r.Release()
+			}
+		})
+	}
+	b.ResetTimer()
+	e.Run()
+}

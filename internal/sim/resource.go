@@ -1,0 +1,95 @@
+package sim
+
+// Resource is a counting resource with FIFO admission, in the style of
+// a bounded queue: Acquire blocks the calling process until one of the
+// capacity slots is free, and waiters are granted slots in arrival
+// order. It models device queue depths, locks (capacity 1), and other
+// bounded-concurrency points.
+type Resource struct {
+	env   *Env
+	cap   int
+	inUse int
+	queue []*waiter
+}
+
+// NewResource returns a resource with the given capacity (> 0).
+func NewResource(env *Env, capacity int) *Resource {
+	if capacity <= 0 {
+		panic("sim: resource capacity must be positive")
+	}
+	return &Resource{env: env, cap: capacity}
+}
+
+// Cap returns the resource capacity.
+func (r *Resource) Cap() int { return r.cap }
+
+// InUse returns the number of slots currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// Queued returns the number of processes waiting for a slot.
+func (r *Resource) Queued() int {
+	n := 0
+	for _, w := range r.queue {
+		if !w.delivered {
+			n++
+		}
+	}
+	return n
+}
+
+// TryAcquire takes a slot if one is free without blocking and reports
+// whether it succeeded.
+func (r *Resource) TryAcquire() bool {
+	if r.inUse < r.cap && len(r.queue) == 0 {
+		r.inUse++
+		return true
+	}
+	return false
+}
+
+// Acquire blocks p until a slot is available and takes it.
+func (r *Resource) Acquire(p *Proc) {
+	if r.inUse < r.cap && len(r.queue) == 0 {
+		r.inUse++
+		return
+	}
+	w := &waiter{proc: p, kind: wakeSignal}
+	r.queue = append(r.queue, w)
+	p.park()
+	// The releasing process transferred its slot to us; inUse already
+	// accounts for it.
+}
+
+// Release returns a slot. If processes are queued, the slot is handed
+// directly to the oldest waiter.
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic("sim: Release without Acquire")
+	}
+	for len(r.queue) > 0 {
+		w := r.queue[0]
+		r.queue = r.queue[1:]
+		if w.delivered {
+			continue
+		}
+		// Hand the slot to the waiter: inUse stays the same.
+		r.env.post(w, r.env.now, wakeSignal)
+		return
+	}
+	r.inUse--
+}
+
+// Mutex is a convenience wrapper for a capacity-1 resource.
+type Mutex struct{ r *Resource }
+
+// NewMutex returns an unlocked mutex in env.
+func NewMutex(env *Env) *Mutex { return &Mutex{r: NewResource(env, 1)} }
+
+// Lock blocks p until the mutex is held.
+func (m *Mutex) Lock(p *Proc) { m.r.Acquire(p) }
+
+// Unlock releases the mutex.
+func (m *Mutex) Unlock() { m.r.Release() }
+
+// TryLock takes the mutex if free and reports whether it succeeded.
+func (m *Mutex) TryLock() bool { return m.r.TryAcquire() }

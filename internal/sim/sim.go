@@ -1,0 +1,320 @@
+// Package sim provides a deterministic, goroutine-based discrete-event
+// simulation kernel. It is the substrate under every timing-sensitive
+// component of the FaaSnap reproduction: block devices, the host page
+// cache, page-fault handling, vCPUs, and the FaaSnap loader all run as
+// sim processes against a virtual clock.
+//
+// The kernel follows the classic process-interaction style (as in SimPy):
+// each process is a goroutine, but exactly one goroutine runs at a time
+// and control transfers only through the scheduler, so a simulation is
+// fully deterministic. Ties in event time are broken by a monotonically
+// increasing sequence number.
+//
+// Virtual time is represented as time.Duration since the start of the
+// run; no real time passes while a simulation executes.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a point in virtual time, expressed as the duration since the
+// beginning of the simulation run.
+type Time = time.Duration
+
+// waitKind identifies what woke a parked process.
+type waitKind int
+
+const (
+	wakeTimer waitKind = iota
+	wakeSignal
+	wakeStart
+	wakeKill
+)
+
+// waiter is a single-delivery wake token. A parked process may be
+// referenced by several pending events (for example a timeout and a
+// condition broadcast); the first event to be popped delivers the wake
+// and the rest become no-ops.
+type waiter struct {
+	proc      *Proc
+	delivered bool
+	kind      waitKind
+}
+
+// event is a scheduled wake-up in the event heap.
+type event struct {
+	at   Time
+	seq  uint64
+	w    *waiter
+	kind waitKind
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Env is a simulation environment: a virtual clock, an event queue, and
+// the set of processes created in it. An Env must not be shared between
+// concurrently executing simulations.
+type Env struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+	yield  chan struct{}
+	procs  []*Proc
+	rng    *rand.Rand
+	failed interface{} // panic value captured from a process
+	inRun  bool
+}
+
+// NewEnv returns a fresh environment whose random source is seeded with
+// seed, making every run reproducible.
+func NewEnv(seed int64) *Env {
+	return &Env{
+		yield: make(chan struct{}),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() Time { return e.now }
+
+// Rand returns the environment's deterministic random source. It must
+// only be used from the currently running process or before Run.
+func (e *Env) Rand() *rand.Rand { return e.rng }
+
+func (e *Env) post(w *waiter, at Time, kind waitKind) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: at, seq: e.seq, w: w, kind: kind})
+}
+
+// Proc is a simulation process. All methods that advance virtual time
+// (Sleep, waits on events and resources) must be called from the
+// process's own goroutine.
+type Proc struct {
+	env      *Env
+	name     string
+	resume   chan waitKind
+	done     bool
+	killed   bool
+	finished *Event
+}
+
+// Name returns the process name given to Go.
+func (p *Proc) Name() string { return p.name }
+
+// Env returns the environment the process belongs to.
+func (p *Proc) Env() *Env { return p.env }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.env.now }
+
+// errKilled is panicked inside process goroutines that are still parked
+// when the environment shuts down; the run wrapper swallows it.
+type errKilled struct{}
+
+// Go creates a new process running fn. It may be called before Run or
+// from a running process; the new process starts at the current virtual
+// time (after the caller yields).
+func (e *Env) Go(name string, fn func(*Proc)) *Proc {
+	p := &Proc{
+		env:      e,
+		name:     name,
+		resume:   make(chan waitKind),
+		finished: NewEvent(e),
+	}
+	e.procs = append(e.procs, p)
+	w := &waiter{proc: p, kind: wakeStart}
+	e.post(w, e.now, wakeStart)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(errKilled); ok {
+					// Parked process killed at shutdown: exit without
+					// touching the scheduler (Close resumes us and does
+					// not expect a yield).
+					close(p.resume)
+					return
+				}
+				p.env.failed = fmt.Sprintf("sim: process %q panicked: %v", p.name, r)
+			}
+			p.done = true
+			p.finished.Fire()
+			e.yield <- struct{}{}
+		}()
+		k := <-p.resume
+		if k == wakeKill {
+			panic(errKilled{})
+		}
+		fn(p)
+	}()
+	return p
+}
+
+// park blocks the calling process until one of its registered wake
+// events fires, and reports which kind fired.
+func (p *Proc) park() waitKind {
+	p.env.yield <- struct{}{}
+	k := <-p.resume
+	if k == wakeKill {
+		panic(errKilled{})
+	}
+	return k
+}
+
+// Sleep advances the process by d of virtual time.
+func (p *Proc) Sleep(d time.Duration) {
+	if d <= 0 {
+		// Even a zero-length sleep is a scheduling point, giving other
+		// processes scheduled at the same instant a chance to run first.
+		d = 0
+	}
+	w := &waiter{proc: p, kind: wakeTimer}
+	p.env.post(w, p.env.now+d, wakeTimer)
+	p.park()
+}
+
+// Join blocks until other has finished.
+func (p *Proc) Join(other *Proc) {
+	other.finished.Wait(p)
+}
+
+// Run executes the simulation until the event queue drains, then kills
+// any processes still parked (for example daemon loops waiting on
+// conditions) so no goroutines leak. It panics if any process panicked.
+func (e *Env) Run() {
+	if e.inRun {
+		panic("sim: Run called reentrantly")
+	}
+	e.inRun = true
+	defer func() { e.inRun = false }()
+	for e.events.Len() > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.w.delivered || ev.w.proc.done {
+			continue
+		}
+		ev.w.delivered = true
+		if ev.at > e.now {
+			e.now = ev.at
+		}
+		ev.w.proc.resume <- ev.kind
+		<-e.yield
+		if e.failed != nil {
+			e.close()
+			panic(e.failed)
+		}
+	}
+	e.close()
+}
+
+// close kills all parked processes so their goroutines exit.
+func (e *Env) close() {
+	for _, p := range e.procs {
+		if !p.done && !p.killed {
+			p.killed = true
+			p.resume <- wakeKill
+			<-p.resume // closed by the wrapper on exit
+			p.done = true
+		}
+	}
+}
+
+// Event is a one-shot completion event. Waiting on a fired event
+// returns immediately; firing an event wakes every waiter.
+type Event struct {
+	env     *Env
+	fired   bool
+	waiters []*waiter
+}
+
+// NewEvent returns an unfired event in env.
+func NewEvent(env *Env) *Event { return &Event{env: env} }
+
+// Fired reports whether Fire has been called.
+func (ev *Event) Fired() bool { return ev.fired }
+
+// Fire marks the event complete and wakes all waiters. Firing twice is
+// a no-op.
+func (ev *Event) Fire() {
+	if ev.fired {
+		return
+	}
+	ev.fired = true
+	for _, w := range ev.waiters {
+		if !w.delivered {
+			ev.env.post(w, ev.env.now, wakeSignal)
+		}
+	}
+	ev.waiters = nil
+}
+
+// Wait blocks p until the event fires.
+func (ev *Event) Wait(p *Proc) {
+	if ev.fired {
+		return
+	}
+	w := &waiter{proc: p, kind: wakeSignal}
+	ev.waiters = append(ev.waiters, w)
+	p.park()
+}
+
+// Cond is a pulse condition: Broadcast wakes all currently parked
+// waiters; there is no memory of past broadcasts.
+type Cond struct {
+	env     *Env
+	waiters []*waiter
+}
+
+// NewCond returns a condition in env.
+func NewCond(env *Env) *Cond { return &Cond{env: env} }
+
+// Broadcast wakes every process currently waiting on the condition.
+func (c *Cond) Broadcast() {
+	for _, w := range c.waiters {
+		if !w.delivered {
+			c.env.post(w, c.env.now, wakeSignal)
+		}
+	}
+	c.waiters = nil
+}
+
+// Wait parks p until the next Broadcast.
+func (c *Cond) Wait(p *Proc) {
+	w := &waiter{proc: p}
+	c.waiters = append(c.waiters, w)
+	p.park()
+}
+
+// WaitTimeout parks p until the next Broadcast or until d elapses,
+// whichever happens first. It reports whether the condition was
+// signalled (false means the timeout fired).
+func (c *Cond) WaitTimeout(p *Proc, d time.Duration) bool {
+	w := &waiter{proc: p}
+	c.waiters = append(c.waiters, w)
+	p.env.post(w, p.env.now+d, wakeTimer)
+	k := p.park()
+	return k == wakeSignal
+}

@@ -1,0 +1,39 @@
+package snapfile
+
+import (
+	"bytes"
+	"testing"
+
+	"faasnap/internal/core"
+	"faasnap/internal/workload"
+)
+
+// FuzzRead feeds arbitrary bytes to the snapfile reader: it must never
+// panic and never allocate absurdly (the length guards must hold).
+func FuzzRead(f *testing.F) {
+	// Seed with a valid file and simple corruptions of it.
+	fn, err := workload.ByName("hello-world")
+	if err != nil {
+		f.Fatal(err)
+	}
+	arts, _ := core.Record(core.DefaultHostConfig(), fn, fn.A)
+	var buf bytes.Buffer
+	if err := Write(&buf, arts); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("FSNP"))
+	f.Add([]byte{})
+	flip := append([]byte(nil), valid...)
+	flip[10] ^= 0xff
+	f.Add(flip)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Read(bytes.NewReader(data))
+		if err == nil && got == nil {
+			t.Fatal("nil artifacts without error")
+		}
+	})
+}

@@ -1,0 +1,360 @@
+// Package snapfile serializes snapshot artifacts (memory-file page
+// map, allocator state, working sets, loading sets) to a versioned,
+// checksummed binary format. The FaaSnap daemon persists one snapfile
+// per recorded function so deployments survive restarts, playing the
+// role of the snapshot/working-set files the paper's daemon keeps on
+// local or remote storage.
+//
+// Layout (little endian): magic "FSNP", u32 version, sections, and a
+// trailing CRC-32 (IEEE) of everything before it.
+package snapfile
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"faasnap/internal/core"
+	"faasnap/internal/guest"
+	"faasnap/internal/snapshot"
+	"faasnap/internal/workingset"
+	"faasnap/internal/workload"
+)
+
+const (
+	magic   = "FSNP"
+	version = 1
+	// maxSliceLen guards against corrupt length fields.
+	maxSliceLen = 1 << 28
+)
+
+type cw struct {
+	w   io.Writer
+	crc uint32
+	err error
+}
+
+func (c *cw) write(p []byte) {
+	if c.err != nil {
+		return
+	}
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p)
+	_, c.err = c.w.Write(p)
+}
+
+func (c *cw) u64(v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	c.write(buf[:])
+}
+
+func (c *cw) i64(v int64) { c.u64(uint64(v)) }
+
+func (c *cw) str(s string) {
+	c.i64(int64(len(s)))
+	c.write([]byte(s))
+}
+
+func (c *cw) i64s(vs []int64) {
+	c.i64(int64(len(vs)))
+	buf := make([]byte, 8*len(vs))
+	for i, v := range vs {
+		binary.LittleEndian.PutUint64(buf[i*8:], uint64(v))
+	}
+	c.write(buf)
+}
+
+type cr struct {
+	r   io.Reader
+	crc uint32
+	err error
+}
+
+func (c *cr) read(p []byte) {
+	if c.err != nil {
+		return
+	}
+	if _, err := io.ReadFull(c.r, p); err != nil {
+		c.err = err
+		return
+	}
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p)
+}
+
+func (c *cr) u64() uint64 {
+	var buf [8]byte
+	c.read(buf[:])
+	return binary.LittleEndian.Uint64(buf[:])
+}
+
+func (c *cr) i64() int64 { return int64(c.u64()) }
+
+func (c *cr) str() string {
+	n := c.i64()
+	if c.err != nil || n < 0 || n > maxSliceLen {
+		c.fail("bad string length %d", n)
+		return ""
+	}
+	buf := make([]byte, n)
+	c.read(buf)
+	return string(buf)
+}
+
+func (c *cr) i64s() []int64 {
+	n := c.i64()
+	if c.err != nil || n < 0 || n > maxSliceLen {
+		c.fail("bad slice length %d", n)
+		return nil
+	}
+	buf := make([]byte, 8*n)
+	c.read(buf)
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(buf[i*8:]))
+	}
+	return out
+}
+
+func (c *cr) fail(format string, args ...interface{}) {
+	if c.err == nil {
+		c.err = fmt.Errorf("snapfile: "+format, args...)
+	}
+}
+
+func writeRegions(w *cw, regions []snapshot.Region) {
+	w.i64(int64(len(regions)))
+	for _, r := range regions {
+		w.i64(r.Start)
+		w.i64(r.Len)
+		if r.Zero {
+			w.i64(1)
+		} else {
+			w.i64(0)
+		}
+		w.i64(int64(r.Group))
+	}
+}
+
+func readRegions(r *cr) []snapshot.Region {
+	n := r.i64()
+	if r.err != nil || n < 0 || n > maxSliceLen {
+		r.fail("bad region count %d", n)
+		return nil
+	}
+	out := make([]snapshot.Region, n)
+	for i := range out {
+		out[i].Start = r.i64()
+		out[i].Len = r.i64()
+		out[i].Zero = r.i64() != 0
+		out[i].Group = int(r.i64())
+	}
+	return out
+}
+
+func writeLoadingSet(w *cw, ls *workingset.LoadingSet) {
+	writeRegions(w, ls.Regions)
+	w.i64s(ls.Offsets)
+	w.i64(ls.Total)
+}
+
+func readLoadingSet(r *cr) *workingset.LoadingSet {
+	ls := &workingset.LoadingSet{
+		Regions: readRegions(r),
+		Offsets: r.i64s(),
+		Total:   r.i64(),
+	}
+	if r.err == nil && len(ls.Regions) != len(ls.Offsets) {
+		r.fail("loading set regions/offsets mismatch: %d vs %d", len(ls.Regions), len(ls.Offsets))
+	}
+	return ls
+}
+
+func writeInput(w *cw, in workload.Input) {
+	w.str(in.Name)
+	w.i64(in.Bytes)
+	w.i64(in.Seed)
+	w.i64(in.DataPages)
+}
+
+func readInput(r *cr) workload.Input {
+	return workload.Input{
+		Name:      r.str(),
+		Bytes:     r.i64(),
+		Seed:      r.i64(),
+		DataPages: r.i64(),
+	}
+}
+
+// Write serializes arts to w.
+func Write(w io.Writer, arts *core.Artifacts) error {
+	bw := bufio.NewWriter(w)
+	c := &cw{w: bw}
+	c.write([]byte(magic))
+	c.u64(version)
+	c.str(arts.Fn.Name)
+	// Custom functions embed their defining config so they survive
+	// restarts; catalog functions resolve by name.
+	var origin string
+	if arts.Fn.Origin != nil {
+		raw, err := json.Marshal(arts.Fn.Origin)
+		if err != nil {
+			return fmt.Errorf("snapfile: encode custom spec: %w", err)
+		}
+		origin = string(raw)
+	}
+	c.str(origin)
+	writeInput(c, arts.RecordInput)
+
+	// Memory file: page count plus non-zero page list (usually much
+	// smaller than the raw bitmap).
+	c.i64(arts.Mem.Pages)
+	var nz []int64
+	for _, reg := range arts.Mem.NonZeroRegions() {
+		for p := reg.Start; p < reg.End(); p++ {
+			nz = append(nz, p)
+		}
+	}
+	c.i64s(nz)
+
+	c.i64s(arts.Alloc.Free)
+	c.i64(arts.Alloc.Next)
+
+	c.i64(int64(len(arts.WS.Groups)))
+	for _, g := range arts.WS.Groups {
+		c.i64s(g)
+	}
+
+	writeLoadingSet(c, arts.LS)
+	writeLoadingSet(c, arts.LSUnmerged)
+	c.i64s(arts.ReapWS.Pages)
+
+	// Trailing checksum (not included in its own computation).
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], c.crc)
+	if c.err == nil {
+		_, c.err = bw.Write(buf[:])
+	}
+	if c.err != nil {
+		return fmt.Errorf("snapfile: write: %w", c.err)
+	}
+	return bw.Flush()
+}
+
+// Read deserializes artifacts from r, resolving the function model
+// from the workload catalog and verifying the checksum.
+func Read(r io.Reader) (*core.Artifacts, error) {
+	c := &cr{r: bufio.NewReader(r)}
+	var m [4]byte
+	c.read(m[:])
+	if c.err == nil && string(m[:]) != magic {
+		return nil, fmt.Errorf("snapfile: bad magic %q", m)
+	}
+	if v := c.u64(); c.err == nil && v != version {
+		return nil, fmt.Errorf("snapfile: unsupported version %d", v)
+	}
+	fnName := c.str()
+	origin := c.str()
+	in := readInput(c)
+
+	pages := c.i64()
+	if c.err != nil || pages <= 0 || pages > maxSliceLen {
+		c.fail("bad page count %d", pages)
+	}
+	var mem *snapshot.MemoryFile
+	if c.err == nil {
+		mem = snapshot.NewMemoryFile(pages)
+	}
+	for _, p := range c.i64s() {
+		if c.err != nil {
+			break
+		}
+		if p < 0 || p >= pages {
+			c.fail("non-zero page %d out of range", p)
+			break
+		}
+		mem.SetZero(p, false)
+	}
+
+	alloc := guest.AllocState{Free: c.i64s(), Next: c.i64()}
+
+	ws := &workingset.WorkingSet{}
+	ngroups := c.i64()
+	if c.err == nil && (ngroups < 0 || ngroups > maxSliceLen) {
+		c.fail("bad group count %d", ngroups)
+	}
+	for i := int64(0); i < ngroups && c.err == nil; i++ {
+		ws.Groups = append(ws.Groups, c.i64s())
+	}
+
+	ls := readLoadingSet(c)
+	lsu := readLoadingSet(c)
+	reapPages := c.i64s()
+
+	wantCRC := c.crc
+	var tail [4]byte
+	if c.err == nil {
+		if _, err := io.ReadFull(c.r, tail[:]); err != nil {
+			c.err = err
+		}
+	}
+	if c.err != nil {
+		return nil, fmt.Errorf("snapfile: read: %w", c.err)
+	}
+	if got := binary.LittleEndian.Uint32(tail[:]); got != wantCRC {
+		return nil, fmt.Errorf("snapfile: checksum mismatch: file %08x, computed %08x", got, wantCRC)
+	}
+
+	fn, err := workload.ByName(fnName)
+	if err != nil {
+		if origin == "" {
+			return nil, fmt.Errorf("snapfile: %w", err)
+		}
+		fn, err = workload.ParseSpec([]byte(origin))
+		if err != nil {
+			return nil, fmt.Errorf("snapfile: custom spec: %w", err)
+		}
+	}
+	return &core.Artifacts{
+		Fn:          fn,
+		RecordInput: in,
+		Mem:         mem,
+		Alloc:       alloc,
+		WS:          ws,
+		LS:          ls,
+		LSUnmerged:  lsu,
+		ReapWS:      workingset.NewWSFile(reapPages),
+	}, nil
+}
+
+// Save writes arts to path atomically (via a temp file rename).
+func Save(path string, arts *core.Artifacts) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, arts); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Load reads artifacts from path.
+func Load(path string) (*core.Artifacts, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

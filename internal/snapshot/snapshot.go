@@ -1,0 +1,214 @@
+// Package snapshot models Firecracker snapshot artifacts: the VM state
+// file (device and vCPU state) and the guest memory file, which is a
+// page-granular copy of guest physical memory. The memory file tracks
+// which pages are zero — the property FaaSnap's per-region memory
+// mapping exploits to turn guest anonymous-page faults into host
+// anonymous faults instead of disk reads (§4.5).
+package snapshot
+
+import (
+	"fmt"
+
+	"faasnap/internal/pagecache"
+)
+
+// PageSize re-exports the page size for convenience.
+const PageSize = pagecache.PageSize
+
+// MemoryFile is the page map of a snapshot's guest memory file.
+type MemoryFile struct {
+	Pages int64
+	zero  []uint64 // bitset: 1 = page is all zeroes
+	nzero int64
+
+	// Backing is the page-cache handle once the file has been placed
+	// on a device; nil for files not yet materialized.
+	Backing *pagecache.File
+}
+
+// NewMemoryFile returns a memory file of the given page count with
+// every page zero (fresh guest memory).
+func NewMemoryFile(pages int64) *MemoryFile {
+	if pages <= 0 {
+		panic("snapshot: memory file must have pages")
+	}
+	m := &MemoryFile{
+		Pages: pages,
+		zero:  make([]uint64, (pages+63)/64),
+	}
+	for i := range m.zero {
+		m.zero[i] = ^uint64(0)
+	}
+	m.nzero = pages
+	return m
+}
+
+func (m *MemoryFile) check(page int64) {
+	if page < 0 || page >= m.Pages {
+		panic(fmt.Sprintf("snapshot: page %d outside memory file of %d pages", page, m.Pages))
+	}
+}
+
+// IsZero reports whether page is all zeroes.
+func (m *MemoryFile) IsZero(page int64) bool {
+	m.check(page)
+	return m.zero[page/64]&(1<<(uint(page)%64)) != 0
+}
+
+// SetZero marks page as zero or non-zero.
+func (m *MemoryFile) SetZero(page int64, z bool) {
+	m.check(page)
+	w := &m.zero[page/64]
+	bit := uint64(1) << (uint(page) % 64)
+	was := *w&bit != 0
+	if was == z {
+		return
+	}
+	if z {
+		*w |= bit
+		m.nzero++
+	} else {
+		*w &^= bit
+		m.nzero--
+	}
+}
+
+// ZeroPages returns the number of zero pages.
+func (m *MemoryFile) ZeroPages() int64 { return m.nzero }
+
+// NonZeroPages returns the number of non-zero pages.
+func (m *MemoryFile) NonZeroPages() int64 { return m.Pages - m.nzero }
+
+// SparseBytes returns the on-disk size when stored as a sparse file
+// (zero pages occupy no blocks), per the paper's §7.2 storage-cost
+// discussion.
+func (m *MemoryFile) SparseBytes() int64 { return m.NonZeroPages() * PageSize }
+
+// Clone returns a deep copy of the page map (the new snapshot taken
+// after the record-phase invocation).
+func (m *MemoryFile) Clone() *MemoryFile {
+	n := &MemoryFile{
+		Pages: m.Pages,
+		zero:  append([]uint64(nil), m.zero...),
+		nzero: m.nzero,
+	}
+	return n
+}
+
+// Region is a run of consecutive guest pages of one kind.
+type Region struct {
+	Start int64 // first page
+	Len   int64 // page count
+	Zero  bool  // all pages zero
+	Group int   // working-set group (lowest group of any page), -1 if none
+}
+
+// End returns the first page after the region.
+func (r Region) End() int64 { return r.Start + r.Len }
+
+// ScanRegions walks the memory file and merges consecutive pages of
+// the same zero/non-zero kind into regions, as the FaaSnap daemon does
+// after the record phase ("FaaSnap scans the guest memory file, merging
+// consecutive zero pages into zero regions and non-zero pages into
+// non-zero regions", §4.5).
+func (m *MemoryFile) ScanRegions() []Region {
+	var out []Region
+	var cur Region
+	cur.Group = -1
+	for p := int64(0); p < m.Pages; p++ {
+		z := m.IsZero(p)
+		if cur.Len > 0 && cur.Zero == z {
+			cur.Len++
+			continue
+		}
+		if cur.Len > 0 {
+			out = append(out, cur)
+		}
+		cur = Region{Start: p, Len: 1, Zero: z, Group: -1}
+	}
+	if cur.Len > 0 {
+		out = append(out, cur)
+	}
+	return out
+}
+
+// NonZeroRegions returns only the non-zero regions of the file.
+func (m *MemoryFile) NonZeroRegions() []Region {
+	all := m.ScanRegions()
+	out := all[:0]
+	for _, r := range all {
+		if !r.Zero {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// MergeRegions merges regions whose gaps are at most maxGap pages,
+// extending coverage over the in-between pages. The paper uses a
+// 32-page threshold to cut the number of loading-set mappings from
+// >1000 to <100 for hello-world while adding ~5% extra data (§4.6).
+// The input must be sorted by Start and non-overlapping. The merged
+// region keeps the lowest (non-negative) group number of its parts.
+func MergeRegions(regions []Region, maxGap int64) []Region {
+	if len(regions) == 0 {
+		return nil
+	}
+	out := make([]Region, 0, len(regions))
+	cur := regions[0]
+	for _, r := range regions[1:] {
+		if r.Start < cur.End() {
+			panic("snapshot: MergeRegions input overlaps or is unsorted")
+		}
+		if r.Start-cur.End() <= maxGap {
+			cur.Len = r.End() - cur.Start
+			cur.Group = minGroup(cur.Group, r.Group)
+			continue
+		}
+		out = append(out, cur)
+		cur = r
+	}
+	return append(out, cur)
+}
+
+func minGroup(a, b int) int {
+	switch {
+	case a < 0:
+		return b
+	case b < 0:
+		return a
+	case a < b:
+		return a
+	default:
+		return b
+	}
+}
+
+// TotalPages sums the page counts of regions.
+func TotalPages(regions []Region) int64 {
+	var n int64
+	for _, r := range regions {
+		n += r.Len
+	}
+	return n
+}
+
+// VMState is the non-memory part of a snapshot: virtual device and
+// vCPU state. Its size is small and restoring it takes milliseconds.
+type VMState struct {
+	Bytes int64
+}
+
+// NewVMState returns a VM state blob of a typical size.
+func NewVMState() VMState { return VMState{Bytes: 128 * 1024} }
+
+// Snapshot bundles the artifacts of one snapshot of one function VM.
+type Snapshot struct {
+	ID       string
+	Function string
+	Mem      *MemoryFile
+	State    VMState
+	// Generation increments every time a new snapshot replaces this
+	// function's previous one.
+	Generation int
+}

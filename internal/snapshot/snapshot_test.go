@@ -1,0 +1,227 @@
+package snapshot
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewMemoryFileAllZero(t *testing.T) {
+	m := NewMemoryFile(1000)
+	if m.ZeroPages() != 1000 || m.NonZeroPages() != 0 {
+		t.Fatalf("zero=%d nonzero=%d", m.ZeroPages(), m.NonZeroPages())
+	}
+	if m.SparseBytes() != 0 {
+		t.Fatalf("SparseBytes = %d, want 0", m.SparseBytes())
+	}
+}
+
+func TestSetZeroAccounting(t *testing.T) {
+	m := NewMemoryFile(100)
+	m.SetZero(10, false)
+	m.SetZero(11, false)
+	m.SetZero(10, false) // idempotent
+	if m.NonZeroPages() != 2 {
+		t.Fatalf("nonzero = %d, want 2", m.NonZeroPages())
+	}
+	m.SetZero(10, true)
+	if m.NonZeroPages() != 1 || m.IsZero(11) {
+		t.Fatalf("nonzero = %d, IsZero(11)=%v", m.NonZeroPages(), m.IsZero(11))
+	}
+	if m.SparseBytes() != PageSize {
+		t.Fatalf("SparseBytes = %d", m.SparseBytes())
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	m := NewMemoryFile(64)
+	m.SetZero(5, false)
+	c := m.Clone()
+	c.SetZero(6, false)
+	if m.NonZeroPages() != 1 || c.NonZeroPages() != 2 {
+		t.Fatalf("m=%d c=%d", m.NonZeroPages(), c.NonZeroPages())
+	}
+}
+
+func TestScanRegions(t *testing.T) {
+	m := NewMemoryFile(16)
+	for _, p := range []int64{3, 4, 5, 9} {
+		m.SetZero(p, false)
+	}
+	rs := m.ScanRegions()
+	want := []Region{
+		{Start: 0, Len: 3, Zero: true, Group: -1},
+		{Start: 3, Len: 3, Zero: false, Group: -1},
+		{Start: 6, Len: 3, Zero: true, Group: -1},
+		{Start: 9, Len: 1, Zero: false, Group: -1},
+		{Start: 10, Len: 6, Zero: true, Group: -1},
+	}
+	if len(rs) != len(want) {
+		t.Fatalf("regions = %+v, want %+v", rs, want)
+	}
+	for i := range want {
+		if rs[i] != want[i] {
+			t.Fatalf("region %d = %+v, want %+v", i, rs[i], want[i])
+		}
+	}
+}
+
+func TestNonZeroRegions(t *testing.T) {
+	m := NewMemoryFile(16)
+	m.SetZero(0, false)
+	m.SetZero(15, false)
+	rs := m.NonZeroRegions()
+	if len(rs) != 2 || rs[0].Start != 0 || rs[1].Start != 15 {
+		t.Fatalf("regions = %+v", rs)
+	}
+}
+
+func TestScanRegionsCoversWholeFile(t *testing.T) {
+	m := NewMemoryFile(4096)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		m.SetZero(int64(rng.Intn(4096)), false)
+	}
+	rs := m.ScanRegions()
+	if TotalPages(rs) != 4096 {
+		t.Fatalf("regions cover %d pages, want 4096", TotalPages(rs))
+	}
+	// Regions must alternate and be contiguous.
+	for i := 1; i < len(rs); i++ {
+		if rs[i].Start != rs[i-1].End() {
+			t.Fatalf("gap between regions %d and %d", i-1, i)
+		}
+		if rs[i].Zero == rs[i-1].Zero {
+			t.Fatalf("adjacent regions %d and %d have same kind", i-1, i)
+		}
+	}
+}
+
+func TestMergeRegionsGap(t *testing.T) {
+	in := []Region{
+		{Start: 0, Len: 10, Group: 2},
+		{Start: 20, Len: 5, Group: 1},  // gap 10 <= 32: merge
+		{Start: 100, Len: 5, Group: 3}, // gap 75 > 32: separate
+	}
+	out := MergeRegions(in, 32)
+	if len(out) != 2 {
+		t.Fatalf("merged = %+v", out)
+	}
+	if out[0].Start != 0 || out[0].Len != 25 || out[0].Group != 1 {
+		t.Fatalf("first merged region = %+v", out[0])
+	}
+	if out[1].Start != 100 || out[1].Len != 5 || out[1].Group != 3 {
+		t.Fatalf("second region = %+v", out[1])
+	}
+}
+
+func TestMergeRegionsGroupPropagation(t *testing.T) {
+	in := []Region{
+		{Start: 0, Len: 1, Group: -1},
+		{Start: 2, Len: 1, Group: 4},
+	}
+	out := MergeRegions(in, 32)
+	if len(out) != 1 || out[0].Group != 4 {
+		t.Fatalf("merged = %+v, want single region with group 4", out)
+	}
+}
+
+func TestMergeRegionsEmpty(t *testing.T) {
+	if MergeRegions(nil, 32) != nil {
+		t.Fatal("merge of nil not nil")
+	}
+}
+
+func TestMergeRegionsReducesCountProperty(t *testing.T) {
+	// Property: merging never increases region count, never loses
+	// coverage of input pages, and output is sorted/non-overlapping.
+	f := func(seed int64, gapSmall bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var in []Region
+		pos := int64(0)
+		for i := 0; i < 50; i++ {
+			pos += int64(rng.Intn(64)) + 1 // gap >= 1
+			l := int64(rng.Intn(16)) + 1
+			in = append(in, Region{Start: pos, Len: l, Group: rng.Intn(8)})
+			pos += l
+		}
+		maxGap := int64(4)
+		if gapSmall {
+			maxGap = 32
+		}
+		out := MergeRegions(in, maxGap)
+		if len(out) > len(in) {
+			return false
+		}
+		if TotalPages(out) < TotalPages(in) {
+			return false
+		}
+		for i := 1; i < len(out); i++ {
+			if out[i].Start < out[i-1].End() {
+				return false
+			}
+			if out[i].Start-out[i-1].End() <= maxGap {
+				return false // should have been merged
+			}
+		}
+		// Every input page must be covered by some output region.
+		for _, r := range in {
+			covered := false
+			for _, o := range out {
+				if r.Start >= o.Start && r.End() <= o.End() {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeRegionsPanicsOnOverlap(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MergeRegions([]Region{{Start: 0, Len: 10}, {Start: 5, Len: 10}}, 0)
+}
+
+func TestVMState(t *testing.T) {
+	s := NewVMState()
+	if s.Bytes <= 0 {
+		t.Fatal("VM state has no size")
+	}
+}
+
+func TestZeroScanProperty(t *testing.T) {
+	// Property: for any set of non-zero pages, ScanRegions classifies
+	// every page correctly.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := NewMemoryFile(512)
+		want := make(map[int64]bool)
+		for i := 0; i < 100; i++ {
+			p := int64(rng.Intn(512))
+			m.SetZero(p, false)
+			want[p] = true
+		}
+		for _, r := range m.ScanRegions() {
+			for p := r.Start; p < r.End(); p++ {
+				if want[p] == r.Zero {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,303 @@
+// Package testconfig implements the artifact-appendix test driver: the
+// paper's evaluation is driven by `test.py test-2inputs.json` /
+// `test-6inputs.json` configs (App. A.4); this package parses the
+// equivalent JSON configuration, runs the described record/test
+// matrix, and produces structured results.
+package testconfig
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"faasnap/internal/blockdev"
+	"faasnap/internal/core"
+	"faasnap/internal/workload"
+)
+
+// Config is a test-matrix description, the analogue of the artifact's
+// test-*.json files.
+type Config struct {
+	// Name labels the run (e.g. "test-2inputs").
+	Name string `json:"name"`
+	// Functions to evaluate; empty means the full catalog.
+	Functions []string `json:"functions,omitempty"`
+	// Modes to compare; empty means firecracker, reap, faasnap, cached.
+	Modes []string `json:"modes,omitempty"`
+	// RecordInput is the record-phase input ("A" or "B").
+	RecordInput string `json:"record_input"`
+	// TestInputs are the test-phase inputs ("A", "B", "ratio:<x>").
+	TestInputs []string `json:"test_inputs"`
+	// Trials per (function, mode, input) cell.
+	Trials int `json:"trials"`
+	// Parallel > 1 turns each cell into a burst.
+	Parallel int `json:"parallel,omitempty"`
+	// SameSnapshot controls burst snapshot sharing (default true).
+	SameSnapshot *bool `json:"same_snapshot,omitempty"`
+	// Disk selects the device profile: "nvme" (default) or "ebs".
+	Disk string `json:"disk,omitempty"`
+	// DropCaches mirrors the artifact's cache dropping between tests;
+	// it is implicit in this platform (every run starts cold) and only
+	// validated for compatibility.
+	DropCaches bool `json:"drop_caches,omitempty"`
+}
+
+// Validate checks the configuration and applies defaults.
+func (c *Config) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("testconfig: config needs a name")
+	}
+	if len(c.Functions) == 0 {
+		c.Functions = workload.Names()
+	}
+	for _, fn := range c.Functions {
+		if _, err := workload.ByName(fn); err != nil {
+			return fmt.Errorf("testconfig: %w", err)
+		}
+	}
+	if len(c.Modes) == 0 {
+		c.Modes = []string{"firecracker", "reap", "faasnap", "cached"}
+	}
+	for _, m := range c.Modes {
+		if _, err := core.ParseMode(m); err != nil {
+			return fmt.Errorf("testconfig: %w", err)
+		}
+	}
+	if c.RecordInput == "" {
+		c.RecordInput = "A"
+	}
+	if c.RecordInput != "A" && c.RecordInput != "B" {
+		return fmt.Errorf("testconfig: record_input must be A or B, got %q", c.RecordInput)
+	}
+	if len(c.TestInputs) == 0 {
+		return fmt.Errorf("testconfig: test_inputs must not be empty")
+	}
+	for _, in := range c.TestInputs {
+		if in != "A" && in != "B" && !strings.HasPrefix(in, "ratio:") {
+			return fmt.Errorf("testconfig: bad test input %q", in)
+		}
+		if strings.HasPrefix(in, "ratio:") {
+			if r, err := strconv.ParseFloat(strings.TrimPrefix(in, "ratio:"), 64); err != nil || r <= 0 {
+				return fmt.Errorf("testconfig: bad ratio input %q", in)
+			}
+		}
+	}
+	if c.Trials <= 0 {
+		c.Trials = 1
+	}
+	if c.Trials > 20 {
+		return fmt.Errorf("testconfig: trials %d too large", c.Trials)
+	}
+	if c.Parallel < 0 || c.Parallel > 256 {
+		return fmt.Errorf("testconfig: parallel %d outside [0, 256]", c.Parallel)
+	}
+	switch c.Disk {
+	case "", "nvme", "ebs":
+	default:
+		return fmt.Errorf("testconfig: unknown disk %q", c.Disk)
+	}
+	return nil
+}
+
+// Parse reads a config from JSON, rejecting unknown fields.
+func Parse(raw []byte) (*Config, error) {
+	var c Config
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return nil, fmt.Errorf("testconfig: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// LoadFile parses a config file.
+func LoadFile(path string) (*Config, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(raw)
+}
+
+// Row is one result cell.
+type Row struct {
+	Function string  `json:"function"`
+	Mode     string  `json:"mode"`
+	Input    string  `json:"input"`
+	Parallel int     `json:"parallel"`
+	MeanMs   float64 `json:"mean_ms"`
+	StdMs    float64 `json:"std_ms"`
+	SetupMs  float64 `json:"setup_ms"`
+	InvokeMs float64 `json:"invoke_ms"`
+	Majors   int64   `json:"major_faults"`
+	Faults   int64   `json:"faults"`
+}
+
+// Results is a completed run.
+type Results struct {
+	Name    string        `json:"name"`
+	Started time.Time     `json:"started"`
+	Elapsed time.Duration `json:"elapsed"`
+	Rows    []Row         `json:"rows"`
+}
+
+// hostFor builds the host configuration for the config.
+func (c *Config) hostFor() core.HostConfig {
+	host := core.DefaultHostConfig()
+	if c.Disk == "ebs" {
+		host.Disk = blockdev.EBSRemote()
+	}
+	return host
+}
+
+// Run executes the full matrix. Progress lines go to report if
+// non-nil.
+func (c *Config) Run(report func(string)) (*Results, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	say := func(format string, args ...interface{}) {
+		if report != nil {
+			report(fmt.Sprintf(format, args...))
+		}
+	}
+	host := c.hostFor()
+	res := &Results{Name: c.Name, Started: time.Now()}
+	start := time.Now()
+	for _, fnName := range c.Functions {
+		fn, err := workload.ByName(fnName)
+		if err != nil {
+			return nil, err
+		}
+		recIn := fn.A
+		if c.RecordInput == "B" {
+			recIn = fn.B
+		}
+		say("record %s (input %s)", fnName, recIn.Name)
+		recHost := host
+		recHost.Seed = 1
+		arts, _ := core.Record(recHost, fn, recIn)
+
+		for _, inName := range c.TestInputs {
+			in, err := resolveInput(fn, inName)
+			if err != nil {
+				return nil, err
+			}
+			for _, modeName := range c.Modes {
+				mode, err := core.ParseMode(modeName)
+				if err != nil {
+					return nil, err
+				}
+				row := Row{Function: fnName, Mode: modeName, Input: in.Name, Parallel: max(1, c.Parallel)}
+				if c.Parallel > 1 {
+					same := true
+					if c.SameSnapshot != nil {
+						same = *c.SameSnapshot
+					}
+					br := core.RunBurst(host, arts, mode, in, c.Parallel, same)
+					row.MeanMs = msf(br.Mean)
+					row.StdMs = msf(br.Std)
+					row.SetupMs = msf(br.Results[0].Setup)
+					row.InvokeMs = msf(br.Results[0].Invoke)
+					row.Majors = br.Results[0].Faults.Majors()
+					row.Faults = br.Results[0].Faults.Total()
+				} else {
+					var totals []time.Duration
+					var last *core.InvokeResult
+					for trial := 0; trial < c.Trials; trial++ {
+						cfg := host
+						cfg.Seed = int64(1000*trial + 7)
+						last = core.RunSingle(cfg, arts, mode, in)
+						totals = append(totals, last.Total)
+					}
+					mean, std := meanStd(totals)
+					row.MeanMs = msf(mean)
+					row.StdMs = msf(std)
+					row.SetupMs = msf(last.Setup)
+					row.InvokeMs = msf(last.Invoke)
+					row.Majors = last.Faults.Majors()
+					row.Faults = last.Faults.Total()
+				}
+				say("  %s %s input %s: %.1f ms", fnName, modeName, in.Name, row.MeanMs)
+				res.Rows = append(res.Rows, row)
+			}
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+func resolveInput(fn *workload.Spec, name string) (workload.Input, error) {
+	switch name {
+	case "A":
+		return fn.A, nil
+	case "B":
+		return fn.B, nil
+	}
+	r, err := strconv.ParseFloat(strings.TrimPrefix(name, "ratio:"), 64)
+	if err != nil || r <= 0 {
+		return workload.Input{}, fmt.Errorf("testconfig: bad input %q", name)
+	}
+	return fn.InputForRatio(r), nil
+}
+
+func msf(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func meanStd(ds []time.Duration) (time.Duration, time.Duration) {
+	if len(ds) == 0 {
+		return 0, 0
+	}
+	var sum float64
+	for _, d := range ds {
+		sum += float64(d)
+	}
+	mean := sum / float64(len(ds))
+	var varsum float64
+	for _, d := range ds {
+		diff := float64(d) - mean
+		varsum += diff * diff
+	}
+	std := 0.0
+	if len(ds) > 1 {
+		std = varsum / float64(len(ds))
+	}
+	return time.Duration(mean), time.Duration(sqrt(std))
+}
+
+// sqrt avoids importing math for one call.
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	z := x
+	for i := 0; i < 20; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Table renders results as an aligned text table.
+func (r *Results) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s (%d rows, %v) ==\n", r.Name, len(r.Rows), r.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(&b, "%-14s %-18s %-8s %10s %10s %8s\n", "function", "mode", "input", "mean ms", "std ms", "majors")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-14s %-18s %-8s %10.1f %10.1f %8d\n",
+			row.Function, row.Mode, row.Input, row.MeanMs, row.StdMs, row.Majors)
+	}
+	return b.String()
+}

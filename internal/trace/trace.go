@@ -1,0 +1,135 @@
+// Package trace records invocation execution traces as span trees and
+// exports them in Zipkin v2 JSON, mirroring the paper artifact's use of
+// Zipkin ("the execution traces of invocations are accessible on the
+// Zipkin web page... TraceIDs can be used to search traces", App. A.4).
+// Span timestamps are virtual-time offsets from the invocation start.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ID is a trace or span identifier (hex, Zipkin-style).
+type ID string
+
+// Span is one timed operation within a trace.
+type Span struct {
+	TraceID  ID     `json:"traceId"`
+	SpanID   ID     `json:"id"`
+	ParentID ID     `json:"parentId,omitempty"`
+	Name     string `json:"name"`
+	// Timestamp is the span start in microseconds of virtual time
+	// since the trace epoch (Zipkin uses µs).
+	Timestamp int64             `json:"timestamp"`
+	Duration  int64             `json:"duration"` // µs
+	Tags      map[string]string `json:"tags,omitempty"`
+}
+
+// Trace is a finished invocation trace.
+type Trace struct {
+	ID    ID      `json:"traceId"`
+	Name  string  `json:"name"`
+	Spans []*Span `json:"spans"`
+}
+
+// Builder assembles one trace.
+type Builder struct {
+	trace *Trace
+	next  int
+}
+
+// NewBuilder starts a trace with the given id and name.
+func NewBuilder(id ID, name string) *Builder {
+	return &Builder{trace: &Trace{ID: id, Name: name}}
+}
+
+// Span appends a span covering [start, start+dur) of virtual time.
+// An empty parent makes it a root span.
+func (b *Builder) Span(name string, parent ID, start, dur time.Duration, tags map[string]string) ID {
+	b.next++
+	id := ID(fmt.Sprintf("%s-%04x", b.trace.ID, b.next))
+	b.trace.Spans = append(b.trace.Spans, &Span{
+		TraceID:   b.trace.ID,
+		SpanID:    id,
+		ParentID:  parent,
+		Name:      name,
+		Timestamp: start.Microseconds(),
+		Duration:  dur.Microseconds(),
+		Tags:      tags,
+	})
+	return id
+}
+
+// Finish returns the assembled trace.
+func (b *Builder) Finish() *Trace { return b.trace }
+
+// Store is a bounded in-memory trace store (newest wins), safe for
+// concurrent use.
+type Store struct {
+	mu     sync.RWMutex
+	byID   map[ID]*Trace
+	order  []ID
+	cap    int
+	nextID uint64
+}
+
+// NewStore returns a store retaining up to capacity traces.
+func NewStore(capacity int) *Store {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &Store{byID: make(map[ID]*Trace), cap: capacity}
+}
+
+// NextID allocates a fresh trace id.
+func (s *Store) NextID() ID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	return ID(fmt.Sprintf("%016x", s.nextID))
+}
+
+// Put stores a finished trace, evicting the oldest beyond capacity.
+func (s *Store) Put(t *Trace) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.byID[t.ID]; !exists {
+		s.order = append(s.order, t.ID)
+	}
+	s.byID[t.ID] = t
+	for len(s.order) > s.cap {
+		evict := s.order[0]
+		s.order = s.order[1:]
+		delete(s.byID, evict)
+	}
+}
+
+// Get returns the trace with id.
+func (s *Store) Get(id ID) (*Trace, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.byID[id]
+	return t, ok
+}
+
+// List returns trace ids, newest last.
+func (s *Store) List() []ID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]ID(nil), s.order...)
+}
+
+// Len returns the number of stored traces.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.byID)
+}
+
+// MarshalZipkin renders the trace as a Zipkin v2 span array.
+func (t *Trace) MarshalZipkin() ([]byte, error) {
+	return json.Marshal(t.Spans)
+}

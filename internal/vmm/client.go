@@ -1,0 +1,106 @@
+package vmm
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"faasnap/internal/pipenet"
+)
+
+// Client talks HTTP to a machine's API socket, like the FaaSnap daemon
+// talks to Firecracker over its Unix socket.
+type Client struct {
+	http *http.Client
+}
+
+// Client returns an API client for the machine.
+func (m *Machine) Client() *Client {
+	return &Client{http: pipenet.HTTPClient(m.lis)}
+}
+
+// APIError is a non-2xx response from the VMM.
+type APIError struct {
+	Code    int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("vmm: api error %d: %s", e.Code, e.Message)
+}
+
+func (c *Client) do(method, path string, body, out interface{}) error {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("vmm: encode request: %w", err)
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequest(method, "http://vmm"+path, rd)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("vmm: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var ae apiError
+		_ = json.NewDecoder(resp.Body).Decode(&ae)
+		return &APIError{Code: resp.StatusCode, Message: ae.FaultMessage}
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	return nil
+}
+
+// Info fetches instance info.
+func (c *Client) Info() (InstanceInfo, error) {
+	var info InstanceInfo
+	err := c.do(http.MethodGet, "/", nil, &info)
+	return info, err
+}
+
+// SetMachineConfig configures vCPUs and memory before boot.
+func (c *Client) SetMachineConfig(cfg MachineConfig) error {
+	return c.do(http.MethodPut, "/machine-config", cfg, nil)
+}
+
+// MachineConfig reads the current configuration.
+func (c *Client) MachineConfig() (MachineConfig, error) {
+	var cfg MachineConfig
+	err := c.do(http.MethodGet, "/machine-config", nil, &cfg)
+	return cfg, err
+}
+
+// Start boots the instance.
+func (c *Client) Start() error {
+	return c.do(http.MethodPut, "/actions", vmAction{ActionType: "InstanceStart"}, nil)
+}
+
+// Pause pauses a running instance.
+func (c *Client) Pause() error {
+	return c.do(http.MethodPatch, "/vm", vmPatch{State: "Paused"}, nil)
+}
+
+// Resume resumes a paused instance.
+func (c *Client) Resume() error {
+	return c.do(http.MethodPatch, "/vm", vmPatch{State: "Resumed"}, nil)
+}
+
+// LoadSnapshot restores a snapshot into a fresh VM, optionally with
+// FaaSnap per-region mappings.
+func (c *Client) LoadSnapshot(req SnapshotLoadRequest) error {
+	return c.do(http.MethodPut, "/snapshot/load", req, nil)
+}
+
+// CreateSnapshot snapshots a paused VM.
+func (c *Client) CreateSnapshot(req SnapshotCreateRequest) error {
+	return c.do(http.MethodPut, "/snapshot/create", req, nil)
+}

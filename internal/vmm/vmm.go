@@ -1,0 +1,350 @@
+// Package vmm implements a Firecracker-like virtual machine monitor
+// control plane: each microVM exposes an HTTP API served over an
+// in-memory connection (standing in for Firecracker's Unix domain
+// socket), with the request/response shapes and lifecycle rules of the
+// real VMM — machine configuration before boot, InstanceStart,
+// pause/resume, snapshot create (paused VMs only) and snapshot load
+// (fresh VMs only).
+//
+// Like the paper's modified Firecracker, the snapshot-load request is
+// extended with per-region memory mappings: the FaaSnap daemon passes
+// the non-zero and loading-set regions and the VMM lays them over the
+// base anonymous mapping (§5).
+package vmm
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"faasnap/internal/pipenet"
+)
+
+// State is the microVM lifecycle state.
+type State string
+
+const (
+	// StateNotStarted is a configured but not yet running VM.
+	StateNotStarted State = "Not started"
+	// StateRunning is an executing VM.
+	StateRunning State = "Running"
+	// StatePaused is a paused VM (snapshots may be taken).
+	StatePaused State = "Paused"
+)
+
+// MachineConfig mirrors Firecracker's machine-config resource.
+type MachineConfig struct {
+	VcpuCount  int `json:"vcpu_count"`
+	MemSizeMib int `json:"mem_size_mib"`
+}
+
+// MemBackend describes the file backing guest memory on restore.
+type MemBackend struct {
+	BackendType string `json:"backend_type"` // "File"
+	BackendPath string `json:"backend_path"`
+}
+
+// RegionMap is the FaaSnap API extension: one overlapping mapping to
+// lay over the base guest-memory mapping.
+type RegionMap struct {
+	StartPage int64  `json:"start_page"`
+	Pages     int64  `json:"pages"`
+	Backing   string `json:"backing"` // "anonymous" | "memory_file" | "loading_set"
+	Path      string `json:"path,omitempty"`
+	Offset    int64  `json:"offset,omitempty"` // file page offset
+}
+
+// SnapshotLoadRequest mirrors PUT /snapshot/load with the FaaSnap
+// region extension.
+type SnapshotLoadRequest struct {
+	SnapshotPath string      `json:"snapshot_path"`
+	MemBackend   MemBackend  `json:"mem_backend"`
+	ResumeVM     bool        `json:"resume_vm"`
+	RegionMaps   []RegionMap `json:"region_maps,omitempty"`
+}
+
+// SnapshotCreateRequest mirrors PUT /snapshot/create.
+type SnapshotCreateRequest struct {
+	SnapshotPath string `json:"snapshot_path"`
+	MemFilePath  string `json:"mem_file_path"`
+}
+
+// InstanceInfo mirrors GET /.
+type InstanceInfo struct {
+	ID    string `json:"id"`
+	State State  `json:"state"`
+	// VMGenerationID changes on every snapshot load, the mechanism the
+	// paper's §7.4 cites for letting guests reseed PRNGs after restore
+	// (Microsoft's Virtual Machine Generation ID [23]).
+	VMGenerationID string `json:"vm_generation_id,omitempty"`
+}
+
+type vmAction struct {
+	ActionType string `json:"action_type"`
+}
+
+type vmPatch struct {
+	State string `json:"state"` // "Paused" | "Resumed"
+}
+
+type apiError struct {
+	FaultMessage string `json:"fault_message"`
+}
+
+// Machine is one microVM process: an API server plus lifecycle state.
+type Machine struct {
+	id string
+
+	mu         sync.Mutex
+	state      State
+	config     MachineConfig
+	configured bool
+	loaded     *SnapshotLoadRequest
+	snapshots  []SnapshotCreateRequest
+	generation uint64 // bumps on every snapshot load (§7.4)
+
+	lis    *pipenet.Listener
+	server *http.Server
+	done   chan struct{}
+}
+
+// Launch starts a microVM process with the given id and begins serving
+// its API socket.
+func Launch(id string) *Machine {
+	m := &Machine{
+		id:    id,
+		state: StateNotStarted,
+		lis:   pipenet.NewListener(id + "-api.sock"),
+		done:  make(chan struct{}),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", m.handleRoot)
+	mux.HandleFunc("/machine-config", m.handleMachineConfig)
+	mux.HandleFunc("/snapshot/load", m.handleSnapshotLoad)
+	mux.HandleFunc("/snapshot/create", m.handleSnapshotCreate)
+	mux.HandleFunc("/actions", m.handleActions)
+	mux.HandleFunc("/vm", m.handleVM)
+	m.server = &http.Server{Handler: mux}
+	go func() {
+		defer close(m.done)
+		_ = m.server.Serve(m.lis) // returns on Close
+	}()
+	return m
+}
+
+// ID returns the machine id.
+func (m *Machine) ID() string { return m.id }
+
+// State returns the current lifecycle state.
+func (m *Machine) State() State {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.state
+}
+
+// LoadedSnapshot returns the last snapshot-load request, if any.
+func (m *Machine) LoadedSnapshot() *SnapshotLoadRequest {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.loaded
+}
+
+// Snapshots returns the snapshot-create requests handled so far.
+func (m *Machine) Snapshots() []SnapshotCreateRequest {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]SnapshotCreateRequest(nil), m.snapshots...)
+}
+
+// Close shuts the machine down (like killing the VMM process).
+func (m *Machine) Close() {
+	_ = m.server.Close()
+	<-m.done
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...interface{}) {
+	writeJSON(w, code, apiError{FaultMessage: fmt.Sprintf(format, args...)})
+}
+
+func (m *Machine) handleRoot(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" || r.Method != http.MethodGet {
+		writeErr(w, http.StatusNotFound, "unknown resource %s %s", r.Method, r.URL.Path)
+		return
+	}
+	m.mu.Lock()
+	info := InstanceInfo{ID: m.id, State: m.state}
+	if m.generation > 0 {
+		info.VMGenerationID = fmt.Sprintf("gen-%016x", m.generation)
+	}
+	m.mu.Unlock()
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (m *Machine) handleMachineConfig(w http.ResponseWriter, r *http.Request) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, m.config)
+	case http.MethodPut:
+		if m.state != StateNotStarted {
+			writeErr(w, http.StatusBadRequest, "machine config can only be set before boot")
+			return
+		}
+		var cfg MachineConfig
+		if err := json.NewDecoder(r.Body).Decode(&cfg); err != nil {
+			writeErr(w, http.StatusBadRequest, "bad machine config: %v", err)
+			return
+		}
+		if cfg.VcpuCount <= 0 || cfg.MemSizeMib <= 0 {
+			writeErr(w, http.StatusBadRequest, "machine config must have positive vcpu_count and mem_size_mib")
+			return
+		}
+		m.config = cfg
+		m.configured = true
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, "unsupported method %s", r.Method)
+	}
+}
+
+func (m *Machine) handleSnapshotLoad(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPut {
+		writeErr(w, http.StatusMethodNotAllowed, "unsupported method %s", r.Method)
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.state != StateNotStarted || m.loaded != nil {
+		writeErr(w, http.StatusBadRequest, "snapshot can only be loaded into a fresh VM")
+		return
+	}
+	var req SnapshotLoadRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad snapshot load request: %v", err)
+		return
+	}
+	if req.SnapshotPath == "" || req.MemBackend.BackendPath == "" {
+		writeErr(w, http.StatusBadRequest, "snapshot_path and mem_backend.backend_path are required")
+		return
+	}
+	for _, reg := range req.RegionMaps {
+		if reg.Pages <= 0 {
+			writeErr(w, http.StatusBadRequest, "region map with non-positive length")
+			return
+		}
+		switch reg.Backing {
+		case "anonymous":
+		case "memory_file", "loading_set":
+			if reg.Path == "" {
+				writeErr(w, http.StatusBadRequest, "file-backed region map without path")
+				return
+			}
+		default:
+			writeErr(w, http.StatusBadRequest, "unknown region backing %q", reg.Backing)
+			return
+		}
+	}
+	m.loaded = &req
+	// A restored VM gets a fresh generation id so in-guest PRNGs can
+	// detect the restore and reseed (§7.4).
+	m.generation++
+	if req.ResumeVM {
+		m.state = StateRunning
+	} else {
+		m.state = StatePaused
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (m *Machine) handleSnapshotCreate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPut {
+		writeErr(w, http.StatusMethodNotAllowed, "unsupported method %s", r.Method)
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.state != StatePaused {
+		writeErr(w, http.StatusBadRequest, "snapshots can only be taken of paused VMs")
+		return
+	}
+	var req SnapshotCreateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad snapshot create request: %v", err)
+		return
+	}
+	if req.SnapshotPath == "" || req.MemFilePath == "" {
+		writeErr(w, http.StatusBadRequest, "snapshot_path and mem_file_path are required")
+		return
+	}
+	m.snapshots = append(m.snapshots, req)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (m *Machine) handleActions(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPut {
+		writeErr(w, http.StatusMethodNotAllowed, "unsupported method %s", r.Method)
+		return
+	}
+	var act vmAction
+	if err := json.NewDecoder(r.Body).Decode(&act); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad action: %v", err)
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch act.ActionType {
+	case "InstanceStart":
+		if m.state != StateNotStarted {
+			writeErr(w, http.StatusBadRequest, "instance already started")
+			return
+		}
+		if !m.configured && m.loaded == nil {
+			writeErr(w, http.StatusBadRequest, "machine not configured")
+			return
+		}
+		m.state = StateRunning
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		writeErr(w, http.StatusBadRequest, "unknown action_type %q", act.ActionType)
+	}
+}
+
+func (m *Machine) handleVM(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPatch {
+		writeErr(w, http.StatusMethodNotAllowed, "unsupported method %s", r.Method)
+		return
+	}
+	var patch vmPatch
+	if err := json.NewDecoder(r.Body).Decode(&patch); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad vm patch: %v", err)
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch patch.State {
+	case "Paused":
+		if m.state != StateRunning {
+			writeErr(w, http.StatusBadRequest, "only running VMs can be paused")
+			return
+		}
+		m.state = StatePaused
+	case "Resumed":
+		if m.state != StatePaused {
+			writeErr(w, http.StatusBadRequest, "only paused VMs can be resumed")
+			return
+		}
+		m.state = StateRunning
+	default:
+		writeErr(w, http.StatusBadRequest, "unknown vm state %q", patch.State)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}

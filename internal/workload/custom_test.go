@@ -1,0 +1,166 @@
+package workload
+
+import (
+	"encoding/json"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func validConfig() SpecConfig {
+	return SpecConfig{
+		Name:        "thumbnailer",
+		Description: "a custom image service",
+		BootMB:      100,
+		StablePages: 4000,
+		ChunkMean:   4,
+		RetainFrac:  0.2,
+		BaseMs:      50,
+		PerKBUs:     200,
+		PerPageUs:   1,
+		InitMs:      900,
+		InputA:      InputConfig{Bytes: 64 << 10, DataPages: 1000},
+		InputB:      InputConfig{Bytes: 128 << 10, DataPages: 2000},
+	}
+}
+
+func TestCustomSpecBuilds(t *testing.T) {
+	cfg := validConfig()
+	s, err := cfg.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "thumbnailer" || s.BootPages != 100*PagesPerMB {
+		t.Fatalf("spec = %+v", s)
+	}
+	if s.Base != 50*time.Millisecond || s.InitCompute != 900*time.Millisecond {
+		t.Fatalf("durations = %v %v", s.Base, s.InitCompute)
+	}
+	if s.A.Seed == s.B.Seed {
+		t.Fatal("derived seeds identical; A and B must differ")
+	}
+	if !s.VariableInput() {
+		t.Fatal("custom spec not variable-input")
+	}
+	// The model must be fully usable: layout, memory, programs.
+	if s.CleanMemory().NonZeroPages() != s.BootPages+s.StablePages {
+		t.Fatal("clean memory wrong")
+	}
+	if s.Program(s.A).TouchedPages() == 0 {
+		t.Fatal("empty program")
+	}
+}
+
+func TestCustomSpecExplicitSeeds(t *testing.T) {
+	cfg := validConfig()
+	cfg.InputA.Seed = 7
+	cfg.InputB.Seed = 7
+	s, err := cfg.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.VariableInput() {
+		t.Fatal("identical explicit seeds should mean identical inputs")
+	}
+}
+
+func TestParseSpecJSON(t *testing.T) {
+	raw, err := json.Marshal(validConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ParseSpec(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "thumbnailer" {
+		t.Fatalf("name = %s", s.Name)
+	}
+}
+
+func TestParseSpecRejectsUnknownFields(t *testing.T) {
+	if _, err := ParseSpec([]byte(`{"name":"x","boot_mb":100,"stable_pages":100,"bogus":1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestParseSpecRejectsGarbage(t *testing.T) {
+	if _, err := ParseSpec([]byte(`not json`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	break1 := func(f func(*SpecConfig)) SpecConfig {
+		c := validConfig()
+		f(&c)
+		return c
+	}
+	bad := []SpecConfig{
+		break1(func(c *SpecConfig) { c.Name = "" }),
+		break1(func(c *SpecConfig) { c.BootMB = 0 }),
+		break1(func(c *SpecConfig) { c.BootMB = 2048 }),
+		break1(func(c *SpecConfig) { c.StablePages = 0 }),
+		break1(func(c *SpecConfig) { c.RetainFrac = 1.5 }),
+		break1(func(c *SpecConfig) { c.RetainFrac = -0.1 }),
+		break1(func(c *SpecConfig) { c.BaseMs = -1 }),
+		break1(func(c *SpecConfig) { c.InputA.DataPages = -5 }),
+		break1(func(c *SpecConfig) { c.StablePages = GuestPages }),
+		break1(func(c *SpecConfig) { c.InputB.DataPages = GuestPages / 2 }),
+	}
+	for i, c := range bad {
+		if _, err := c.Spec(); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestCustomSpecRunsEndToEnd(t *testing.T) {
+	// A custom spec must survive the whole record/layout pipeline.
+	cfg := validConfig()
+	s, err := cfg.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := s.stableRuns()
+	var total int64
+	for _, r := range runs {
+		total += r.length
+	}
+	if total != s.StablePages {
+		t.Fatalf("stable pages = %d, want %d", total, s.StablePages)
+	}
+	if s.InitProgram().TouchedPages() != s.StablePages {
+		t.Fatal("init program does not cover the stable region")
+	}
+}
+
+func TestValidationProperty(t *testing.T) {
+	// Property: any config that validates produces a spec whose layout
+	// generators do not panic and whose programs touch pages within
+	// bounds.
+	f := func(bootMB uint8, stableK uint8, chunk uint8, dataK uint8) bool {
+		cfg := validConfig()
+		cfg.BootMB = int64(bootMB%200) + 1
+		cfg.StablePages = int64(stableK%40)*1000 + 100
+		cfg.ChunkMean = int(chunk % 64)
+		cfg.InputA.DataPages = int64(dataK) * 100
+		cfg.InputB.DataPages = int64(dataK) * 150
+		s, err := cfg.Spec()
+		if err != nil {
+			return true // rejected configs are fine
+		}
+		prog := s.Program(s.A)
+		for _, op := range prog.Ops {
+			for _, p := range op.Pages {
+				if p < 0 || p >= GuestPages {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,27 @@
+package workload
+
+import "testing"
+
+// FuzzParseSpec throws arbitrary JSON at the custom-spec parser: it
+// must never panic, and anything it accepts must produce a spec whose
+// layout generator works.
+func FuzzParseSpec(f *testing.F) {
+	f.Add(`{"name":"x","boot_mb":100,"stable_pages":1000,"input_a":{"bytes":1,"data_pages":1},"input_b":{"bytes":2,"data_pages":2}}`)
+	f.Add(`{"name":"","boot_mb":-1}`)
+	f.Add(`{`)
+	f.Add(`[]`)
+	f.Add(`{"name":"y","boot_mb":100,"stable_pages":999999999}`)
+	f.Fuzz(func(t *testing.T, raw string) {
+		spec, err := ParseSpec([]byte(raw))
+		if err != nil {
+			return
+		}
+		// Accepted specs must be internally usable.
+		if spec.CleanMemory().NonZeroPages() <= 0 {
+			t.Fatal("accepted spec with empty clean memory")
+		}
+		if spec.Program(spec.A) == nil {
+			t.Fatal("accepted spec with nil program")
+		}
+	})
+}

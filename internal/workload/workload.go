@@ -1,0 +1,320 @@
+// Package workload models the twelve evaluation functions of the
+// paper's Table 2 as parameterised page-access programs: a guest-memory
+// layout (boot image, scattered runtime/stable region, heap), a
+// per-invocation access program (stable-page touches interleaved with
+// input-buffer allocation and compute), and input definitions for the
+// record/test inputs A and B plus arbitrary size ratios (Figure 8).
+//
+// The model's degrees of freedom are exactly the properties the
+// paper's results hinge on:
+//
+//   - StablePages vs DataPages splits each function's working set into
+//     pages reused across invocations and input-derived allocations.
+//   - Input-dependent run prefixes make different inputs touch slightly
+//     different subsets of the stable region, which host page recording
+//     tolerates (readahead captured whole runs) and userfaultfd-based
+//     recording does not.
+//   - RetainFrac controls how many input pages stay live into the
+//     snapshot; the rest are freed and — with guest sanitizing — become
+//     zero pages that FaaSnap maps anonymously.
+//   - ChunkMean sets access locality, which determines readahead
+//     effectiveness and loading-set fragmentation.
+package workload
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"time"
+
+	"faasnap/internal/guest"
+	"faasnap/internal/snapshot"
+)
+
+// PagesPerMB converts MiB to 4 KiB pages.
+const PagesPerMB = 1 << 20 / snapshot.PageSize
+
+// GuestPages is the evaluation guest size: 2 GB.
+const GuestPages = 2 << 30 / snapshot.PageSize
+
+// Input identifies one invocation input.
+type Input struct {
+	Name      string
+	Bytes     int64 // nominal input size
+	Seed      int64 // content identity; equal seeds mean identical input
+	DataPages int64 // input-derived buffer pages the function allocates
+}
+
+// Spec is a function model.
+type Spec struct {
+	Name        string
+	Description string
+
+	BootPages   int64 // contiguous non-zero boot+runtime image (mostly cold set)
+	StablePages int64 // scattered runtime pages in the stable region
+	ChunkMean   int   // mean contiguous run length in the stable region
+	SeqStable   bool  // stable region accessed in address order (read-list)
+	RetainFrac  float64
+
+	// Compute model: Base is input-independent compute; ComputePerKB
+	// scales with input bytes; PerPage is per data page processed.
+	Base         time.Duration
+	ComputePerKB time.Duration
+	PerPage      time.Duration
+
+	// InitCompute is the runtime-initialization compute of a cold
+	// start (importing the language runtime and libraries), the
+	// dominant cold-start cost per Du et al. [9]. Zero means a small
+	// default.
+	InitCompute time.Duration
+
+	// Origin is the user configuration this spec was built from, nil
+	// for catalog functions. It is what gets persisted so custom
+	// functions survive daemon restarts.
+	Origin *SpecConfig
+
+	// A and B are the record/test inputs from Table 2.
+	A, B Input
+
+	// WSA/WSB are the paper-reported working-set sizes in MB, kept for
+	// the Table 2 report.
+	WSA, WSB float64
+}
+
+// String implements fmt.Stringer.
+func (s *Spec) String() string { return s.Name }
+
+func hashSeed(parts ...string) int64 {
+	h := fnv.New64a()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return int64(h.Sum64() & 0x7fffffffffffffff)
+}
+
+// GuestConfig returns the guest layout for this function.
+func (s *Spec) GuestConfig() guest.Config {
+	cfg := guest.DefaultConfig()
+	cfg.Pages = GuestPages
+	cfg.HeapStart = GuestPages / 2
+	cfg.HeapEnd = GuestPages
+	return cfg
+}
+
+// run is one contiguous piece of the stable region.
+type run struct {
+	start, length int64
+}
+
+// stableRuns deterministically lays out the stable region: runs of
+// mean length ChunkMean in tight clusters (1–3 page gaps inside a
+// cluster, hundreds of pages between clusters), starting after the
+// boot image and totalling StablePages. The clustered structure
+// mirrors real runtime heaps — it is what makes FaaSnap's ≤32-page
+// region merging collapse >1000 fragments into few regions while
+// adding only a few percent of extra data (§4.6).
+func (s *Spec) stableRuns() []run {
+	rng := rand.New(rand.NewSource(hashSeed(s.Name, "layout")))
+	var runs []run
+	pos := s.BootPages
+	var total int64
+	mean := int64(s.ChunkMean)
+	if mean < 1 {
+		mean = 1
+	}
+	clusterLeft := 16 + rng.Intn(32)
+	for total < s.StablePages {
+		l := 1 + int64(rng.Intn(int(2*mean)))
+		if total+l > s.StablePages {
+			l = s.StablePages - total
+		}
+		var gap int64
+		if !s.SeqStable {
+			clusterLeft--
+			if clusterLeft <= 0 {
+				gap = 128 + int64(rng.Intn(512))
+				clusterLeft = 16 + rng.Intn(32)
+			} else {
+				gap = int64(rng.Intn(2))
+			}
+		}
+		runs = append(runs, run{start: pos, length: l})
+		pos += l + gap
+		total += l
+		if pos >= GuestPages/2-64 {
+			panic(fmt.Sprintf("workload %s: stable region overflows into heap", s.Name))
+		}
+	}
+	return runs
+}
+
+// CleanMemory returns the memory file of the "clean" snapshot taken
+// after boot and runtime initialization: the boot image and the whole
+// stable region are non-zero; everything else is zero.
+func (s *Spec) CleanMemory() *snapshot.MemoryFile {
+	m := snapshot.NewMemoryFile(GuestPages)
+	for p := int64(0); p < s.BootPages; p++ {
+		m.SetZero(p, false)
+	}
+	for _, r := range s.stableRuns() {
+		for p := r.start; p < r.start+r.length; p++ {
+			m.SetZero(p, false)
+		}
+	}
+	return m
+}
+
+// touchedPrefix returns how many pages of a run an invocation with the
+// given seed touches: between 80% and 100%, varying per (run, seed).
+// Identical seeds touch identical prefixes.
+func touchedPrefix(r run, seed int64, idx int) int64 {
+	if r.length <= 2 {
+		return r.length
+	}
+	rng := rand.New(rand.NewSource(seed ^ int64(idx)*0x4f1bbcdcbfa53e0b))
+	slack := r.length / 5
+	return r.length - int64(rng.Int63n(slack+1))
+}
+
+// dataSlices is how many pieces the input buffer allocation is split
+// into for interleaving with stable-region work.
+const dataSlices = 8
+
+// Program builds the access program for one invocation with input in.
+func (s *Spec) Program(in Input) *guest.Program {
+	runs := s.stableRuns()
+	order := make([]int, len(runs))
+	for i := range order {
+		order[i] = i
+	}
+	if !s.SeqStable {
+		rng := rand.New(rand.NewSource(hashSeed(s.Name, "order")))
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	}
+
+	// Total stable pages touched this invocation. Sequential-scan
+	// functions (read-list) touch every page of every run; the rest
+	// touch input-dependent run prefixes.
+	var touched int64
+	prefixes := make([]int64, len(runs))
+	for i, r := range runs {
+		if s.SeqStable {
+			prefixes[i] = r.length
+		} else {
+			prefixes[i] = touchedPrefix(r, in.Seed, i)
+		}
+		touched += prefixes[i]
+	}
+	var stablePerPage time.Duration
+	if touched > 0 {
+		stablePerPage = time.Duration(int64(s.Base) * 6 / 10 / touched)
+	}
+	inputCompute := time.Duration(in.Bytes/1024)*s.ComputePerKB + time.Duration(in.DataPages)*s.PerPage
+	var dataPerPage time.Duration
+	if in.DataPages > 0 {
+		dataPerPage = inputCompute / time.Duration(in.DataPages)
+	}
+
+	var ops []guest.Op
+	ops = append(ops, guest.Op{Kind: guest.OpCompute, Compute: s.Base * 15 / 100})
+
+	// First quarter of the stable chunks come before input processing
+	// (imports and request handling), then data slices interleave with
+	// the rest.
+	quarter := len(order) / 4
+	appendChunk := func(i int) {
+		r := runs[i]
+		n := prefixes[i]
+		pages := make([]int64, n)
+		for j := int64(0); j < n; j++ {
+			pages[j] = r.start + j
+		}
+		ops = append(ops, guest.Op{Kind: guest.OpTouch, Pages: pages, PerPage: stablePerPage})
+	}
+	for _, i := range order[:quarter] {
+		appendChunk(i)
+	}
+	rest := order[quarter:]
+	sliceEvery := 1
+	if len(rest) > dataSlices {
+		sliceEvery = len(rest) / dataSlices
+	}
+	slicePages := in.DataPages / dataSlices
+	slicesDone := int64(0)
+	for k, i := range rest {
+		appendChunk(i)
+		if (k+1)%sliceEvery == 0 && slicesDone < dataSlices-1 && slicePages > 0 {
+			ops = append(ops, guest.Op{
+				Kind: guest.OpAllocWrite, Count: slicePages, Tag: "input",
+				NonZero: true, PerPage: dataPerPage,
+			})
+			slicesDone++
+		}
+	}
+	if remaining := in.DataPages - slicesDone*slicePages; remaining > 0 {
+		ops = append(ops, guest.Op{
+			Kind: guest.OpAllocWrite, Count: remaining, Tag: "input",
+			NonZero: true, PerPage: dataPerPage,
+		})
+	}
+	ops = append(ops, guest.Op{Kind: guest.OpCompute, Compute: s.Base * 25 / 100})
+	ops = append(ops, guest.Op{Kind: guest.OpFree, Tag: "input", Frac: 1 - s.RetainFrac})
+	return &guest.Program{Ops: ops}
+}
+
+// InputForRatio builds a Figure 8 test input whose size is ratio times
+// input A's, with fresh content.
+func (s *Spec) InputForRatio(ratio float64) Input {
+	return Input{
+		Name:      fmt.Sprintf("r%.2f", ratio),
+		Bytes:     int64(float64(s.A.Bytes) * ratio),
+		Seed:      hashSeed(s.Name, "ratio", fmt.Sprintf("%.4f", ratio)),
+		DataPages: int64(float64(s.A.DataPages) * ratio),
+	}
+}
+
+// WarmEstimate returns the approximate warm-VM execution time for an
+// input: compute plus anonymous-fault service for the data pages.
+func (s *Spec) WarmEstimate(in Input, anonFault time.Duration) time.Duration {
+	return s.Base +
+		time.Duration(in.Bytes/1024)*s.ComputePerKB +
+		time.Duration(in.DataPages)*s.PerPage +
+		time.Duration(in.DataPages)*anonFault
+}
+
+// VariableInput reports whether the function takes different inputs in
+// record and test phases (the nine benchmark functions of Figure 6).
+func (s *Spec) VariableInput() bool { return s.A.Seed != s.B.Seed }
+
+// ColdInit returns the runtime-initialization compute for cold starts.
+func (s *Spec) ColdInit() time.Duration {
+	if s.InitCompute > 0 {
+		return s.InitCompute
+	}
+	return 800 * time.Millisecond
+}
+
+// InitProgram is the boot-time initialization access program: the
+// runtime and libraries are read from the root filesystem, touching
+// the whole stable region and the tail of the boot image, interleaved
+// with the import-time compute.
+func (s *Spec) InitProgram() *guest.Program {
+	runs := s.stableRuns()
+	var ops []guest.Op
+	init := s.ColdInit()
+	ops = append(ops, guest.Op{Kind: guest.OpCompute, Compute: init / 5})
+	var perPage time.Duration
+	if s.StablePages > 0 {
+		perPage = time.Duration(int64(init) * 3 / 5 / s.StablePages)
+	}
+	for _, r := range runs {
+		pages := make([]int64, r.length)
+		for j := int64(0); j < r.length; j++ {
+			pages[j] = r.start + j
+		}
+		ops = append(ops, guest.Op{Kind: guest.OpTouch, Pages: pages, Write: true, NonZero: true, PerPage: perPage})
+	}
+	ops = append(ops, guest.Op{Kind: guest.OpCompute, Compute: init / 5})
+	return &guest.Program{Ops: ops}
+}

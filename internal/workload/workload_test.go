@@ -1,0 +1,307 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"faasnap/internal/guest"
+)
+
+func TestCatalogHasTwelveFunctions(t *testing.T) {
+	specs := Catalog()
+	if len(specs) != 12 {
+		t.Fatalf("catalog has %d functions, want 12", len(specs))
+	}
+	names := map[string]bool{}
+	for _, s := range specs {
+		if names[s.Name] {
+			t.Fatalf("duplicate function %s", s.Name)
+		}
+		names[s.Name] = true
+		if s.StablePages <= 0 || s.BootPages <= 0 {
+			t.Errorf("%s: missing layout params", s.Name)
+		}
+		if s.A.Name == "" || s.B.Name == "" {
+			t.Errorf("%s: missing inputs", s.Name)
+		}
+	}
+	for _, want := range []string{"hello-world", "read-list", "mmap", "image", "json", "pyaes", "chameleon", "matmul", "ffmpeg", "compression", "recognition", "pagerank"} {
+		if !names[want] {
+			t.Errorf("missing function %s", want)
+		}
+	}
+}
+
+func TestSyntheticAndBenchmarkSplits(t *testing.T) {
+	if got := len(Synthetic()); got != 3 {
+		t.Fatalf("synthetic = %d, want 3", got)
+	}
+	if got := len(Benchmarks()); got != 9 {
+		t.Fatalf("benchmarks = %d, want 9", got)
+	}
+	for _, s := range Synthetic() {
+		if s.VariableInput() {
+			t.Errorf("%s: synthetic function must have identical inputs", s.Name)
+		}
+	}
+	for _, s := range Benchmarks() {
+		if !s.VariableInput() {
+			t.Errorf("%s: benchmark function must have different inputs", s.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, err := ByName("image")
+	if err != nil || s.Name != "image" {
+		t.Fatalf("ByName(image) = %v, %v", s, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("ByName(nope) did not error")
+	}
+	if len(Names()) != 12 {
+		t.Fatalf("Names() = %v", Names())
+	}
+}
+
+func TestStableRunsDeterministicAndSized(t *testing.T) {
+	s, _ := ByName("image")
+	r1 := s.stableRuns()
+	r2 := s.stableRuns()
+	if len(r1) != len(r2) {
+		t.Fatal("stable runs not deterministic")
+	}
+	var total int64
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatal("stable runs not deterministic")
+		}
+		total += r1[i].length
+	}
+	if total != s.StablePages {
+		t.Fatalf("stable pages = %d, want %d", total, s.StablePages)
+	}
+	// Runs must live between the boot image and the heap.
+	for _, r := range r1 {
+		if r.start < s.BootPages || r.start+r.length > GuestPages/2 {
+			t.Fatalf("run %+v outside stable region", r)
+		}
+	}
+}
+
+func TestCleanMemoryLayout(t *testing.T) {
+	s, _ := ByName("json")
+	m := s.CleanMemory()
+	if m.Pages != GuestPages {
+		t.Fatalf("pages = %d", m.Pages)
+	}
+	if m.IsZero(0) || m.IsZero(s.BootPages-1) {
+		t.Fatal("boot image pages are zero")
+	}
+	// Heap pages must be zero.
+	if !m.IsZero(GuestPages/2) || !m.IsZero(GuestPages-1) {
+		t.Fatal("heap pages non-zero in clean snapshot")
+	}
+	// Total non-zero ≈ boot + stable.
+	want := s.BootPages + s.StablePages
+	if got := m.NonZeroPages(); got != want {
+		t.Fatalf("non-zero pages = %d, want %d", got, want)
+	}
+}
+
+func TestProgramDeterministicPerInput(t *testing.T) {
+	s, _ := ByName("image")
+	p1 := s.Program(s.A)
+	p2 := s.Program(s.A)
+	if len(p1.Ops) != len(p2.Ops) {
+		t.Fatal("program not deterministic")
+	}
+	if p1.TouchedPages() != p2.TouchedPages() {
+		t.Fatal("program not deterministic in page count")
+	}
+}
+
+func TestProgramDiffersAcrossInputs(t *testing.T) {
+	s, _ := ByName("image")
+	pa := s.Program(s.A)
+	pb := s.Program(s.B)
+	if pa.TouchedPages() == pb.TouchedPages() {
+		t.Fatalf("A and B touch the same page count (%d); inputs should differ", pa.TouchedPages())
+	}
+}
+
+func TestProgramSameForIdenticalSeeds(t *testing.T) {
+	s, _ := ByName("hello-world")
+	if s.Program(s.A).TouchedPages() != s.Program(s.B).TouchedPages() {
+		t.Fatal("identical inputs produced different programs")
+	}
+}
+
+func TestProgramAllocatesDataPages(t *testing.T) {
+	s, _ := ByName("json")
+	var allocated int64
+	var freeFrac float64
+	for _, op := range s.Program(s.A).Ops {
+		switch op.Kind {
+		case guest.OpAllocWrite:
+			allocated += op.Count
+			if !op.NonZero {
+				t.Error("input data written as zero")
+			}
+		case guest.OpFree:
+			freeFrac = op.Frac
+		}
+	}
+	if allocated != s.A.DataPages {
+		t.Fatalf("allocated %d pages, want %d", allocated, s.A.DataPages)
+	}
+	if freeFrac != 1-s.RetainFrac {
+		t.Fatalf("free frac = %v, want %v", freeFrac, 1-s.RetainFrac)
+	}
+}
+
+func TestProgramTouchesWithinStableRegionAndOrderVaries(t *testing.T) {
+	s, _ := ByName("pyaes")
+	prog := s.Program(s.A)
+	runs := s.stableRuns()
+	inRuns := func(p int64) bool {
+		for _, r := range runs {
+			if p >= r.start && p < r.start+r.length {
+				return true
+			}
+		}
+		return false
+	}
+	var touchOps int
+	for _, op := range prog.Ops {
+		if op.Kind != guest.OpTouch {
+			continue
+		}
+		touchOps++
+		for _, p := range op.Pages {
+			if !inRuns(p) {
+				t.Fatalf("touched page %d outside stable runs", p)
+			}
+		}
+	}
+	if touchOps < 10 {
+		t.Fatalf("touch ops = %d, want many chunks", touchOps)
+	}
+}
+
+func TestSeqStableIsAddressOrdered(t *testing.T) {
+	s, _ := ByName("read-list")
+	prog := s.Program(s.A)
+	last := int64(-1)
+	for _, op := range prog.Ops {
+		if op.Kind != guest.OpTouch {
+			continue
+		}
+		for _, p := range op.Pages {
+			if p < last {
+				t.Fatalf("read-list access went backwards: %d after %d", p, last)
+			}
+			last = p
+		}
+	}
+}
+
+func TestInputForRatioScales(t *testing.T) {
+	s, _ := ByName("image")
+	quarter := s.InputForRatio(0.25)
+	four := s.InputForRatio(4)
+	if quarter.DataPages != s.A.DataPages/4 {
+		t.Fatalf("quarter pages = %d", quarter.DataPages)
+	}
+	if four.DataPages != s.A.DataPages*4 {
+		t.Fatalf("4x pages = %d", four.DataPages)
+	}
+	if quarter.Seed == four.Seed {
+		t.Fatal("ratio inputs share a seed")
+	}
+	if four.Bytes != s.A.Bytes*4 {
+		t.Fatalf("4x bytes = %d", four.Bytes)
+	}
+}
+
+func TestDifferentSeedsTouchDifferentStableSubsets(t *testing.T) {
+	// The host-page-recording story: input B touches stable pages that
+	// input A did not (run prefixes differ), but both stay within the
+	// same runs, which readahead covers.
+	s, _ := ByName("image")
+	collect := func(in Input) map[int64]bool {
+		set := map[int64]bool{}
+		for _, op := range s.Program(in).Ops {
+			if op.Kind == guest.OpTouch {
+				for _, p := range op.Pages {
+					set[p] = true
+				}
+			}
+		}
+		return set
+	}
+	a := collect(s.A)
+	b := collect(s.B)
+	extra := 0
+	for p := range b {
+		if !a[p] {
+			extra++
+		}
+	}
+	if extra == 0 {
+		t.Fatal("input B touched no stable pages beyond input A")
+	}
+	if extra > len(a)/2 {
+		t.Fatalf("input B touched %d extra pages of %d: too much divergence", extra, len(a))
+	}
+}
+
+func TestWorkingSetSizesApproximateTable2(t *testing.T) {
+	// stable + data should approximate the paper's reported working
+	// sets (within 40%, since the paper's sets also include readahead
+	// and kernel pages).
+	for _, s := range Catalog() {
+		wsA := float64(s.StablePages+s.A.DataPages) / PagesPerMB
+		if wsA < s.WSA*0.6 || wsA > s.WSA*1.4 {
+			t.Errorf("%s: model WS A = %.1f MB, paper %.1f MB", s.Name, wsA, s.WSA)
+		}
+		wsB := float64(s.StablePages+s.B.DataPages) / PagesPerMB
+		if wsB < s.WSB*0.6 || wsB > s.WSB*1.4 {
+			t.Errorf("%s: model WS B = %.1f MB, paper %.1f MB", s.Name, wsB, s.WSB)
+		}
+	}
+}
+
+func TestWarmEstimateOrdersOfMagnitude(t *testing.T) {
+	hello, _ := ByName("hello-world")
+	if est := hello.WarmEstimate(hello.A, 2500*time.Nanosecond); est > 10*time.Millisecond {
+		t.Fatalf("hello-world warm estimate %v, want a few ms", est)
+	}
+	pr, _ := ByName("pagerank")
+	if est := pr.WarmEstimate(pr.A, 2500*time.Nanosecond); est < 500*time.Millisecond {
+		t.Fatalf("pagerank warm estimate %v, want >= 0.5s", est)
+	}
+}
+
+func TestGuestConfig(t *testing.T) {
+	s, _ := ByName("mmap")
+	cfg := s.GuestConfig()
+	if cfg.Pages != GuestPages || cfg.HeapStart != GuestPages/2 {
+		t.Fatalf("config = %+v", cfg)
+	}
+	// mmap's 512 MB allocation must fit the heap.
+	if cfg.HeapEnd-cfg.HeapStart < s.A.DataPages {
+		t.Fatal("heap too small for mmap workload")
+	}
+}
+
+func TestCleanSnapshotSparseSizeReasonable(t *testing.T) {
+	// Clean snapshots should be a few hundred MB non-zero, not 2 GB.
+	for _, s := range Catalog() {
+		m := s.CleanMemory()
+		nonZeroMB := float64(m.NonZeroPages()) / PagesPerMB
+		if nonZeroMB < 50 || nonZeroMB > 1024 {
+			t.Errorf("%s: clean snapshot %f MB non-zero", s.Name, nonZeroMB)
+		}
+	}
+}
