@@ -2,9 +2,12 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench experiments figures fuzz clean
+.PHONY: all check build vet test test-short test-race bench experiments figures fuzz clean
 
 all: build vet test
+
+# What CI runs: compile, vet, full tests, and the race detector.
+check: build vet test test-race
 
 build:
 	$(GO) build ./...
@@ -17,6 +20,12 @@ test:
 
 test-short:
 	$(GO) test ./... -short -timeout 600s
+
+# The parallel experiment runner and daemon are exercised under the
+# race detector; simulations are deterministic, so this is purely a
+# concurrency-safety check.
+test-race:
+	$(GO) test -race ./... -timeout 3000s
 
 bench:
 	$(GO) test -bench=. -benchmem -timeout 1500s

@@ -7,6 +7,7 @@ package faasnap_test
 // Run the full-fidelity versions with: go run ./cmd/faasnap-bench -exp all
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -22,13 +23,35 @@ func benchExperiment(b *testing.B, name string) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	opt := experiments.Options{Quick: true}
+	// Parallel 0 = all cores, same default as faasnap-bench; the
+	// output is identical at any worker count, so this only moves
+	// wall-clock time.
+	opt := experiments.Options{Quick: true, Parallel: 0}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rep := exp.Run(opt)
 		if len(rep.Rows) == 0 {
 			b.Fatalf("experiment %s produced no rows", name)
 		}
+	}
+}
+
+// BenchmarkFig8Workers reports how the experiment runner scales with
+// worker count on the heaviest trial-fan-out figure.
+func BenchmarkFig8Workers(b *testing.B) {
+	exp, err := experiments.ByName("fig8")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("parallel-%d", workers), func(b *testing.B) {
+			opt := experiments.Options{Quick: true, Parallel: workers}
+			for i := 0; i < b.N; i++ {
+				if rep := exp.Run(opt); len(rep.Rows) == 0 {
+					b.Fatal("no rows")
+				}
+			}
+		})
 	}
 }
 

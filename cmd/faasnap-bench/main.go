@@ -6,6 +6,11 @@
 //	faasnap-bench -exp all             # everything, paper order
 //	faasnap-bench -exp fig8 -quick     # reduced smoke run
 //	faasnap-bench -exp fig11 -csv      # CSV output
+//	faasnap-bench -exp all -parallel 8 # fan independent simulations across 8 workers
+//
+// Simulations are deterministic: every (experiment, trial) cell runs
+// with a fixed seed on its own virtual host, so the tables are
+// byte-identical at any -parallel setting.
 //
 // Each experiment prints the same rows/series the corresponding paper
 // table or figure reports, with a note describing the expected shape.
@@ -16,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -26,14 +32,15 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment to run (fig1, fig2, table2, fig6, fig7, fig8, table3, fig9, fig10, fig11, footprint, or all)")
-		quick  = flag.Bool("quick", false, "reduced function sets and single trials")
-		trials = flag.Int("trials", 0, "override trial count (0 = paper defaults)")
-		csv    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		svgDir = flag.String("svg", "", "also write figure SVGs into this directory")
-		disk   = flag.String("disk", "nvme", "snapshot storage device: nvme or ebs")
-		cores  = flag.Int("cores", 0, "host cores (0 = default)")
-		list   = flag.Bool("list", false, "list experiments and exit")
+		exp      = flag.String("exp", "all", "experiment to run (fig1, fig2, table2, fig6, fig7, fig8, table3, fig9, fig10, fig11, footprint, or all)")
+		quick    = flag.Bool("quick", false, "reduced function sets and single trials")
+		trials   = flag.Int("trials", 0, "override trial count (0 = paper defaults)")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		svgDir   = flag.String("svg", "", "also write figure SVGs into this directory")
+		disk     = flag.String("disk", "nvme", "snapshot storage device: nvme or ebs")
+		cores    = flag.Int("cores", 0, "host cores (0 = default)")
+		parallel = flag.Int("parallel", 0, "worker goroutines for independent simulations (0 = all cores); results are identical at any setting")
+		list     = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
 
@@ -44,7 +51,7 @@ func main() {
 		return
 	}
 
-	opt := experiments.Options{Quick: *quick, Trials: *trials}
+	opt := experiments.Options{Quick: *quick, Trials: *trials, Parallel: *parallel}
 	host := core.DefaultHostConfig()
 	switch *disk {
 	case "nvme":
@@ -79,6 +86,11 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	suiteStart := time.Now()
 	for _, e := range todo {
 		start := time.Now()
 		rep := e.Run(opt)
@@ -98,5 +110,9 @@ func main() {
 			}
 		}
 		fmt.Printf("(%s regenerated in %v)\n\n", e.Name, time.Since(start).Round(time.Millisecond))
+	}
+	if len(todo) > 1 {
+		fmt.Printf("(%d experiments in %v, %d workers)\n",
+			len(todo), time.Since(suiteStart).Round(time.Millisecond), workers)
 	}
 }

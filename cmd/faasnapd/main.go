@@ -5,14 +5,22 @@
 //
 // With -kv-embedded it also starts the bundled Redis-like kvstore and
 // wires the daemon to it.
+//
+// SIGINT/SIGTERM drains in-flight requests, then shuts every VMM down
+// via daemon.Close, so snapshot state on disk stays consistent.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"faasnap/internal/blockdev"
 	"faasnap/internal/core"
@@ -21,6 +29,16 @@ import (
 )
 
 func main() {
+	logger := log.New(os.Stderr, "faasnapd: ", log.LstdFlags)
+	if err := run(logger); err != nil {
+		logger.Fatal(err)
+	}
+}
+
+// run carries the daemon's whole lifetime so that deferred cleanup
+// (kvstore, VMMs) executes on every exit path, which logger.Fatal in
+// main would skip.
+func run(logger *log.Logger) error {
 	var (
 		listen     = flag.String("listen", "127.0.0.1:8700", "daemon listen address")
 		state      = flag.String("state", "", "state directory for snapshot persistence (empty = none)")
@@ -30,22 +48,20 @@ func main() {
 	)
 	flag.Parse()
 
-	logger := log.New(os.Stderr, "faasnapd: ", log.LstdFlags)
-
 	host := core.DefaultHostConfig()
 	switch *disk {
 	case "nvme":
 	case "ebs":
 		host.Disk = blockdev.EBSRemote()
 	default:
-		logger.Fatalf("unknown disk %q (nvme or ebs)", *disk)
+		return fmt.Errorf("unknown disk %q (nvme or ebs)", *disk)
 	}
 
 	if *kvEmbedded {
 		kv := kvstore.NewServer()
 		addr, err := kv.Listen("127.0.0.1:0")
 		if err != nil {
-			logger.Fatal(err)
+			return err
 		}
 		defer kv.Close()
 		*kvAddr = addr
@@ -59,13 +75,42 @@ func main() {
 		Logger:   logger,
 	})
 	if err != nil {
-		logger.Fatal(err)
+		return err
 	}
 	defer d.Close()
 
-	logger.Printf("FaaSnap daemon listening on %s (disk=%s state=%q)", *listen, *disk, *state)
-	fmt.Fprintf(os.Stderr, "try: curl -X PUT http://%s/functions/hello-world\n", *listen)
-	if err := http.ListenAndServe(*listen, d.Handler()); err != nil {
-		logger.Fatal(err)
+	srv := &http.Server{
+		Addr:              *listen,
+		Handler:           d.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       120 * time.Second,
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Printf("FaaSnap daemon listening on %s (disk=%s state=%q)", *listen, *disk, *state)
+		fmt.Fprintf(os.Stderr, "try: curl -X PUT http://%s/functions/hello-world\n", *listen)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+
+	logger.Printf("signal received, draining requests")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		logger.Printf("shutdown: %v", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	logger.Printf("shutting down VMMs")
+	return nil
 }

@@ -144,6 +144,39 @@ func DefaultHostConfig() HostConfig {
 	}
 }
 
+// WithDefaults fills every zero field of c from DefaultHostConfig,
+// preserving whatever the caller did specify — a partially-specified
+// host (custom costs, core count, seed) must not be clobbered whole.
+// LSDisk's zero value is meaningful ("use Disk") and is left alone.
+func (c HostConfig) WithDefaults() HostConfig {
+	def := DefaultHostConfig()
+	if c.Seed == 0 {
+		c.Seed = def.Seed
+	}
+	if c.Cores == 0 {
+		c.Cores = def.Cores
+	}
+	if c.Disk.Bandwidth == 0 {
+		c.Disk = def.Disk
+	}
+	if c.Costs == (hostmm.CostModel{}) {
+		c.Costs = def.Costs
+	}
+	if c.KernelBoot == 0 {
+		c.KernelBoot = def.KernelBoot
+	}
+	if c.VMMSetup == 0 {
+		c.VMMSetup = def.VMMSetup
+	}
+	if c.NetSetupSerial == 0 {
+		c.NetSetupSerial = def.NetSetupSerial
+	}
+	if c.BackgroundDuty == 0 {
+		c.BackgroundDuty = def.BackgroundDuty
+	}
+	return c
+}
+
 // Host bundles the simulated machine an experiment runs on.
 type Host struct {
 	Env   *sim.Env
@@ -181,6 +214,10 @@ func NewHost(cfg HostConfig) *Host {
 
 // Artifacts are the environment-independent products of a record phase
 // for one function: everything the daemon persists and later deploys.
+// After Record returns, an Artifacts value is immutable: experiments
+// share one instance across concurrent simulations, and the invoke
+// path only ever clones the mutable guest state (Mem, Alloc) it needs.
+// Build variants through Clone rather than mutating fields in place.
 type Artifacts struct {
 	Fn          *workload.Spec
 	RecordInput workload.Input
@@ -190,6 +227,16 @@ type Artifacts struct {
 	LS          *workingset.LoadingSet
 	LSUnmerged  *workingset.LoadingSet // gap-0 regions, for the per-region ablation
 	ReapWS      *workingset.WSFile     // REAP fault-order working set
+}
+
+// Clone returns a shallow copy whose derived-set fields (WS, LS, ...)
+// may be replaced without affecting the original — the designated
+// mutation point for ablation variants of shared, cached artifacts.
+// The referenced files and sets themselves stay shared and must still
+// be treated as read-only.
+func (a *Artifacts) Clone() *Artifacts {
+	c := *a
+	return &c
 }
 
 // NonZeroRegions returns the memory file's non-zero regions (cold set

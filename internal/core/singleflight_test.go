@@ -1,0 +1,59 @@
+package core
+
+import (
+	"testing"
+
+	"faasnap/internal/blockdev"
+	"faasnap/internal/sim"
+	"faasnap/internal/workload"
+)
+
+// TestBurstSingleFlightLoading pins the §6.6 same-snapshot burst
+// behavior: no matter how many concurrent invocations share one
+// deployment, the FaaSnap loading set is read from disk exactly once
+// (one loader, everyone else rides its page-cache fills).
+func TestBurstSingleFlightLoading(t *testing.T) {
+	cfg := DefaultHostConfig()
+	fn, err := workload.ByName("hello-world")
+	if err != nil {
+		t.Fatal(err)
+	}
+	arts, _ := Record(cfg, fn, fn.A)
+
+	// Reference: one invocation's prefetch traffic.
+	prefetch := func(concurrent int) (blockdev.ClassStats, []*InvokeResult) {
+		h := NewHost(cfg)
+		d := h.Deploy(arts, "")
+		results := make([]*InvokeResult, concurrent)
+		for i := 0; i < concurrent; i++ {
+			i := i
+			h.Env.Go("burst-driver", func(p *sim.Proc) {
+				results[i] = d.Invoke(p, ModeFaaSnap, fn.A)
+			})
+		}
+		h.Env.Run()
+		return h.Dev.Stats().Class(blockdev.PrefetchRead), results
+	}
+
+	ref, _ := prefetch(1)
+	if ref.Bytes == 0 || ref.Requests == 0 {
+		t.Fatalf("single invocation issued no prefetch reads: %+v", ref)
+	}
+
+	got, results := prefetch(64)
+	if got != ref {
+		t.Fatalf("64-way burst prefetch = %+v, want the single-invocation %+v (loading set must be read once)", got, ref)
+	}
+	loaders := 0
+	for _, r := range results {
+		if r == nil {
+			t.Fatal("missing burst result")
+		}
+		if r.FetchBytes > 0 {
+			loaders++
+		}
+	}
+	if loaders != 1 {
+		t.Fatalf("%d invocations carry fetch accounting, want exactly the one loader", loaders)
+	}
+}

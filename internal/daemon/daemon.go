@@ -82,9 +82,9 @@ func New(cfg Config) (*Daemon, error) {
 	if cfg.Logger == nil {
 		cfg.Logger = log.New(os.Stderr, "faasnapd: ", log.LstdFlags)
 	}
-	if cfg.Host.Disk.Bandwidth == 0 {
-		cfg.Host = core.DefaultHostConfig()
-	}
+	// Fill host defaults field-wise: a partially-specified Host (custom
+	// costs, core count, seed) must survive construction intact.
+	cfg.Host = cfg.Host.WithDefaults()
 	d := &Daemon{cfg: cfg, log: cfg.Logger, fns: make(map[string]*fnState), traces: trace.NewStore(512)}
 	d.stats.ByMode = make(map[string]int64)
 	if cfg.KVAddr != "" {
@@ -254,27 +254,7 @@ type FunctionInfo struct {
 func (d *Daemon) info(fs *fnState) FunctionInfo {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	info := FunctionInfo{
-		Name:         fs.spec.Name,
-		Description:  fs.spec.Description,
-		HasSnapshot:  fs.arts != nil,
-		WorkingSetMB: fs.spec.WSA,
-	}
-	if fs.machine != nil {
-		info.VMState = string(fs.machine.State())
-	}
-	if fs.agent != nil {
-		info.GuestInvocations = fs.agent.Invocations()
-	}
-	if fs.arts != nil {
-		info.WSPages = fs.arts.WS.Pages()
-		info.LSPages = fs.arts.LS.Total
-		info.LSRegions = len(fs.arts.LS.Regions)
-		info.ReapWSPages = fs.arts.ReapWS.PageCount()
-		info.SnapshotMB = float64(fs.arts.Mem.SparseBytes()) / (1 << 20)
-		info.RecordInput = fs.arts.RecordInput.Name
-	}
-	return info
+	return d.infoLocked(fs)
 }
 
 func (d *Daemon) handleList(w http.ResponseWriter, r *http.Request) {
@@ -326,33 +306,60 @@ func (d *Daemon) handleCreate(w http.ResponseWriter, r *http.Request) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	if fs.machine == nil {
+		// Any failure on the boot path must tear down whatever came up
+		// (machine, agent) and, for a function this request registered,
+		// deregister it — a failed PUT may not leave a machine-less
+		// entry in GET /functions or a leaked VMM behind a 500.
+		bootFail := func(m *vmm.Machine, a *guestagent.Agent, code int, format string, args ...interface{}) {
+			if a != nil {
+				a.Close()
+			}
+			if m != nil {
+				m.Close()
+			}
+			fs.machine, fs.agent = nil, nil
+			if !exists {
+				d.mu.Lock()
+				if cur, ok := d.fns[name]; ok && cur == fs {
+					delete(d.fns, name)
+				}
+				d.mu.Unlock()
+			}
+			writeErr(w, code, format, args...)
+		}
 		// Boot a clean VM through the Firecracker-style API.
-		m := vmm.Launch(name)
+		m := launchVMM(name)
 		c := m.Client()
 		if err := c.SetMachineConfig(vmm.MachineConfig{VcpuCount: 2, MemSizeMib: 2048}); err != nil {
-			m.Close()
-			writeErr(w, http.StatusInternalServerError, "machine config: %v", err)
+			bootFail(m, nil, http.StatusInternalServerError, "machine config: %v", err)
 			return
 		}
 		if err := c.Start(); err != nil {
-			m.Close()
-			writeErr(w, http.StatusInternalServerError, "instance start: %v", err)
+			bootFail(m, nil, http.StatusInternalServerError, "instance start: %v", err)
+			return
+		}
+		// The in-guest server comes up with the VM; invocation
+		// requests are forwarded to it.
+		agent := startAgent(name, func(req guestagent.InvokeRequest) (guestagent.InvokeReply, error) {
+			return guestagent.InvokeReply{}, nil
+		})
+		if err := agent.Client().Health(); err != nil {
+			bootFail(m, agent, http.StatusInternalServerError, "guest agent: %v", err)
 			return
 		}
 		fs.machine = m
-		// The in-guest server comes up with the VM; invocation
-		// requests are forwarded to it.
-		fs.agent = guestagent.Start(name, func(req guestagent.InvokeRequest) (guestagent.InvokeReply, error) {
-			return guestagent.InvokeReply{}, nil
-		})
-		if err := fs.agent.Client().Health(); err != nil {
-			writeErr(w, http.StatusInternalServerError, "guest agent: %v", err)
-			return
-		}
+		fs.agent = agent
 		d.log.Printf("booted VM for %s (guest agent up)", name)
 	}
 	writeJSON(w, http.StatusOK, d.infoLocked(fs))
 }
+
+// launchVMM and startAgent are indirection points so tests can inject
+// boot failures into the create path.
+var (
+	launchVMM  = vmm.Launch
+	startAgent = guestagent.Start
+)
 
 // infoLocked is info for a caller already holding fs.mu.
 func (d *Daemon) infoLocked(fs *fnState) FunctionInfo {

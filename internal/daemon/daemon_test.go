@@ -9,8 +9,13 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 
+	"faasnap/internal/core"
+	"faasnap/internal/guestagent"
+	"faasnap/internal/hostmm"
 	"faasnap/internal/kvstore"
+	"faasnap/internal/vmm"
 )
 
 func newTestDaemon(t *testing.T, cfg Config) (*Daemon, *httptest.Server) {
@@ -386,5 +391,116 @@ func TestConcurrentInvokes(t *testing.T) {
 		if err := <-errs; err != nil {
 			t.Fatal(err)
 		}
+	}
+}
+
+func TestNewPreservesPartialHostConfig(t *testing.T) {
+	// Regression: New used to clobber any partially-specified Host with
+	// DefaultHostConfig wholesale. Custom fields must survive while
+	// zero-valued ones pick up defaults.
+	custom := core.HostConfig{Cores: 7}
+	custom.Costs = hostmm.DefaultCosts()
+	custom.Costs.AnonFault = 123 * time.Millisecond
+	d, err := New(Config{Host: custom, Logger: log.New(io.Discard, "", 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	got := d.cfg.Host
+	if got.Cores != 7 {
+		t.Fatalf("Cores = %d, want the custom 7", got.Cores)
+	}
+	if got.Costs.AnonFault != 123*time.Millisecond {
+		t.Fatalf("Costs.AnonFault = %v, want the custom 123ms", got.Costs.AnonFault)
+	}
+	def := core.DefaultHostConfig()
+	if got.Disk.Bandwidth != def.Disk.Bandwidth {
+		t.Fatalf("Disk = %+v, want default filled in", got.Disk)
+	}
+	if got.KernelBoot != def.KernelBoot || got.Seed != def.Seed {
+		t.Fatalf("KernelBoot/Seed = %v/%d, want defaults", got.KernelBoot, got.Seed)
+	}
+}
+
+func TestCreateFailureCleanup(t *testing.T) {
+	// A PUT whose boot path fails must not leak a VMM or leave a
+	// machine-less entry registered in GET /functions.
+	cases := []struct {
+		name    string
+		install func(t *testing.T, launched *[]*vmm.Machine)
+	}{
+		{"machine-config", func(t *testing.T, launched *[]*vmm.Machine) {
+			orig := launchVMM
+			launchVMM = func(id string) *vmm.Machine {
+				m := orig(id)
+				m.InjectFault("machine-config")
+				*launched = append(*launched, m)
+				return m
+			}
+			t.Cleanup(func() { launchVMM = orig })
+		}},
+		{"instance-start", func(t *testing.T, launched *[]*vmm.Machine) {
+			orig := launchVMM
+			launchVMM = func(id string) *vmm.Machine {
+				m := orig(id)
+				m.InjectFault("instance-start")
+				*launched = append(*launched, m)
+				return m
+			}
+			t.Cleanup(func() { launchVMM = orig })
+		}},
+		{"agent-health", func(t *testing.T, launched *[]*vmm.Machine) {
+			origLaunch := launchVMM
+			launchVMM = func(id string) *vmm.Machine {
+				m := origLaunch(id)
+				*launched = append(*launched, m)
+				return m
+			}
+			origStart := startAgent
+			startAgent = func(name string, exec guestagent.Executor) *guestagent.Agent {
+				a := origStart(name, exec)
+				a.Close() // health check against a dead agent fails
+				return a
+			}
+			t.Cleanup(func() { launchVMM = origLaunch; startAgent = origStart })
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, srv := newTestDaemon(t, Config{})
+			var launched []*vmm.Machine
+			tc.install(t, &launched)
+
+			resp := doJSON(t, "PUT", srv.URL+"/functions/hello-world", nil, nil)
+			if resp.StatusCode != 500 {
+				t.Fatalf("create with injected %s fault = %d, want 500", tc.name, resp.StatusCode)
+			}
+			// The registration was rolled back…
+			var list []FunctionInfo
+			doJSON(t, "GET", srv.URL+"/functions", nil, &list)
+			if len(list) != 0 {
+				t.Fatalf("functions after failed create = %+v, want none", list)
+			}
+			resp = doJSON(t, "GET", srv.URL+"/functions/hello-world", nil, nil)
+			if resp.StatusCode != 404 {
+				t.Fatalf("get after failed create = %d, want 404", resp.StatusCode)
+			}
+			// …and the VMM torn down: its API socket no longer answers.
+			if len(launched) != 1 {
+				t.Fatalf("launched %d machines, want 1", len(launched))
+			}
+			if _, err := launched[0].Client().Info(); err == nil {
+				t.Fatal("leaked VMM: API socket still answering after failed create")
+			}
+
+			// With the hooks restored the same PUT succeeds, proving the
+			// failed attempt left no poisoned state behind.
+			launchVMM, startAgent = vmm.Launch, guestagent.Start
+			var info FunctionInfo
+			resp = doJSON(t, "PUT", srv.URL+"/functions/hello-world", nil, &info)
+			if resp.StatusCode != 200 || info.VMState != string(vmm.StateRunning) {
+				t.Fatalf("retry create = %d %+v", resp.StatusCode, info)
+			}
+		})
 	}
 }

@@ -27,15 +27,21 @@ func Ablations(opt Options) *Report {
 			"major faults", "total (ms)"},
 	}
 
+	// Each variant clones the shared base artifacts (the cache hands
+	// out one immutable instance) and replaces only its derived sets.
+	run := newRunner(opt)
 	runVariant := func(label string, arts *core.Artifacts) {
-		r := core.RunSingle(host, arts, core.ModeFaaSnap, fn.B)
-		rep.Rows = append(rep.Rows, []string{
-			label,
-			fmt.Sprintf("%d", len(arts.LS.Regions)),
-			fmt.Sprintf("%.1f", float64(arts.LS.Bytes())/(1<<20)),
-			fmt.Sprintf("%d", r.MmapCalls),
-			fmt.Sprintf("%d", r.Faults.Majors()),
-			ms(r.Total),
+		c := run.single(host, fixed(arts), core.ModeFaaSnap, fn.B)
+		run.then(func() {
+			r := c.res
+			rep.Rows = append(rep.Rows, []string{
+				label,
+				fmt.Sprintf("%d", len(arts.LS.Regions)),
+				fmt.Sprintf("%.1f", float64(arts.LS.Bytes())/(1<<20)),
+				fmt.Sprintf("%d", r.MmapCalls),
+				fmt.Sprintf("%d", r.Faults.Majors()),
+				ms(r.Total),
+			})
 		})
 	}
 
@@ -45,9 +51,9 @@ func Ablations(opt Options) *Report {
 		gaps = []int64{0, 32}
 	}
 	for _, gap := range gaps {
-		arts := *base
+		arts := base.Clone()
 		arts.LS = workingset.BuildLoadingSet(base.WS, base.Mem, gap)
-		runVariant(fmt.Sprintf("merge gap %d pages", gap), &arts)
+		runVariant(fmt.Sprintf("merge gap %d pages", gap), arts)
 	}
 
 	// Group-size sweep: regroup the recorded order and rebuild the
@@ -57,11 +63,12 @@ func Ablations(opt Options) *Report {
 		sizes = []int{1024}
 	}
 	for _, size := range sizes {
-		arts := *base
+		arts := base.Clone()
 		arts.WS = workingset.Regroup(base.WS, size)
 		arts.LS = workingset.BuildLoadingSet(arts.WS, base.Mem, workingset.DefaultMergeGap)
-		runVariant(fmt.Sprintf("group size %d pages", size), &arts)
+		runVariant(fmt.Sprintf("group size %d pages", size), arts)
 	}
+	run.wait()
 
 	rep.Notes = append(rep.Notes,
 		"merge gap 0 maximizes mmap calls (one per fragment); larger gaps trade extra file bytes for fewer mappings — the paper picks 32; with this workload's clustered heap, gaps beyond ~8 pages change little until they start swallowing inter-cluster holes (512)",

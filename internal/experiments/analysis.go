@@ -38,29 +38,34 @@ func Fig1(opt Options) *Report {
 		Title:  "Time breakdown of function invocations (ms)",
 		Header: []string{"function", "mode", "setup", "invoke", "total"},
 	}
+	run := newRunner(opt)
 	for _, c := range cases {
 		fn, err := workload.ByName(c.fn)
 		if err != nil {
 			panic(err)
 		}
-		arts := artifactsFor(host, fn, fn.A)
+		arts := recorded(host, fn, fn.A)
 		in := fn.A
 		if c.testB {
 			in = fn.B
 		}
 		for _, mode := range fig1Modes {
-			results := runTrials(host, arts, mode, in, trials)
-			var setup, invoke, total sample
-			for _, r := range results {
-				setup = append(setup, r.Setup)
-				invoke = append(invoke, r.Invoke)
-				total = append(total, r.Total)
-			}
-			rep.Rows = append(rep.Rows, []string{
-				c.label, mode.String(), ms(setup.mean()), ms(invoke.mean()), msPair(total),
+			c, mode := c, mode
+			t := run.trials(host, arts, mode, in, trials)
+			run.then(func() {
+				var setup, invoke, total sample
+				for _, r := range t.results {
+					setup = append(setup, r.Setup)
+					invoke = append(invoke, r.Invoke)
+					total = append(total, r.Total)
+				}
+				rep.Rows = append(rep.Rows, []string{
+					c.label, mode.String(), ms(setup.mean()), ms(invoke.mean()), msPair(total),
+				})
 			})
 		}
 	}
+	run.wait()
 	rep.Notes = append(rep.Notes,
 		"setup is the gray bar of Figure 1 (VMM start, device/vCPU restore; for REAP it includes the blocking working-set fetch)",
 		"expected shape: Warm fastest; Firecracker slowest; Cached near Warm for file-backed sets; REAP setup large for read-list/mmap")
@@ -75,17 +80,22 @@ func Fig2(opt Options) *Report {
 	if err != nil {
 		panic(err)
 	}
-	arts := artifactsFor(host, fn, fn.A)
+	arts := recorded(host, fn, fn.A)
 	rep := &Report{
 		Name:   "fig2",
 		Title:  "Page-fault handling time distribution, image-diff (fault counts per bucket)",
 		Header: []string{"bucket ≤"},
 	}
-	var stats []*metrics.FaultStats
-	for _, mode := range fig1Modes {
+	run := newRunner(opt)
+	cells := make([]*invocation, len(fig1Modes))
+	for i, mode := range fig1Modes {
 		rep.Header = append(rep.Header, mode.String())
-		r := core.RunSingle(host, arts, mode, fn.B)
-		stats = append(stats, r.Faults)
+		cells[i] = run.single(host, arts, mode, fn.B)
+	}
+	run.wait()
+	var stats []*metrics.FaultStats
+	for _, c := range cells {
+		stats = append(stats, c.res.Faults)
 	}
 	// Buckets from 0.5µs up to 512µs plus an overflow row, matching
 	// the Figure 2 axis.
@@ -145,17 +155,26 @@ func Table2(opt Options) *Report {
 	if opt.Quick {
 		specs = specs[:4]
 	}
+	run := newRunner(opt)
 	for _, fn := range specs {
-		wsA := artifactsFor(host, fn, fn.A).WS.Bytes()
-		wsB := artifactsFor(host, fn, fn.B).WS.Bytes()
-		rep.Rows = append(rep.Rows, []string{
+		fn := fn
+		// Static columns fill at submission time; each measured column is
+		// one cell writing its own slot.
+		row := []string{
 			fn.Name, fn.Description,
 			fmtBytes(fn.A.Bytes), fmtBytes(fn.B.Bytes),
-			fmt.Sprintf("%.1f", float64(wsA)/(1<<20)),
-			fmt.Sprintf("%.1f", float64(wsB)/(1<<20)),
+			"", "",
 			fmt.Sprintf("%.1f", fn.WSA), fmt.Sprintf("%.1f", fn.WSB),
+		}
+		rep.Rows = append(rep.Rows, row)
+		run.submit(func() {
+			row[4] = fmt.Sprintf("%.1f", float64(artifactsFor(host, fn, fn.A).WS.Bytes())/(1<<20))
+		})
+		run.submit(func() {
+			row[5] = fmt.Sprintf("%.1f", float64(artifactsFor(host, fn, fn.B).WS.Bytes())/(1<<20))
 		})
 	}
+	run.wait()
 	rep.Notes = append(rep.Notes, "measured WS is the mincore host page record of the record-phase invocation")
 	return rep
 }

@@ -11,7 +11,9 @@ import (
 
 // Claims verifies the artifact appendix's four major claims (A.4.1)
 // numerically against this reproduction and prints a verdict per
-// claim. It is the automated counterpart of EXPERIMENTS.md.
+// claim. It is the automated counterpart of EXPERIMENTS.md. All
+// measurement cells across the four claims are submitted up front and
+// fan out together; the verdict arithmetic runs after the barrier.
 func Claims(opt Options) *Report {
 	host := opt.host()
 	rep := &Report{
@@ -25,6 +27,7 @@ func Claims(opt Options) *Report {
 		}
 		return "CHECK"
 	}
+	run := newRunner(opt)
 
 	// C1: FaaSnap ≈2x over Firecracker and ≈1.4x over REAP on average
 	// (Figures 6 and 7).
@@ -32,23 +35,85 @@ func Claims(opt Options) *Report {
 	if opt.Quick {
 		specs = specs[:3]
 	}
+	type c1Cells struct {
+		fsAB, fcAB, reapAB *invocation
+		fsBA, fcBA, reapBA *invocation
+	}
+	c1cells := make([]c1Cells, len(specs))
+	for i, fn := range specs {
+		artsA := recorded(host, fn, fn.A)
+		artsB := recorded(host, fn, fn.B)
+		c1cells[i] = c1Cells{
+			fsAB:   run.single(host, artsA, core.ModeFaaSnap, fn.B),
+			fcAB:   run.single(host, artsA, core.ModeFirecracker, fn.B),
+			reapAB: run.single(host, artsA, core.ModeREAP, fn.B),
+			fsBA:   run.single(host, artsB, core.ModeFaaSnap, fn.A),
+			fcBA:   run.single(host, artsB, core.ModeFirecracker, fn.A),
+			reapBA: run.single(host, artsB, core.ModeREAP, fn.A),
+		}
+	}
+
+	// C2: resilient to input-size variation — REAP's slowdown from
+	// ratio ¼ to 4 far exceeds FaaSnap's, and FaaSnap stays under FC.
+	fn, err := workload.ByName("image")
+	if err != nil {
+		panic(err)
+	}
+	arts := recorded(host, fn, fn.A)
+	lo := fn.InputForRatio(0.25)
+	hi := fn.InputForRatio(4)
+	c2ReapHi := run.single(host, arts, core.ModeREAP, hi)
+	c2ReapLo := run.single(host, arts, core.ModeREAP, lo)
+	c2FsHi := run.single(host, arts, core.ModeFaaSnap, hi)
+	c2FsLo := run.single(host, arts, core.ModeFaaSnap, lo)
+	c2FcHi := run.single(host, arts, core.ModeFirecracker, hi)
+
+	// C3: bursty workloads — FaaSnap ≤ REAP on same-snapshot bursts.
+	burstFn, err := workload.ByName("hello-world")
+	if err != nil {
+		panic(err)
+	}
+	burstArts := recorded(host, burstFn, burstFn.A)
+	par := 16
+	c3Fs := run.burst(host, burstArts, core.ModeFaaSnap, burstFn.A, par, true)
+	c3Reap := run.burst(host, burstArts, core.ModeREAP, burstFn.A, par, true)
+	c3FcSame := run.burst(host, burstArts, core.ModeFirecracker, burstFn.A, par, true)
+	c3FcDiff := run.burst(host, burstArts, core.ModeFirecracker, burstFn.A, par, false)
+
+	// C4: remote storage — FaaSnap beats FC and REAP on EBS.
+	remote := host
+	remote.Disk = remoteDiskProfile()
+	remoteFns := []string{"json", "image", "ffmpeg"}
+	if opt.Quick {
+		remoteFns = remoteFns[:1]
+	}
+	type c4Cells struct {
+		fs, fc, reap *invocation
+	}
+	c4cells := make([]c4Cells, len(remoteFns))
+	for i, name := range remoteFns {
+		f, err := workload.ByName(name)
+		if err != nil {
+			panic(err)
+		}
+		a := recorded(remote, f, f.A)
+		c4cells[i] = c4Cells{
+			fs:   run.single(remote, a, core.ModeFaaSnap, f.B),
+			fc:   run.single(remote, a, core.ModeFirecracker, f.B),
+			reap: run.single(remote, a, core.ModeREAP, f.B),
+		}
+	}
+
+	run.wait()
+
 	var fcRatio, reapAB, reapBA float64
 	var nAB, nBA int
-	for _, fn := range specs {
-		artsA := artifactsFor(host, fn, fn.A)
-		fsAB := core.RunSingle(host, artsA, core.ModeFaaSnap, fn.B).Total
-		fcAB := core.RunSingle(host, artsA, core.ModeFirecracker, fn.B).Total
-		reapABt := core.RunSingle(host, artsA, core.ModeREAP, fn.B).Total
-		fcRatio += float64(fcAB) / float64(fsAB)
-		reapAB += float64(reapABt) / float64(fsAB)
+	for _, c := range c1cells {
+		fcRatio += float64(c.fcAB.res.Total) / float64(c.fsAB.res.Total)
+		reapAB += float64(c.reapAB.res.Total) / float64(c.fsAB.res.Total)
 		nAB++
-
-		artsB := artifactsFor(host, fn, fn.B)
-		fsBA := core.RunSingle(host, artsB, core.ModeFaaSnap, fn.A).Total
-		fcBA := core.RunSingle(host, artsB, core.ModeFirecracker, fn.A).Total
-		reapBAt := core.RunSingle(host, artsB, core.ModeREAP, fn.A).Total
-		fcRatio += float64(fcBA) / float64(fsBA)
-		reapBA += float64(reapBAt) / float64(fsBA)
+		fcRatio += float64(c.fcBA.res.Total) / float64(c.fsBA.res.Total)
+		reapBA += float64(c.reapBA.res.Total) / float64(c.fsBA.res.Total)
 		nBA++
 	}
 	fcAvg := fcRatio / float64(nAB+nBA)
@@ -61,21 +126,10 @@ func Claims(opt Options) *Report {
 		verdict(c1),
 	})
 
-	// C2: resilient to input-size variation — REAP's slowdown from
-	// ratio ¼ to 4 far exceeds FaaSnap's, and FaaSnap stays under FC.
-	fn, err := workload.ByName("image")
-	if err != nil {
-		panic(err)
-	}
-	arts := artifactsFor(host, fn, fn.A)
-	lo := fn.InputForRatio(0.25)
-	hi := fn.InputForRatio(4)
-	reapGrowth := float64(core.RunSingle(host, arts, core.ModeREAP, hi).Total) /
-		float64(core.RunSingle(host, arts, core.ModeREAP, lo).Total)
-	fsGrowth := float64(core.RunSingle(host, arts, core.ModeFaaSnap, hi).Total) /
-		float64(core.RunSingle(host, arts, core.ModeFaaSnap, lo).Total)
-	fcAt4 := core.RunSingle(host, arts, core.ModeFirecracker, hi).Total
-	reapAt4 := core.RunSingle(host, arts, core.ModeREAP, hi).Total
+	reapGrowth := float64(c2ReapHi.res.Total) / float64(c2ReapLo.res.Total)
+	fsGrowth := float64(c2FsHi.res.Total) / float64(c2FsLo.res.Total)
+	fcAt4 := c2FcHi.res.Total
+	reapAt4 := c2ReapHi.res.Total
 	c2 := reapGrowth > 2*fsGrowth && reapAt4 > fcAt4
 	rep.Rows = append(rep.Rows, []string{
 		"C2: resilient to input-size changes",
@@ -84,17 +138,10 @@ func Claims(opt Options) *Report {
 		verdict(c2),
 	})
 
-	// C3: bursty workloads — FaaSnap ≤ REAP on same-snapshot bursts.
-	burstFn, err := workload.ByName("hello-world")
-	if err != nil {
-		panic(err)
-	}
-	burstArts := artifactsFor(host, burstFn, burstFn.A)
-	par := 16
-	fsBurst := core.RunBurst(host, burstArts, core.ModeFaaSnap, burstFn.A, par, true).Mean
-	reapBurst := core.RunBurst(host, burstArts, core.ModeREAP, burstFn.A, par, true).Mean
-	fcSame := core.RunBurst(host, burstArts, core.ModeFirecracker, burstFn.A, par, true).Mean
-	fcDiff := core.RunBurst(host, burstArts, core.ModeFirecracker, burstFn.A, par, false).Mean
+	fsBurst := c3Fs.res.Mean
+	reapBurst := c3Reap.res.Mean
+	fcSame := c3FcSame.res.Mean
+	fcDiff := c3FcDiff.res.Mean
 	c3 := fsBurst <= reapBurst && fcDiff > fcSame
 	rep.Rows = append(rep.Rows, []string{
 		"C3: handles bursty workloads",
@@ -103,23 +150,11 @@ func Claims(opt Options) *Report {
 		verdict(c3),
 	})
 
-	// C4: remote storage — FaaSnap beats FC and REAP on EBS.
-	remote := host
-	remote.Disk = remoteDiskProfile()
-	remoteFns := []string{"json", "image", "ffmpeg"}
-	if opt.Quick {
-		remoteFns = remoteFns[:1]
-	}
 	var fcEBS, reapEBS float64
-	for _, name := range remoteFns {
-		f, err := workload.ByName(name)
-		if err != nil {
-			panic(err)
-		}
-		a := artifactsFor(remote, f, f.A)
-		fs := core.RunSingle(remote, a, core.ModeFaaSnap, f.B).Total
-		fcEBS += float64(core.RunSingle(remote, a, core.ModeFirecracker, f.B).Total) / float64(fs)
-		reapEBS += float64(core.RunSingle(remote, a, core.ModeREAP, f.B).Total) / float64(fs)
+	for _, c := range c4cells {
+		fs := c.fs.res.Total
+		fcEBS += float64(c.fc.res.Total) / float64(fs)
+		reapEBS += float64(c.reap.res.Total) / float64(fs)
 	}
 	fcEBS /= float64(len(remoteFns))
 	reapEBS /= float64(len(remoteFns))

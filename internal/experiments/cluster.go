@@ -23,16 +23,29 @@ func ClusterReport(opt Options) *Report {
 		horizon = 6 * time.Hour
 	}
 
-	// Measure serving costs for three representative functions.
-	measure := func(name string) policy.Costs {
+	// Measure serving costs for three representative functions, fanned
+	// through the runner.
+	run := newRunner(opt)
+	type classCells struct {
+		arts              artsSource
+		warm, cold, fsnap *invocation
+	}
+	measure := func(name string) *classCells {
 		fn, err := workload.ByName(name)
 		if err != nil {
 			panic(err)
 		}
-		arts := artifactsFor(host, fn, fn.A)
-		warm := core.RunSingle(host, arts, core.ModeWarm, fn.B)
-		cold := core.RunSingle(host, arts, core.ModeCold, fn.B)
-		fsnap := core.RunSingle(host, arts, core.ModeFaaSnap, fn.B)
+		arts := recorded(host, fn, fn.A)
+		return &classCells{
+			arts:  arts,
+			warm:  run.single(host, arts, core.ModeWarm, fn.B),
+			cold:  run.single(host, arts, core.ModeCold, fn.B),
+			fsnap: run.single(host, arts, core.ModeFaaSnap, fn.B),
+		}
+	}
+	costs := func(c *classCells) policy.Costs {
+		arts := c.arts()
+		warm, cold, fsnap := c.warm.res, c.cold.res, c.fsnap.res
 		return policy.Costs{
 			WarmStart:     0,
 			SnapshotStart: fsnap.Total - warm.Total,
@@ -44,9 +57,13 @@ func ClusterReport(opt Options) *Report {
 			SnapshotBytes: arts.Mem.SparseBytes() + arts.LS.Bytes(),
 		}
 	}
-	costHot := measure("hello-world")
-	costMid := measure("json")
-	costRare := measure("image")
+	hotCells := measure("hello-world")
+	midCells := measure("json")
+	rareCells := measure("image")
+	run.wait()
+	costHot := costs(hotCells)
+	costMid := costs(midCells)
+	costRare := costs(rareCells)
 
 	// Population: 2 hot, 6 middle, 8 rare functions on 2 hosts with
 	// 1 GB of guest memory each — undersized on purpose, like a
@@ -78,27 +95,33 @@ func ClusterReport(opt Options) *Report {
 		Header: []string{"policy", "warm", "snapshot", "cold", "mean start (ms)",
 			"p95 start (ms)", "pressure evictions", "warm GBh", "snap GBh"},
 	}
+	// The cluster simulations only read fns, so they fan out as cells
+	// over the shared population; each fills its own pre-appended row.
 	for _, pol := range []cluster.SnapshotPolicy{cluster.NoSnapshots, cluster.ProactiveSnapshots, cluster.SnapshotOnEviction} {
-		cfg := cluster.Config{
-			Hosts:     2,
-			HostMem:   1 << 30,
-			KeepAlive: 15 * time.Minute,
-			Snapshots: pol,
-			Horizon:   horizon,
-		}
-		res := cluster.Simulate(cfg, fns)
-		rep.Rows = append(rep.Rows, []string{
-			pol.String(),
-			fmt.Sprintf("%d", res.Starts[policy.WarmStart]),
-			fmt.Sprintf("%d", res.Starts[policy.SnapshotStart]),
-			fmt.Sprintf("%d", res.Starts[policy.ColdStart]),
-			ms(res.MeanStart),
-			ms(res.P95Start),
-			fmt.Sprintf("%d", res.PressureEvictions),
-			fmt.Sprintf("%.2f", res.WarmGBHours),
-			fmt.Sprintf("%.2f", res.SnapshotGBHours),
+		pol := pol
+		row := make([]string, 9)
+		row[0] = pol.String()
+		rep.Rows = append(rep.Rows, row)
+		run.submit(func() {
+			cfg := cluster.Config{
+				Hosts:     2,
+				HostMem:   1 << 30,
+				KeepAlive: 15 * time.Minute,
+				Snapshots: pol,
+				Horizon:   horizon,
+			}
+			res := cluster.Simulate(cfg, fns)
+			row[1] = fmt.Sprintf("%d", res.Starts[policy.WarmStart])
+			row[2] = fmt.Sprintf("%d", res.Starts[policy.SnapshotStart])
+			row[3] = fmt.Sprintf("%d", res.Starts[policy.ColdStart])
+			row[4] = ms(res.MeanStart)
+			row[5] = ms(res.P95Start)
+			row[6] = fmt.Sprintf("%d", res.PressureEvictions)
+			row[7] = fmt.Sprintf("%.2f", res.WarmGBHours)
+			row[8] = fmt.Sprintf("%.2f", res.SnapshotGBHours)
 		})
 	}
+	run.wait()
 	rep.Notes = append(rep.Notes,
 		"snapshot start costs come from the measured FaaSnap restore penalty of each function class",
 		"evict-to-snapshot approaches proactive's latency while creating snapshots only for functions the pool actually pushed out (§7.2)")

@@ -37,16 +37,21 @@ func Fig6(opt Options) *Report {
 		{"A→B", func(s *workload.Spec) workload.Input { return s.A }, func(s *workload.Spec) workload.Input { return s.B }},
 		{"B→A", func(s *workload.Spec) workload.Input { return s.B }, func(s *workload.Spec) workload.Input { return s.A }},
 	}
+	run := newRunner(opt)
 	for _, d := range dirs {
 		for _, fn := range specs {
-			arts := artifactsFor(host, fn, d.rec(fn))
-			row := []string{fn.Name, d.label}
-			for _, mode := range evalModes {
-				row = append(row, msPair(totals(runTrials(host, arts, mode, d.tst(fn), trials))))
-			}
+			arts := recorded(host, fn, d.rec(fn))
+			row := make([]string, 2+len(evalModes))
+			row[0], row[1] = fn.Name, d.label
 			rep.Rows = append(rep.Rows, row)
+			for mi, mode := range evalModes {
+				mi := mi
+				t := run.trials(host, arts, mode, d.tst(fn), trials)
+				run.then(func() { row[2+mi] = msPair(t.totals()) })
+			}
 		}
 	}
+	run.wait()
 	rep.Notes = append(rep.Notes,
 		"paper claim C1: FaaSnap ≈2.0x faster than Firecracker and ≈1.4x faster than REAP on average, within a few % of Cached")
 	return rep
@@ -67,17 +72,24 @@ func Fig7(opt Options) *Report {
 	}
 	bar := plot.BarChart{Title: "Figure 7: synthetic functions", YLabel: "execution time (ms)"}
 	seriesY := make([][]float64, len(evalModes))
+	run := newRunner(opt)
 	for _, fn := range workload.Synthetic() {
-		arts := artifactsFor(host, fn, fn.A)
-		row := []string{fn.Name}
+		arts := recorded(host, fn, fn.A)
+		row := make([]string, 1+len(evalModes))
+		row[0] = fn.Name
+		rep.Rows = append(rep.Rows, row)
 		bar.Groups = append(bar.Groups, fn.Name)
 		for mi, mode := range evalModes {
-			s := totals(runTrials(host, arts, mode, fn.B, trials))
-			row = append(row, msPair(s))
-			seriesY[mi] = append(seriesY[mi], float64(s.mean())/1e6)
+			mi := mi
+			t := run.trials(host, arts, mode, fn.B, trials)
+			run.then(func() {
+				s := t.totals()
+				row[1+mi] = msPair(s)
+				seriesY[mi] = append(seriesY[mi], float64(s.mean())/1e6)
+			})
 		}
-		rep.Rows = append(rep.Rows, row)
 	}
+	run.wait()
 	for mi, mode := range evalModes {
 		bar.Series = append(bar.Series, plot.Series{Name: mode.String(), Y: seriesY[mi]})
 	}
@@ -110,9 +122,11 @@ func Fig8(opt Options) *Report {
 	for _, m := range evalModes {
 		rep.Header = append(rep.Header, m.String())
 	}
+	run := newRunner(opt)
 	for _, fn := range specs {
-		arts := artifactsFor(host, fn, fn.A)
-		chart := plot.Chart{
+		fn := fn
+		arts := recorded(host, fn, fn.A)
+		chart := &plot.Chart{
 			Title:  fmt.Sprintf("Figure 8: %s", fn.Name),
 			XLabel: "input size ratio",
 			YLabel: "execution time (ms)",
@@ -123,19 +137,30 @@ func Fig8(opt Options) *Report {
 			series[mi].Name = mode.String()
 		}
 		for _, ratio := range ratios {
+			ratio := ratio
 			in := fn.InputForRatio(ratio)
-			row := []string{fn.Name, fmt.Sprintf("%g", ratio)}
-			for mi, mode := range evalModes {
-				mean := totals(runTrials(host, arts, mode, in, trials)).mean()
-				row = append(row, ms(mean))
-				series[mi].X = append(series[mi].X, ratio)
-				series[mi].Y = append(series[mi].Y, float64(mean)/1e6)
-			}
+			row := make([]string, 2+len(evalModes))
+			row[0], row[1] = fn.Name, fmt.Sprintf("%g", ratio)
 			rep.Rows = append(rep.Rows, row)
+			for mi, mode := range evalModes {
+				mi := mi
+				t := run.trials(host, arts, mode, in, trials)
+				run.then(func() {
+					mean := t.totals().mean()
+					row[2+mi] = ms(mean)
+					series[mi].X = append(series[mi].X, ratio)
+					series[mi].Y = append(series[mi].Y, float64(mean)/1e6)
+				})
+			}
 		}
-		chart.Series = series
-		rep.Charts = append(rep.Charts, NamedSVG{Name: "fig8-" + fn.Name, SVG: chart.SVG()})
+		// Chart assembly runs after every then above it (submission
+		// order), once this function's series are complete.
+		run.then(func() {
+			chart.Series = series
+			rep.Charts = append(rep.Charts, NamedSVG{Name: "fig8-" + fn.Name, SVG: chart.SVG()})
+		})
 	}
+	run.wait()
 	rep.Notes = append(rep.Notes,
 		"paper claim C2: REAP degrades steeply for ratios > 1 (worse than Firecracker for several functions at 4x); FaaSnap tracks Cached across the range")
 	return rep
@@ -155,24 +180,31 @@ func Table3(opt Options) *Report {
 	if opt.Quick {
 		fns = []string{"image"}
 	}
+	run := newRunner(opt)
 	for _, name := range fns {
+		name := name
 		fn, err := workload.ByName(name)
 		if err != nil {
 			panic(err)
 		}
-		arts := artifactsFor(host, fn, fn.A)
+		arts := recorded(host, fn, fn.A)
 		for _, mode := range []core.Mode{core.ModeREAP, core.ModeFaaSnap} {
-			r := core.RunSingle(host, arts, mode, fn.B)
-			rep.Rows = append(rep.Rows, []string{
-				fmt.Sprintf("%s, %s", mode, name),
-				ms(r.Total) + " ms",
-				ms(r.Fetch) + " ms",
-				fmt.Sprintf("%.0f MB", float64(r.FetchBytes)/(1<<20)),
-				fmt.Sprintf("%.1f MB", r.GuestFaultMB),
-				ms(r.Faults.WaitingTime()) + " ms",
+			mode := mode
+			c := run.single(host, arts, mode, fn.B)
+			run.then(func() {
+				r := c.res
+				rep.Rows = append(rep.Rows, []string{
+					fmt.Sprintf("%s, %s", mode, name),
+					ms(r.Total) + " ms",
+					ms(r.Fetch) + " ms",
+					fmt.Sprintf("%.0f MB", float64(r.FetchBytes)/(1<<20)),
+					fmt.Sprintf("%.1f MB", r.GuestFaultMB),
+					ms(r.Faults.WaitingTime()) + " ms",
+				})
 			})
 		}
 	}
+	run.wait()
 	rep.Notes = append(rep.Notes,
 		"paper reference: REAP/ffmpeg 1408ms total, 257ms fetch; FaaSnap/ffmpeg 1070ms, 107ms fetch (concurrent); REAP/image 480ms vs FaaSnap/image 136ms (3.5x)",
 		"FaaSnap's fetch overlaps execution; REAP's is a blocking prefix")
@@ -190,23 +222,29 @@ func Fig9(opt Options) *Report {
 	if err != nil {
 		panic(err)
 	}
-	arts := artifactsFor(host, fn, fn.A)
+	arts := recorded(host, fn, fn.A)
 	rep := &Report{
 		Name:  "fig9",
 		Title: "Optimization steps and their effects (image, record A → test B)",
 		Header: []string{"step", "invocation time (ms)", "major page faults",
 			"page fault time (ms)", "block requests"},
 	}
+	run := newRunner(opt)
 	for _, mode := range fig9Steps {
-		r := core.RunSingle(host, arts, mode, fn.B)
-		rep.Rows = append(rep.Rows, []string{
-			mode.String(),
-			ms(r.Invoke),
-			fmt.Sprintf("%d", r.Faults.Majors()),
-			ms(r.Faults.TotalTime()),
-			fmt.Sprintf("%d", r.BlockRequests),
+		mode := mode
+		c := run.single(host, arts, mode, fn.B)
+		run.then(func() {
+			r := c.res
+			rep.Rows = append(rep.Rows, []string{
+				mode.String(),
+				ms(r.Invoke),
+				fmt.Sprintf("%d", r.Faults.Majors()),
+				ms(r.Faults.TotalTime()),
+				fmt.Sprintf("%d", r.BlockRequests),
+			})
 		})
 	}
+	run.wait()
 	rep.Notes = append(rep.Notes,
 		"expected shape: each step reduces invocation time; full FaaSnap has the fewest majors, shortest fault time, fewest block requests")
 	return rep
@@ -226,23 +264,28 @@ func Footprint(opt Options) *Report {
 		Header: []string{"function", "firecracker", "reap", "faasnap", "faasnap/firecracker"},
 	}
 	var ratioSum float64
+	run := newRunner(opt)
+	foot := func(r *core.InvokeResult) float64 {
+		return float64(r.RSSPages*4096+r.CacheBytes) / (1 << 20)
+	}
 	for _, fn := range specs {
-		arts := artifactsFor(host, fn, fn.A)
-		foot := func(mode core.Mode) float64 {
-			r := core.RunSingle(host, arts, mode, fn.B)
-			return float64(r.RSSPages*4096+r.CacheBytes) / (1 << 20)
-		}
-		fc := foot(core.ModeFirecracker)
-		reap := foot(core.ModeREAP)
-		fs := foot(core.ModeFaaSnap)
-		ratio := fs / fc
-		ratioSum += ratio
-		rep.Rows = append(rep.Rows, []string{
-			fn.Name,
-			fmt.Sprintf("%.0f", fc), fmt.Sprintf("%.0f", reap), fmt.Sprintf("%.0f", fs),
-			fmt.Sprintf("%.2f", ratio),
+		fn := fn
+		arts := recorded(host, fn, fn.A)
+		cFC := run.single(host, arts, core.ModeFirecracker, fn.B)
+		cReap := run.single(host, arts, core.ModeREAP, fn.B)
+		cFS := run.single(host, arts, core.ModeFaaSnap, fn.B)
+		run.then(func() {
+			fc, reap, fs := foot(cFC.res), foot(cReap.res), foot(cFS.res)
+			ratio := fs / fc
+			ratioSum += ratio
+			rep.Rows = append(rep.Rows, []string{
+				fn.Name,
+				fmt.Sprintf("%.0f", fc), fmt.Sprintf("%.0f", reap), fmt.Sprintf("%.0f", fs),
+				fmt.Sprintf("%.2f", ratio),
+			})
 		})
 	}
+	run.wait()
 	rep.Notes = append(rep.Notes,
 		fmt.Sprintf("mean faasnap/firecracker footprint ratio: %.2f (paper: ≈1.06 on average)", ratioSum/float64(len(specs))))
 	return rep

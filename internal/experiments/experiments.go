@@ -30,13 +30,14 @@ type Options struct {
 	Trials int
 	// Quick restricts function sets and trials for fast smoke runs.
 	Quick bool
+	// Parallel caps the number of worker goroutines the experiment
+	// runner fans simulation cells across; 0 uses all cores. Results
+	// are bit-for-bit independent of this value.
+	Parallel int
 }
 
 func (o Options) host() core.HostConfig {
-	if o.Host.Disk.Bandwidth == 0 {
-		return core.DefaultHostConfig()
-	}
-	return o.Host
+	return o.Host.WithDefaults()
 }
 
 func (o Options) trials(def int) int {
@@ -108,25 +109,37 @@ func (r *Report) CSV() string {
 }
 
 // artifact cache: record phases are deterministic and reused across
-// experiments within one process.
+// experiments within one process. Each key gets its own sync.Once so
+// distinct record phases run concurrently under the parallel runner
+// while each one still happens exactly once; the mutex only guards the
+// map itself. Cached Artifacts are shared across goroutines and must
+// be treated as immutable — variants go through Artifacts.Clone.
 var (
 	artsMu    sync.Mutex
-	artsCache = map[string]*core.Artifacts{}
+	artsCache = map[string]*artsEntry{}
 )
+
+type artsEntry struct {
+	once sync.Once
+	arts *core.Artifacts
+}
 
 // artifactsFor records fn with the given input (cached).
 func artifactsFor(host core.HostConfig, fn *workload.Spec, in workload.Input) *core.Artifacts {
 	key := fmt.Sprintf("%s/%s/%d/%s", fn.Name, in.Name, in.Seed, host.Disk.Name)
 	artsMu.Lock()
-	defer artsMu.Unlock()
-	if a, ok := artsCache[key]; ok {
-		return a
+	e, ok := artsCache[key]
+	if !ok {
+		e = &artsEntry{}
+		artsCache[key] = e
 	}
-	recHost := host
-	recHost.Seed = 1
-	arts, _ := core.Record(recHost, fn, in)
-	artsCache[key] = arts
-	return arts
+	artsMu.Unlock()
+	e.once.Do(func() {
+		recHost := host
+		recHost.Seed = 1
+		e.arts, _ = core.Record(recHost, fn, in)
+	})
+	return e.arts
 }
 
 // sample is a set of repeated measurements.
@@ -154,18 +167,6 @@ func (s sample) std() time.Duration {
 		varsum += d * d
 	}
 	return time.Duration(math.Sqrt(varsum / float64(len(s))))
-}
-
-// runTrials invokes (arts, mode, in) `trials` times with distinct
-// seeds and returns the results.
-func runTrials(host core.HostConfig, arts *core.Artifacts, mode core.Mode, in workload.Input, trials int) []*core.InvokeResult {
-	out := make([]*core.InvokeResult, trials)
-	for t := 0; t < trials; t++ {
-		cfg := host
-		cfg.Seed = int64(1000*t + 7)
-		out[t] = core.RunSingle(cfg, arts, mode, in)
-	}
-	return out
 }
 
 func totals(results []*core.InvokeResult) sample {

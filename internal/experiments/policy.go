@@ -30,16 +30,35 @@ func PolicyReport(opt Options) *Report {
 		Header: []string{"function", "mean gap", "policy", "warm", "snapshot", "cold",
 			"p95 start (ms)", "warm GBh", "snap GBh"},
 	}
+	// Measure the per-mode start costs through the runner; the policy
+	// simulations themselves are cheap and run after the barrier.
+	run := newRunner(opt)
+	type measured struct {
+		name                       string
+		arts                       artsSource
+		warm, cold, fsnap, vanilla *invocation
+	}
+	var cells []measured
 	for _, name := range fns {
 		fn, err := workload.ByName(name)
 		if err != nil {
 			panic(err)
 		}
-		arts := artifactsFor(host, fn, fn.A)
-		warm := core.RunSingle(host, arts, core.ModeWarm, fn.B)
-		cold := core.RunSingle(host, arts, core.ModeCold, fn.B)
-		fsnap := core.RunSingle(host, arts, core.ModeFaaSnap, fn.B)
-		vanilla := core.RunSingle(host, arts, core.ModeFirecracker, fn.B)
+		arts := recorded(host, fn, fn.A)
+		cells = append(cells, measured{
+			name:    name,
+			arts:    arts,
+			warm:    run.single(host, arts, core.ModeWarm, fn.B),
+			cold:    run.single(host, arts, core.ModeCold, fn.B),
+			fsnap:   run.single(host, arts, core.ModeFaaSnap, fn.B),
+			vanilla: run.single(host, arts, core.ModeFirecracker, fn.B),
+		})
+	}
+	run.wait()
+	for _, c := range cells {
+		name := c.name
+		arts := c.arts()
+		warm, cold, fsnap, vanilla := c.warm.res, c.cold.res, c.fsnap.res, c.vanilla.res
 
 		baseCosts := policy.Costs{
 			WarmStart:     0,

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"testing"
+
+	"faasnap/internal/core"
+	"faasnap/internal/workload"
+)
+
+// TestRunnerDeterminism pins the runner's core contract: a report built
+// through the worker pool is byte-identical at any -parallel setting.
+// Fig8 covers trial fan-out with chart assembly; Fig10 covers burst
+// cells. 8 workers on any host (Parallel overrides GOMAXPROCS) gives
+// real goroutine interleaving; go test -race additionally proves the
+// cells share no state (every cell builds a fresh Host and sim.Env).
+func TestRunnerDeterminism(t *testing.T) {
+	for _, name := range []string{"fig8", "fig10"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			e, err := ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq := e.Run(Options{Quick: true, Parallel: 1}).String()
+			par := e.Run(Options{Quick: true, Parallel: 8}).String()
+			if seq != par {
+				t.Fatalf("%s differs between -parallel 1 and 8:\n--- sequential ---\n%s\n--- parallel ---\n%s", name, seq, par)
+			}
+		})
+	}
+}
+
+// TestRunnerTrialsMatchSequential checks that the runner's trial cells
+// reproduce the sequential harness exactly: same per-trial seeds, same
+// slot order.
+func TestRunnerTrialsMatchSequential(t *testing.T) {
+	host := Options{}.host()
+	fn, err := workload.ByName("hello-world")
+	if err != nil {
+		t.Fatal(err)
+	}
+	arts := artifactsFor(host, fn, fn.A)
+
+	const n = 5
+	want := make([]*core.InvokeResult, n)
+	for i := 0; i < n; i++ {
+		cfg := host
+		cfg.Seed = int64(1000*i + 7)
+		want[i] = core.RunSingle(cfg, arts, core.ModeFaaSnap, fn.B)
+	}
+
+	run := newRunner(Options{Parallel: 8})
+	ts := run.trials(host, fixed(arts), core.ModeFaaSnap, fn.B, n)
+	run.wait()
+
+	for i := 0; i < n; i++ {
+		if ts.results[i].Total != want[i].Total || ts.results[i].Setup != want[i].Setup {
+			t.Fatalf("trial %d: runner %v/%v, sequential %v/%v",
+				i, ts.results[i].Setup, ts.results[i].Total, want[i].Setup, want[i].Total)
+		}
+	}
+}
+
+// TestRunnerPanicPropagates checks that a cell panic surfaces on the
+// goroutine calling wait, not in a worker.
+func TestRunnerPanicPropagates(t *testing.T) {
+	run := newRunner(Options{Parallel: 4})
+	for i := 0; i < 8; i++ {
+		run.submit(func() {})
+	}
+	run.submit(func() { panic("cell exploded") })
+	defer func() {
+		if p := recover(); p != "cell exploded" {
+			t.Fatalf("recovered %v, want the cell's panic", p)
+		}
+	}()
+	run.wait()
+}
+
+// TestRunnerThenOrder checks that then-callbacks run after the barrier
+// in submission order regardless of cell completion order.
+func TestRunnerThenOrder(t *testing.T) {
+	run := newRunner(Options{Parallel: 8})
+	var order []int
+	for i := 0; i < 16; i++ {
+		i := i
+		run.submit(func() {})
+		run.then(func() { order = append(order, i) })
+	}
+	run.wait()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("then order = %v", order)
+		}
+	}
+	if len(order) != 16 {
+		t.Fatalf("ran %d then-callbacks, want 16", len(order))
+	}
+}

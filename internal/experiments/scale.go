@@ -31,18 +31,20 @@ func Fig10(opt Options) *Report {
 	for _, m := range burstModes {
 		rep.Header = append(rep.Header, m.String())
 	}
+	run := newRunner(opt)
 	for _, name := range fns {
+		name := name
 		fn, err := workload.ByName(name)
 		if err != nil {
 			panic(err)
 		}
-		arts := artifactsFor(host, fn, fn.A)
+		arts := recorded(host, fn, fn.A)
 		for _, same := range []bool{true, false} {
 			label := "same"
 			if !same {
 				label = "different"
 			}
-			chart := plot.Chart{
+			chart := &plot.Chart{
 				Title:  fmt.Sprintf("Figure 10: %s, %s snapshots", name, label),
 				XLabel: "parallel invocations",
 				YLabel: "mean execution time (ms)",
@@ -53,21 +55,30 @@ func Fig10(opt Options) *Report {
 				series[mi].Name = mode.String()
 			}
 			for _, par := range parallels {
-				row := []string{name, label, fmt.Sprintf("%d", par)}
+				par := par
+				row := make([]string, 3+len(burstModes))
+				row[0], row[1], row[2] = name, label, fmt.Sprintf("%d", par)
+				rep.Rows = append(rep.Rows, row)
 				for mi, mode := range burstModes {
+					mi := mi
 					cfg := host
 					cfg.Seed = int64(par)
-					br := core.RunBurst(cfg, arts, mode, fn.A, par, same)
-					row = append(row, fmt.Sprintf("%s±%s", ms(br.Mean), ms(br.Std)))
-					series[mi].X = append(series[mi].X, float64(par))
-					series[mi].Y = append(series[mi].Y, float64(br.Mean)/1e6)
+					b := run.burst(cfg, arts, mode, fn.A, par, same)
+					run.then(func() {
+						br := b.res
+						row[3+mi] = fmt.Sprintf("%s±%s", ms(br.Mean), ms(br.Std))
+						series[mi].X = append(series[mi].X, float64(par))
+						series[mi].Y = append(series[mi].Y, float64(br.Mean)/1e6)
+					})
 				}
-				rep.Rows = append(rep.Rows, row)
 			}
-			chart.Series = series
-			rep.Charts = append(rep.Charts, NamedSVG{Name: fmt.Sprintf("fig10-%s-%s", name, label), SVG: chart.SVG()})
+			run.then(func() {
+				chart.Series = series
+				rep.Charts = append(rep.Charts, NamedSVG{Name: fmt.Sprintf("fig10-%s-%s", name, label), SVG: chart.SVG()})
+			})
 		}
 	}
+	run.wait()
 	rep.Notes = append(rep.Notes,
 		"paper claim C3: FaaSnap ≤ REAP everywhere (REAP bypasses the page cache); Firecracker degrades fastest with different snapshots; all rise at 64 as CPU bottlenecks")
 	return rep
@@ -93,17 +104,24 @@ func Fig11(opt Options) *Report {
 	}
 	bar := plot.BarChart{Title: "Figure 11: remote storage (EBS)", YLabel: "execution time (ms)"}
 	seriesY := make([][]float64, len(burstModes))
+	run := newRunner(opt)
 	for _, fn := range specs {
-		arts := artifactsFor(host, fn, fn.A)
-		row := []string{fn.Name}
+		arts := recorded(host, fn, fn.A)
+		row := make([]string, 1+len(burstModes))
+		row[0] = fn.Name
+		rep.Rows = append(rep.Rows, row)
 		bar.Groups = append(bar.Groups, fn.Name)
 		for mi, mode := range burstModes {
-			s := totals(runTrials(host, arts, mode, fn.B, trials))
-			row = append(row, msPair(s))
-			seriesY[mi] = append(seriesY[mi], float64(s.mean())/1e6)
+			mi := mi
+			t := run.trials(host, arts, mode, fn.B, trials)
+			run.then(func() {
+				s := t.totals()
+				row[1+mi] = msPair(s)
+				seriesY[mi] = append(seriesY[mi], float64(s.mean())/1e6)
+			})
 		}
-		rep.Rows = append(rep.Rows, row)
 	}
+	run.wait()
 	for mi, mode := range burstModes {
 		bar.Series = append(bar.Series, plot.Series{Name: mode.String(), Y: seriesY[mi]})
 	}
@@ -134,14 +152,22 @@ func Tiered(opt Options) *Report {
 		Title:  "FaaSnap with tiered snapshot storage (ms, mean±std)",
 		Header: []string{"function", "all local NVMe", "all remote EBS", "LS local + mem remote"},
 	}
+	placements := []core.HostConfig{local, remote, tiered}
+	run := newRunner(opt)
 	for _, fn := range specs {
-		arts := artifactsFor(local, fn, fn.A)
-		row := []string{fn.Name}
-		for _, host := range []core.HostConfig{local, remote, tiered} {
-			row = append(row, msPair(totals(runTrials(host, arts, mode(core.ModeFaaSnap), fn.B, trials))))
-		}
+		// The record phase always runs against the local profile; the
+		// same artifacts serve all three placements.
+		arts := recorded(local, fn, fn.A)
+		row := make([]string, 1+len(placements))
+		row[0] = fn.Name
 		rep.Rows = append(rep.Rows, row)
+		for hi, host := range placements {
+			hi := hi
+			t := run.trials(host, arts, mode(core.ModeFaaSnap), fn.B, trials)
+			run.then(func() { row[1+hi] = msPair(t.totals()) })
+		}
 	}
+	run.wait()
 	rep.Notes = append(rep.Notes,
 		"tiered placement keeps most of the loading-set benefit while storing the bulk of snapshot bytes remotely (§7.2)")
 	return rep
@@ -164,16 +190,22 @@ func ColdStart(opt Options) *Report {
 		Title:  "Cold starts vs snapshots vs warm starts (ms)",
 		Header: []string{"function", "cold", "faasnap", "warm", "cold/faasnap", "faasnap/warm"},
 	}
+	run := newRunner(opt)
 	for _, fn := range specs {
-		arts := artifactsFor(host, fn, fn.A)
-		cold := core.RunSingle(host, arts, core.ModeCold, fn.B).Total
-		fs := core.RunSingle(host, arts, core.ModeFaaSnap, fn.B).Total
-		warm := core.RunSingle(host, arts, core.ModeWarm, fn.B).Total
-		rep.Rows = append(rep.Rows, []string{
-			fn.Name, ms(cold), ms(fs), ms(warm),
-			ratio(cold, fs), ratio(fs, warm),
+		fn := fn
+		arts := recorded(host, fn, fn.A)
+		cCold := run.single(host, arts, core.ModeCold, fn.B)
+		cFS := run.single(host, arts, core.ModeFaaSnap, fn.B)
+		cWarm := run.single(host, arts, core.ModeWarm, fn.B)
+		run.then(func() {
+			cold, fs, warm := cCold.res.Total, cFS.res.Total, cWarm.res.Total
+			rep.Rows = append(rep.Rows, []string{
+				fn.Name, ms(cold), ms(fs), ms(warm),
+				ratio(cold, fs), ratio(fs, warm),
+			})
 		})
 	}
+	run.wait()
 	rep.Notes = append(rep.Notes,
 		"cold start = VMM start + kernel boot (~125ms) + runtime/library initialization from the rootfs (§2.1: 'from several seconds up to minutes')",
 		"snapshots replace cold starts for functions invoked too rarely to keep warm (§7.1)")
