@@ -91,7 +91,7 @@ func main() {
 	case "list":
 		call("GET", "/functions", nil)
 	case "metrics":
-		call("GET", "/metrics", nil)
+		call("GET", "/metrics.json", nil)
 	case "traces":
 		if len(rest) == 0 {
 			call("GET", "/traces", nil)

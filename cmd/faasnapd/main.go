@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -45,8 +46,26 @@ func run(logger *log.Logger) error {
 		kvAddr     = flag.String("kv", "", "kvstore address for input descriptors (empty = none)")
 		kvEmbedded = flag.Bool("kv-embedded", false, "start an embedded kvstore and use it")
 		disk       = flag.String("disk", "nvme", "snapshot storage device: nvme or ebs")
+		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = off)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// A dedicated mux keeps the profiler off the API listener and
+		// away from http.DefaultServeMux.
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			logger.Printf("pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, pmux); err != nil {
+				logger.Printf("pprof server: %v", err)
+			}
+		}()
+	}
 
 	host := core.DefaultHostConfig()
 	switch *disk {
@@ -85,6 +104,9 @@ func run(logger *log.Logger) error {
 		ReadHeaderTimeout: 5 * time.Second,
 		IdleTimeout:       120 * time.Second,
 	}
+	// Fault-watch streams never end on their own; drop them when
+	// Shutdown starts so draining doesn't wait out its whole deadline.
+	srv.RegisterOnShutdown(d.DrainStreams)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

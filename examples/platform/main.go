@@ -105,6 +105,6 @@ func main() {
 		st, _ := e.Info()
 		fmt.Printf("\npersisted artifact: %s (%d bytes)\n", e.Name(), st.Size())
 	}
-	m := call("GET", srv.URL+"/metrics", nil)
+	m := call("GET", srv.URL+"/metrics.json", nil)
 	fmt.Printf("daemon metrics: %v\n", m)
 }

@@ -307,6 +307,12 @@ type InvokeResult struct {
 	RSSPages   int64 // guest RSS after the invocation
 	CacheBytes int64 // host page cache footprint after the invocation
 
+	// CacheStats is the page cache activity attributable to this
+	// invocation (delta of the host cache counters across the measured
+	// run; hosts are shared under bursts, so absolute counters would
+	// double count).
+	CacheStats pagecache.Stats
+
 	// FaultTrace holds the invocation-phase fault timeline when the
 	// deployment has fault tracing enabled (the bpftrace-style
 	// instrumentation used for Figures 2 and 9); nil otherwise.

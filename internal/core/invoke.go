@@ -309,6 +309,7 @@ func (d *Deployment) runMeasured(p *sim.Proc, vm *guest.VM, in workload.Input, r
 		})
 	}
 	faultReads0 := h.Dev.Stats().Class(blockdev.FaultRead).Requests
+	cacheStats0 := h.Cache.Stats()
 	start := p.Now()
 
 	// The guest's second vCPU (kernel threads, in-guest HTTP server)
@@ -344,6 +345,7 @@ func (d *Deployment) runMeasured(p *sim.Proc, vm *guest.VM, in workload.Input, r
 	r.GuestFaultMB = float64(faulted) * snapshot.PageSize / (1 << 20)
 	r.RSSPages = as.RSS()
 	r.CacheBytes = h.Cache.ResidentBytes()
+	r.CacheStats = h.Cache.Stats().Sub(cacheStats0)
 }
 
 // RunWarmChain serves a sequence of invocations on one warm VM: the

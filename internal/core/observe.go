@@ -1,0 +1,70 @@
+package core
+
+import (
+	"faasnap/internal/hostmm"
+	"faasnap/internal/pagecache"
+	"faasnap/internal/telemetry"
+)
+
+// ObserveInvoke adds one invocation's measurements to the telemetry
+// registry: per-mode invocation counts and phase latencies, fetch
+// activity, fault statistics, and page cache counters.
+func ObserveInvoke(reg *telemetry.Registry, r *InvokeResult) {
+	mode := telemetry.L("mode", r.Mode.String())
+	reg.Counter("faasnap_invocations_total",
+		"Invocations served, by snapshot-restore mode.", mode).Inc()
+	reg.Histogram("faasnap_invoke_setup_seconds",
+		"VM setup time: VMM start, restore, mappings, REAP fetch.", mode).
+		Observe(r.Setup)
+	reg.Histogram("faasnap_invoke_execution_seconds",
+		"Function execution time.", mode).
+		Observe(r.Invoke)
+	reg.Histogram("faasnap_invoke_total_seconds",
+		"End-to-end invocation time (setup plus execution).", mode).
+		Observe(r.Total)
+	if r.Fetch > 0 {
+		reg.Histogram("faasnap_fetch_seconds",
+			"Working-set fetch time (blocking for REAP, concurrent for FaaSnap loaders).", mode).
+			Observe(r.Fetch)
+	}
+	if r.FetchBytes > 0 {
+		reg.Counter("faasnap_fetch_bytes_total",
+			"Bytes fetched from working-set and loading-set files.", mode).
+			Add(float64(r.FetchBytes))
+	}
+	if r.Faults != nil {
+		hostmm.ObserveFaults(reg, r.Faults)
+	}
+	pagecache.ObserveStats(reg, r.CacheStats)
+}
+
+// ObserveRecord adds one record phase's measurements to the registry.
+func ObserveRecord(reg *telemetry.Registry, fn string, res RecordResult) {
+	labels := telemetry.L("function", fn)
+	reg.Counter("faasnap_records_total",
+		"Record phases executed, by function.", labels).Inc()
+	reg.Histogram("faasnap_record_seconds",
+		"Record-phase invocation wall time.", labels).
+		Observe(res.Duration)
+	reg.Gauge("faasnap_snapshot_bytes",
+		"Sparse size of the latest recorded memory snapshot.", labels).
+		Set(float64(res.SnapshotBytes))
+	reg.Gauge("faasnap_working_set_pages",
+		"FaaSnap working-set pages from the latest record.", labels).
+		Set(float64(res.WSPages))
+	reg.Gauge("faasnap_loading_set_pages",
+		"Loading-set file pages from the latest record.", labels).
+		Set(float64(res.LSPages))
+}
+
+// ObserveBurst adds every result of a burst run to the registry.
+func ObserveBurst(reg *telemetry.Registry, br BurstResult) {
+	for _, r := range br.Results {
+		if r != nil {
+			ObserveInvoke(reg, r)
+		}
+	}
+	reg.Counter("faasnap_bursts_total",
+		"Burst experiments executed, by mode.",
+		telemetry.L("mode", br.Mode.String())).Inc()
+}

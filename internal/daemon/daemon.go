@@ -29,6 +29,7 @@ import (
 	"faasnap/internal/guestagent"
 	"faasnap/internal/kvstore"
 	"faasnap/internal/snapfile"
+	"faasnap/internal/telemetry"
 	"faasnap/internal/trace"
 	"faasnap/internal/vmm"
 	"faasnap/internal/workload"
@@ -46,6 +47,9 @@ type Config struct {
 	KVAddr string
 	// Logger receives operational logs; nil discards them.
 	Logger *log.Logger
+	// Registry is the telemetry registry backing GET /metrics; nil
+	// creates a private one.
+	Registry *telemetry.Registry
 }
 
 // fnState is one managed function.
@@ -56,6 +60,9 @@ type fnState struct {
 	agent   *guestagent.Agent
 	arts    *core.Artifacts
 	record  *core.RecordResult
+	// lastFaults is the most recent invocation's fault timeline,
+	// pre-encoded as NDJSON lines for GET /functions/{name}/faults.
+	lastFaults [][]byte
 }
 
 // Daemon is the FaaSnap control plane.
@@ -67,7 +74,9 @@ type Daemon struct {
 	mu  sync.RWMutex
 	fns map[string]*fnState
 
-	traces *trace.Store
+	traces    *trace.Store
+	telemetry *telemetry.Registry
+	faults    *faultHub
 
 	stats struct {
 		sync.Mutex
@@ -85,7 +94,17 @@ func New(cfg Config) (*Daemon, error) {
 	// Fill host defaults field-wise: a partially-specified Host (custom
 	// costs, core count, seed) must survive construction intact.
 	cfg.Host = cfg.Host.WithDefaults()
-	d := &Daemon{cfg: cfg, log: cfg.Logger, fns: make(map[string]*fnState), traces: trace.NewStore(512)}
+	if cfg.Registry == nil {
+		cfg.Registry = telemetry.NewRegistry()
+	}
+	d := &Daemon{
+		cfg:       cfg,
+		log:       cfg.Logger,
+		fns:       make(map[string]*fnState),
+		traces:    trace.NewStore(512),
+		telemetry: cfg.Registry,
+		faults:    newFaultHub(),
+	}
 	d.stats.ByMode = make(map[string]int64)
 	if cfg.KVAddr != "" {
 		kv, err := kvstore.Dial(cfg.KVAddr)
@@ -106,7 +125,14 @@ func New(cfg Config) (*Daemon, error) {
 }
 
 // Close shuts down managed VMMs and connections.
+// DrainStreams disconnects long-lived watch streams (fault timelines)
+// so http.Server.Shutdown can finish; pass it to RegisterOnShutdown.
+func (d *Daemon) DrainStreams() {
+	d.faults.close()
+}
+
 func (d *Daemon) Close() {
+	d.DrainStreams()
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	for _, fs := range d.fns {
@@ -154,26 +180,38 @@ func (d *Daemon) fn(name string) (*fnState, bool) {
 // Handler returns the daemon's REST API handler.
 func (d *Daemon) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	// The metrics routes are deliberately uninstrumented: scraping must
+	// not change what the next scrape reports.
+	mux.HandleFunc("GET /metrics", d.handleMetricsProm)
+	mux.HandleFunc("GET /metrics.json", d.handleMetricsJSON)
+	handle := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, d.instrument(pattern, h))
+	}
+	handle("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 	})
-	mux.HandleFunc("GET /metrics", d.handleMetrics)
-	mux.HandleFunc("GET /functions", d.handleList)
-	mux.HandleFunc("PUT /functions/{name}", d.handleCreate)
-	mux.HandleFunc("GET /functions/{name}", d.handleGet)
-	mux.HandleFunc("DELETE /functions/{name}", d.handleDelete)
-	mux.HandleFunc("POST /functions/{name}/record", d.handleRecord)
-	mux.HandleFunc("POST /functions/{name}/invoke", d.handleInvoke)
-	mux.HandleFunc("POST /functions/{name}/burst", d.handleBurst)
-	mux.HandleFunc("GET /traces", d.handleTraceList)
-	mux.HandleFunc("GET /traces/{id}", d.handleTraceGet)
-	return mux
+	handle("GET /functions", d.handleList)
+	handle("PUT /functions/{name}", d.handleCreate)
+	handle("GET /functions/{name}", d.handleGet)
+	handle("DELETE /functions/{name}", d.handleDelete)
+	handle("POST /functions/{name}/record", d.handleRecord)
+	handle("POST /functions/{name}/invoke", d.handleInvoke)
+	handle("POST /functions/{name}/burst", d.handleBurst)
+	handle("GET /functions/{name}/faults", d.handleFaults)
+	handle("GET /traces", d.handleTraceList)
+	handle("GET /traces/{id}", d.handleTraceGet)
+	return d.logRequests(mux)
 }
 
 // recordTrace builds a Zipkin-style span tree for one invocation, as
-// the paper's artifact exposes through Zipkin (App. A.4).
-func (d *Daemon) recordTrace(fn string, r *core.InvokeResult) trace.ID {
-	id := d.traces.NextID()
+// the paper's artifact exposes through Zipkin (App. A.4). Remote spans
+// reported by lower layers (the VMM's snapshot-load handling, the
+// guest agent's invoke) are stitched in under the ids they already
+// carry: the daemon handed them the trace id and root span id via the
+// traceparent header before the work ran. VMM spans anchor at the
+// start of setup; guest-agent spans anchor at the start of execution,
+// keeping child timestamps at or after their parents'.
+func (d *Daemon) recordTrace(fn string, r *core.InvokeResult, id trace.ID, remote []telemetry.RemoteSpan) trace.ID {
 	b := trace.NewBuilder(id, fmt.Sprintf("invoke %s [%s]", fn, r.Mode))
 	root := b.Span("invocation", "", 0, r.Total, map[string]string{
 		"function": fn,
@@ -197,12 +235,40 @@ func (d *Daemon) recordTrace(fn string, r *core.InvokeResult) trace.ID {
 	b.Span("function-execution", root, r.Setup, r.Invoke, map[string]string{
 		"fault_time": r.Faults.TotalTime().String(),
 	})
+	for _, rs := range remote {
+		anchor := int64(0)
+		if rs.Service == "guest-agent" {
+			anchor = r.Setup.Microseconds()
+		}
+		tags := make(map[string]string, len(rs.Tags)+1)
+		for k, v := range rs.Tags {
+			tags[k] = v
+		}
+		tags["service"] = rs.Service
+		b.Append(&trace.Span{
+			SpanID:    trace.ID(rs.SpanID),
+			ParentID:  trace.ID(rs.ParentID),
+			Name:      rs.Name,
+			Timestamp: anchor + rs.StartUs,
+			Duration:  rs.DurUs,
+			Tags:      tags,
+		})
+	}
 	d.traces.Put(b.Finish())
 	return id
 }
 
 func (d *Daemon) handleTraceList(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, d.traces.List())
+	limit := 100
+	if s := r.URL.Query().Get("limit"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			writeErr(w, http.StatusBadRequest, "bad limit %q", s)
+			return
+		}
+		limit = n
+	}
+	writeJSON(w, http.StatusOK, d.traces.ListNewest(limit))
 }
 
 func (d *Daemon) handleTraceGet(w http.ResponseWriter, r *http.Request) {
@@ -328,7 +394,10 @@ func (d *Daemon) handleCreate(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, code, format, args...)
 		}
 		// Boot a clean VM through the Firecracker-style API.
+		// Telemetry is attached before the first API call so the boot
+		// itself is counted.
 		m := launchVMM(name)
+		m.SetTelemetry(d.telemetry)
 		c := m.Client()
 		if err := c.SetMachineConfig(vmm.MachineConfig{VcpuCount: 2, MemSizeMib: 2048}); err != nil {
 			bootFail(m, nil, http.StatusInternalServerError, "machine config: %v", err)
@@ -343,6 +412,7 @@ func (d *Daemon) handleCreate(w http.ResponseWriter, r *http.Request) {
 		agent := startAgent(name, func(req guestagent.InvokeRequest) (guestagent.InvokeReply, error) {
 			return guestagent.InvokeReply{}, nil
 		})
+		agent.SetTelemetry(d.telemetry)
 		if err := agent.Client().Health(); err != nil {
 			bootFail(m, agent, http.StatusInternalServerError, "guest agent: %v", err)
 			return
@@ -444,10 +514,14 @@ func regionMaps(arts *core.Artifacts, name string) []vmm.RegionMap {
 
 // restoreVMM sends the snapshot-load request a restore of the given
 // mode implies to a fresh VMM instance, validating the control-plane
-// path the paper's daemon exercises for every invocation.
-func (d *Daemon) restoreVMM(name string, arts *core.Artifacts, mode core.Mode) error {
+// path the paper's daemon exercises for every invocation. The trace
+// context rides the request; the VMM's spans come back for stitching.
+func (d *Daemon) restoreVMM(name string, arts *core.Artifacts, mode core.Mode, sc telemetry.SpanContext) ([]telemetry.RemoteSpan, error) {
 	m := vmm.Launch(name + "-restore")
+	m.SetTelemetry(d.telemetry)
 	defer m.Close()
+	c := m.Client()
+	c.SetTraceContext(sc)
 	req := vmm.SnapshotLoadRequest{
 		SnapshotPath: "/snapshots/" + name + ".state",
 		MemBackend:   vmm.MemBackend{BackendType: "File", BackendPath: "/snapshots/" + name + ".mem"},
@@ -456,13 +530,13 @@ func (d *Daemon) restoreVMM(name string, arts *core.Artifacts, mode core.Mode) e
 	if mode == core.ModeFaaSnap || mode == core.ModePerRegion {
 		req.RegionMaps = regionMaps(arts, name)
 	}
-	if err := m.Client().LoadSnapshot(req); err != nil {
-		return err
+	if err := c.LoadSnapshot(req); err != nil {
+		return nil, err
 	}
 	if st := m.State(); st != vmm.StateRunning {
-		return fmt.Errorf("restored VM in state %q", st)
+		return nil, fmt.Errorf("restored VM in state %q", st)
 	}
-	return nil
+	return c.TraceSpans(), nil
 }
 
 // inputDescriptor is what the daemon stores in the kvstore per input.
@@ -595,6 +669,7 @@ func (d *Daemon) handleRecord(w http.ResponseWriter, r *http.Request) {
 	d.stats.Lock()
 	d.stats.Records++
 	d.stats.Unlock()
+	core.ObserveRecord(d.telemetry, fs.spec.Name, res)
 	d.log.Printf("recorded %s input %s: ws=%d ls=%d regions=%d", fs.spec.Name, in.Name, res.WSPages, res.LSPages, res.LSRegions)
 	writeJSON(w, http.StatusOK, RecordResponse{
 		Function: fs.spec.Name,
@@ -690,16 +765,31 @@ func (d *Daemon) handleInvoke(w http.ResponseWriter, r *http.Request) {
 	fs.mu.Lock()
 	arts := fs.arts
 	fs.mu.Unlock()
+	// Allocate the trace id before any work runs so lower layers can
+	// parent their spans under the root span the trace builder will
+	// create first (SpanID keeps the derivation in sync).
+	traceID := d.traces.NextID()
+	rootSC := telemetry.SpanContext{TraceID: string(traceID), SpanID: string(trace.SpanID(traceID, 1))}
+	var remote []telemetry.RemoteSpan
+	// The guest agent's work is causally downstream of the VMM restore,
+	// so its spans parent under the restore's request span when one
+	// exists, else directly under the root.
+	agentParent := rootSC
 	// Drive the restore through the Firecracker-style API: a fresh VMM
 	// gets the snapshot-load request, including the per-region mapping
 	// plan for FaaSnap modes (the §5 API extension).
 	if mode != core.ModeWarm && mode != core.ModeCold {
-		if err := d.restoreVMM(fs.spec.Name, arts, mode); err != nil {
+		spans, err := d.restoreVMM(fs.spec.Name, arts, mode, rootSC)
+		if err != nil {
 			writeErr(w, http.StatusInternalServerError, "vmm restore: %v", err)
 			return
 		}
+		remote = append(remote, spans...)
+		if len(spans) > 0 {
+			agentParent.SpanID = spans[0].SpanID
+		}
 	}
-	res := core.RunSingle(d.cfg.Host, arts, mode, in)
+	res := core.RunSingleTraced(d.cfg.Host, arts, mode, in)
 	// Forward the request to the in-guest server, as the daemon does
 	// for a live VM ("it uses the guest IP address to connect to the
 	// Flask server for invoking functions", §5).
@@ -707,16 +797,21 @@ func (d *Daemon) handleInvoke(w http.ResponseWriter, r *http.Request) {
 	agent := fs.agent
 	fs.mu.Unlock()
 	if agent != nil {
-		if _, err := agent.Client().Invoke(guestagent.InvokeRequest{Input: in.Name}); err != nil {
+		ac := agent.Client()
+		ac.SetTraceContext(agentParent)
+		if _, err := ac.Invoke(guestagent.InvokeRequest{Input: in.Name}); err != nil {
 			d.log.Printf("guest agent invoke: %v", err)
 		}
+		remote = append(remote, ac.TraceSpans()...)
 	}
 	d.stats.Lock()
 	d.stats.Invocations++
 	d.stats.ByMode[mode.String()]++
 	d.stats.Unlock()
+	core.ObserveInvoke(d.telemetry, res)
 	out := toResponse(fs.spec.Name, res)
-	out.TraceID = string(d.recordTrace(fs.spec.Name, res))
+	out.TraceID = string(d.recordTrace(fs.spec.Name, res, traceID, remote))
+	d.publishFaults(fs, traceID, res)
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -793,15 +888,31 @@ func (d *Daemon) handleBurst(w http.ResponseWriter, r *http.Request) {
 	d.stats.Invocations += int64(req.Parallel)
 	d.stats.ByMode[mode.String()] += int64(req.Parallel)
 	d.stats.Unlock()
+	core.ObserveBurst(d.telemetry, br)
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func (d *Daemon) handleMetrics(w http.ResponseWriter, r *http.Request) {
+// handleMetricsProm serves the telemetry registry in Prometheus text
+// exposition format.
+func (d *Daemon) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	d.telemetry.WritePrometheus(w)
+}
+
+// handleMetricsJSON serves the legacy JSON counters (the pre-telemetry
+// GET /metrics payload, kept for existing consumers).
+func (d *Daemon) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
 	d.stats.Lock()
+	// Copy ByMode under the lock: writeJSON serializes after unlock,
+	// and the live map is mutated by concurrent invokes.
+	byMode := make(map[string]int64, len(d.stats.ByMode))
+	for k, v := range d.stats.ByMode {
+		byMode[k] = v
+	}
 	out := map[string]interface{}{
 		"records":     d.stats.Records,
 		"invocations": d.stats.Invocations,
-		"by_mode":     d.stats.ByMode,
+		"by_mode":     byMode,
 	}
 	d.stats.Unlock()
 	writeJSON(w, http.StatusOK, out)

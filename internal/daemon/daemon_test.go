@@ -114,7 +114,7 @@ func TestFullLifecycle(t *testing.T) {
 
 	// Metrics counted.
 	var metricsOut map[string]interface{}
-	doJSON(t, "GET", srv.URL+"/metrics", nil, &metricsOut)
+	doJSON(t, "GET", srv.URL+"/metrics.json", nil, &metricsOut)
 	if metricsOut["invocations"].(float64) != 2 {
 		t.Fatalf("metrics = %v", metricsOut)
 	}

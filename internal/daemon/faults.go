@@ -1,0 +1,160 @@
+package daemon
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+
+	"faasnap/internal/core"
+	"faasnap/internal/trace"
+)
+
+// faultHub fans invocation fault timelines out to watchers of
+// GET /functions/{name}/faults?watch=1. Lines are NDJSON; a slow
+// watcher drops lines rather than stalling the invoke path.
+type faultHub struct {
+	mu      sync.Mutex
+	subs    map[chan []byte]string // channel -> function filter
+	dropped int64
+	done    chan struct{} // closed on daemon drain; releases watchers
+	once    sync.Once
+}
+
+func newFaultHub() *faultHub {
+	return &faultHub{subs: make(map[chan []byte]string), done: make(chan struct{})}
+}
+
+// close releases every watcher. Server.Shutdown waits for in-flight
+// requests, and a watch stream never ends on its own, so the daemon
+// must cut them loose when draining starts.
+func (h *faultHub) close() {
+	h.once.Do(func() { close(h.done) })
+}
+
+// subscribe registers a watcher for one function's fault lines.
+func (h *faultHub) subscribe(fn string) chan []byte {
+	ch := make(chan []byte, 4096)
+	h.mu.Lock()
+	h.subs[ch] = fn
+	h.mu.Unlock()
+	return ch
+}
+
+func (h *faultHub) unsubscribe(ch chan []byte) {
+	h.mu.Lock()
+	delete(h.subs, ch)
+	h.mu.Unlock()
+}
+
+// publish delivers one line to every watcher of fn.
+func (h *faultHub) publish(fn string, line []byte) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for ch, filter := range h.subs {
+		if filter != fn {
+			continue
+		}
+		select {
+		case ch <- line:
+		default:
+			h.dropped++
+		}
+	}
+}
+
+// encodeFaultTimeline renders one traced invocation as NDJSON lines:
+// an "invocation" header, one "fault" line per event (the same fields
+// faasnap-trace writes with -jsonl), and an "end" line that marks the
+// group boundary for watch-mode consumers.
+func encodeFaultTimeline(fn string, traceID string, res *core.InvokeResult) [][]byte {
+	lines := make([][]byte, 0, len(res.FaultTrace)+2)
+	put := func(v interface{}) {
+		raw, err := json.Marshal(v)
+		if err != nil {
+			return
+		}
+		lines = append(lines, raw)
+	}
+	put(map[string]interface{}{
+		"event":    "invocation",
+		"function": fn,
+		"mode":     res.Mode.String(),
+		"input":    res.Input,
+		"trace_id": traceID,
+		"setup_us": res.Setup.Microseconds(),
+		"total_us": res.Total.Microseconds(),
+	})
+	for _, ev := range res.FaultTrace {
+		put(map[string]interface{}{
+			"event":  "fault",
+			"at_us":  ev.At.Microseconds(),
+			"page":   ev.Page,
+			"kind":   ev.Kind.String(),
+			"dur_us": float64(ev.Duration) / float64(time.Microsecond),
+			"write":  ev.Write,
+		})
+	}
+	put(map[string]interface{}{
+		"event":  "end",
+		"faults": len(res.FaultTrace),
+	})
+	return lines
+}
+
+// publishFaults stores the invocation's timeline as the function's
+// latest and streams it to watchers.
+func (d *Daemon) publishFaults(fs *fnState, id trace.ID, res *core.InvokeResult) {
+	lines := encodeFaultTimeline(fs.spec.Name, string(id), res)
+	fs.mu.Lock()
+	fs.lastFaults = lines
+	fs.mu.Unlock()
+	for _, ln := range lines {
+		d.faults.publish(fs.spec.Name, ln)
+	}
+}
+
+// handleFaults serves a function's fault timeline. Without ?watch=1 it
+// dumps the most recent invocation's timeline; with it, the response
+// streams timelines of invocations as they complete (chunked NDJSON)
+// until the client disconnects.
+func (d *Daemon) handleFaults(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	fs, ok := d.fn(name)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "function not registered")
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	if r.URL.Query().Get("watch") == "" {
+		fs.mu.Lock()
+		lines := fs.lastFaults
+		fs.mu.Unlock()
+		for _, ln := range lines {
+			_, _ = w.Write(ln)
+			_, _ = w.Write([]byte("\n"))
+		}
+		return
+	}
+	ch := d.faults.subscribe(name)
+	defer d.faults.unsubscribe(ch)
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+	_ = rc.Flush()
+	ctx := r.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-d.faults.done:
+			return
+		case line := <-ch:
+			if _, err := w.Write(append(line, '\n')); err != nil {
+				return
+			}
+			if err := rc.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}

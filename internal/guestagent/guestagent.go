@@ -16,9 +16,12 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"faasnap/internal/pipenet"
+	"faasnap/internal/telemetry"
 )
 
 // InvokeRequest asks the agent to run the installed function.
@@ -46,6 +49,7 @@ type Agent struct {
 	done   chan struct{}
 
 	invocations atomic.Int64
+	telCounter  *telemetry.Counter
 }
 
 // Start launches the agent for the named function VM.
@@ -61,7 +65,7 @@ func Start(name string, exec Executor) *Agent {
 	mux.HandleFunc("POST /invoke", a.handleInvoke)
 	mux.HandleFunc("GET /proc/sys/vm/sanitize_freed_pages", a.handleGetSanitize)
 	mux.HandleFunc("PUT /proc/sys/vm/sanitize_freed_pages", a.handlePutSanitize)
-	a.server = &http.Server{Handler: mux}
+	a.server = &http.Server{Handler: telemetry.TraceMiddleware("guest-agent", mux)}
 	go func() {
 		defer close(a.done)
 		_ = a.server.Serve(a.lis)
@@ -73,6 +77,14 @@ func Start(name string, exec Executor) *Agent {
 func (a *Agent) Close() {
 	_ = a.server.Close()
 	<-a.done
+}
+
+// SetTelemetry registers this agent's invocation counter in the
+// registry.
+func (a *Agent) SetTelemetry(reg *telemetry.Registry) {
+	a.telCounter = reg.Counter("faasnap_guest_invocations_total",
+		"Invocations served by the in-guest agent.",
+		telemetry.L("function", a.name))
 }
 
 // Sanitizing reports the guest kernel's freed-page sanitizing state.
@@ -101,12 +113,19 @@ func (a *Agent) handleInvoke(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusServiceUnavailable, "no function installed")
 		return
 	}
+	execStart := time.Now()
 	reply, err := a.exec(req)
+	telemetry.AddSpan(r, "guest-execute", 0, time.Since(execStart), map[string]string{
+		"function": a.name,
+	})
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	a.invocations.Add(1)
+	if a.telCounter != nil {
+		a.telCounter.Inc()
+	}
 	writeJSON(w, http.StatusOK, reply)
 }
 
@@ -141,12 +160,49 @@ func writeErr(w http.ResponseWriter, code int, format string, args ...interface{
 // Client is the daemon-side handle to a guest agent.
 type Client struct {
 	http *http.Client
+
+	mu    sync.Mutex
+	sc    telemetry.SpanContext
+	spans []telemetry.RemoteSpan
 }
 
 // Client returns an HTTP client connected to the agent over the
 // virtual network.
 func (a *Agent) Client() *Client {
-	return &Client{http: pipenet.HTTPClient(a.lis)}
+	c := &Client{}
+	c.http = pipenet.HTTPClientWithHook(a.lis, pipenet.Hook{
+		Before: func(req *http.Request) {
+			c.mu.Lock()
+			sc := c.sc
+			c.mu.Unlock()
+			telemetry.Inject(req.Header, sc)
+		},
+		After: func(resp *http.Response) {
+			spans, err := telemetry.DecodeSpans(resp.Header.Get(telemetry.SpansHeader))
+			if err != nil || len(spans) == 0 {
+				return
+			}
+			c.mu.Lock()
+			c.spans = append(c.spans, spans...)
+			c.mu.Unlock()
+		},
+	})
+	return c
+}
+
+// SetTraceContext makes subsequent requests carry the trace context.
+func (c *Client) SetTraceContext(sc telemetry.SpanContext) {
+	c.mu.Lock()
+	c.sc = sc
+	c.mu.Unlock()
+}
+
+// TraceSpans returns the spans the agent reported for this client's
+// traced requests so far.
+func (c *Client) TraceSpans() []telemetry.RemoteSpan {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]telemetry.RemoteSpan(nil), c.spans...)
 }
 
 // Health checks agent liveness.

@@ -1,0 +1,33 @@
+package hostmm
+
+import (
+	"faasnap/internal/metrics"
+	"faasnap/internal/telemetry"
+)
+
+// ObserveFaults adds one invocation's fault statistics to the
+// telemetry registry: per-kind counts, summed service time, and the
+// per-kind latency histograms the exposition exports alongside the
+// paper's Figure 2 bucketing.
+func ObserveFaults(reg *telemetry.Registry, s *metrics.FaultStats) {
+	for k := metrics.FaultKind(0); k < metrics.NumFaultKinds; k++ {
+		if s.Count[k] == 0 {
+			continue
+		}
+		labels := telemetry.L("kind", k.String())
+		reg.Counter("faasnap_faults_total",
+			"Guest page faults by resolution kind.", labels).
+			Add(float64(s.Count[k]))
+		reg.Counter("faasnap_fault_seconds_total",
+			"Summed fault service time by resolution kind.", labels).
+			Add(s.Time[k].Seconds())
+		reg.Histogram("faasnap_fault_latency_seconds",
+			"Per-fault service latency by resolution kind.", labels).
+			ObserveBucketed(&s.KindHist[k])
+	}
+	if s.VCPUBloc > 0 {
+		reg.Counter("faasnap_vcpu_blocked_seconds_total",
+			"Extra vCPU blocked time beyond fault service (kvm_vcpu_block).", nil).
+			Add(s.VCPUBloc.Seconds())
+	}
+}

@@ -33,6 +33,16 @@ const (
 	NumFaultKinds
 )
 
+// ParseFaultKind resolves a kind name as produced by String.
+func ParseFaultKind(s string) (FaultKind, error) {
+	for k := FaultKind(0); k < NumFaultKinds; k++ {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("metrics: unknown fault kind %q", s)
+}
+
 // String returns the kind name.
 func (k FaultKind) String() string {
 	switch k {
@@ -66,6 +76,10 @@ type Histogram struct {
 	Sum    time.Duration
 	MaxVal time.Duration
 }
+
+// BucketFor returns the bucket index for d, for code (the telemetry
+// registry) that shares this package's bucket layout.
+func BucketFor(d time.Duration) int { return bucketFor(d) }
 
 // bucketFor returns the bucket index for d: 0 is the underflow bucket
 // (< 0.5µs), bucket i covers [histBase·2^(i-1), histBase·2^i).
@@ -153,9 +167,13 @@ func (h *Histogram) String() string {
 
 // FaultStats aggregates page-fault activity for one invocation or run.
 type FaultStats struct {
-	Count    [NumFaultKinds]int64
-	Time     [NumFaultKinds]time.Duration
-	Hist     Histogram
+	Count [NumFaultKinds]int64
+	Time  [NumFaultKinds]time.Duration
+	Hist  Histogram
+	// KindHist is the per-fault-kind latency distribution, the
+	// vHive-style per-kind instrumentation the telemetry exposition
+	// exports as one Prometheus histogram per kind.
+	KindHist [NumFaultKinds]Histogram
 	VCPUBloc time.Duration // extra vCPU blocked time beyond fault service (kvm_vcpu_block)
 }
 
@@ -164,6 +182,7 @@ func (s *FaultStats) Record(k FaultKind, d time.Duration) {
 	s.Count[k]++
 	s.Time[k] += d
 	s.Hist.Add(d)
+	s.KindHist[k].Add(d)
 }
 
 // Total returns the number of faults of all kinds.
@@ -198,6 +217,7 @@ func (s *FaultStats) Merge(other *FaultStats) {
 	for k := 0; k < int(NumFaultKinds); k++ {
 		s.Count[k] += other.Count[k]
 		s.Time[k] += other.Time[k]
+		s.KindHist[k].Merge(&other.KindHist[k])
 	}
 	s.Hist.Merge(&other.Hist)
 	s.VCPUBloc += other.VCPUBloc

@@ -1,0 +1,21 @@
+package pagecache
+
+import "faasnap/internal/telemetry"
+
+// ObserveStats adds a stats delta to the telemetry registry's page
+// cache counters. Callers pass the per-invocation delta (Stats.Sub of
+// two snapshots) so shared caches are not double counted.
+func ObserveStats(reg *telemetry.Registry, s Stats) {
+	add := func(name, help string, v int64) {
+		if v > 0 {
+			reg.Counter(name, help, nil).Add(float64(v))
+		}
+	}
+	add("faasnap_pagecache_minor_hits_total", "Fault reads served from the page cache.", s.MinorHits)
+	add("faasnap_pagecache_misses_total", "Fault reads that had to touch the device.", s.Misses)
+	add("faasnap_pagecache_shared_waits_total", "Fault reads that waited on another reader's in-flight I/O.", s.SharedWaits)
+	add("faasnap_pagecache_readahead_pages_total", "Pages brought in by readahead beyond the faulting page.", s.ReadaheadPages)
+	add("faasnap_pagecache_populated_pages_total", "Pages inserted by bulk reads (loader, populate).", s.PopulatedPages)
+	add("faasnap_pagecache_async_ra_windows_total", "Background readahead windows issued.", s.AsyncRAWindows)
+	add("faasnap_pagecache_evictions_total", "Pages reclaimed under memory pressure.", s.Evictions)
+}

@@ -95,6 +95,20 @@ type Stats struct {
 	Evictions      int64 // pages reclaimed under memory pressure
 }
 
+// Sub returns s minus o, field by field: the activity between two
+// snapshots of a shared cache's counters.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		MinorHits:      s.MinorHits - o.MinorHits,
+		Misses:         s.Misses - o.Misses,
+		SharedWaits:    s.SharedWaits - o.SharedWaits,
+		ReadaheadPages: s.ReadaheadPages - o.ReadaheadPages,
+		PopulatedPages: s.PopulatedPages - o.PopulatedPages,
+		AsyncRAWindows: s.AsyncRAWindows - o.AsyncRAWindows,
+		Evictions:      s.Evictions - o.Evictions,
+	}
+}
+
 type pageKey struct {
 	file FileID
 	page int64

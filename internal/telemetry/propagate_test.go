@@ -1,0 +1,138 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	sc := SpanContext{TraceID: "00000000000000ab", SpanID: "00000000000000ab-0001"}
+	got, ok := ParseTraceparent(sc.Traceparent())
+	if !ok || got != sc {
+		t.Fatalf("round trip = %+v, %v; want %+v", got, ok, sc)
+	}
+	for _, bad := range []string{
+		"",
+		"00-abc",
+		"01-abc-def-01",  // wrong version prefix
+		"00-abc-def-00",  // wrong flags suffix
+		"00--x-01",       // empty trace id
+		"00-onlytrace-01",// no span id separator
+	} {
+		if _, ok := ParseTraceparent(bad); ok {
+			t.Fatalf("ParseTraceparent(%q) accepted", bad)
+		}
+	}
+}
+
+func TestInjectExtract(t *testing.T) {
+	h := http.Header{}
+	Inject(h, SpanContext{}) // invalid context injects nothing
+	if h.Get(TraceparentHeader) != "" {
+		t.Fatal("invalid context must not inject")
+	}
+	sc := SpanContext{TraceID: "cafe", SpanID: "cafe-0001"}
+	Inject(h, sc)
+	got, ok := Extract(h)
+	if !ok || got != sc {
+		t.Fatalf("extract = %+v, %v", got, ok)
+	}
+}
+
+func TestTraceMiddlewareReportsSpans(t *testing.T) {
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		AddSpan(r, "inner-work", 0, 5*time.Millisecond, map[string]string{"k": "v"})
+		w.WriteHeader(http.StatusCreated)
+		_, _ = w.Write([]byte(`{"ok":true}`))
+	})
+	srv := httptest.NewServer(TraceMiddleware("vmm", handler))
+	defer srv.Close()
+
+	sc := SpanContext{TraceID: "0000000000000001", SpanID: "0000000000000001-0001"}
+	req, _ := http.NewRequest(http.MethodPut, srv.URL+"/snapshot/load", nil)
+	Inject(req.Header, sc)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("status = %d (middleware must preserve handler status)", resp.StatusCode)
+	}
+	var body map[string]bool
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil || !body["ok"] {
+		t.Fatalf("body not preserved: %v %v", body, err)
+	}
+
+	spans, err := DecodeSpans(resp.Header.Get(SpansHeader))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d, want request span + handler span", len(spans))
+	}
+	reqSpan, inner := spans[0], spans[1]
+	if reqSpan.ParentID != sc.SpanID {
+		t.Fatalf("request span parent = %q, want the injected %q", reqSpan.ParentID, sc.SpanID)
+	}
+	if reqSpan.Name != "PUT /snapshot/load" || reqSpan.Service != "vmm" {
+		t.Fatalf("request span = %+v", reqSpan)
+	}
+	if reqSpan.Tags["http.status_code"] != "201" {
+		t.Fatalf("status tag = %q", reqSpan.Tags["http.status_code"])
+	}
+	if inner.ParentID != reqSpan.SpanID {
+		t.Fatalf("inner span parent = %q, want request span %q", inner.ParentID, reqSpan.SpanID)
+	}
+	if inner.Name != "inner-work" || inner.DurUs != 5000 || inner.Tags["k"] != "v" {
+		t.Fatalf("inner span = %+v", inner)
+	}
+	if reqSpan.DurUs < 1 || inner.StartUs < reqSpan.StartUs {
+		t.Fatalf("span timing inconsistent: %+v / %+v", reqSpan, inner)
+	}
+}
+
+func TestTraceMiddlewarePassthroughWithoutContext(t *testing.T) {
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		AddSpan(r, "ignored", 0, time.Millisecond, nil) // no-op outside a traced request
+		w.WriteHeader(http.StatusNoContent)
+	})
+	srv := httptest.NewServer(TraceMiddleware("vmm", handler))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if resp.Header.Get(SpansHeader) != "" {
+		t.Fatal("untraced request must not report spans")
+	}
+}
+
+func TestEncodeDecodeSpans(t *testing.T) {
+	if s := EncodeSpans(nil); s != "" {
+		t.Fatalf("empty encode = %q", s)
+	}
+	spans, err := DecodeSpans("")
+	if err != nil || spans != nil {
+		t.Fatalf("empty decode = %v, %v", spans, err)
+	}
+	if _, err := DecodeSpans("not json"); err == nil {
+		t.Fatal("bad header must error")
+	}
+	in := []RemoteSpan{{Name: "a", Service: "vmm", SpanID: "x-vmm-0001", ParentID: "x-0001", StartUs: 1, DurUs: 2}}
+	out, err := DecodeSpans(EncodeSpans(in))
+	if err != nil || len(out) != 1 {
+		t.Fatalf("round trip = %+v, %v", out, err)
+	}
+	if out[0].Name != "a" || out[0].Service != "vmm" || out[0].SpanID != "x-vmm-0001" ||
+		out[0].ParentID != "x-0001" || out[0].StartUs != 1 || out[0].DurUs != 2 {
+		t.Fatalf("round trip = %+v", out[0])
+	}
+}

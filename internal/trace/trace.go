@@ -35,6 +35,14 @@ type Trace struct {
 	Spans []*Span `json:"spans"`
 }
 
+// SpanID returns the nth span id derived from a trace id, the same
+// derivation Builder uses — callers that must know a span's id before
+// the builder creates it (the daemon hands the root span id to lower
+// layers as the traceparent) rely on the two staying in sync.
+func SpanID(traceID ID, n int) ID {
+	return ID(fmt.Sprintf("%s-%04x", traceID, n))
+}
+
 // Builder assembles one trace.
 type Builder struct {
 	trace *Trace
@@ -50,7 +58,7 @@ func NewBuilder(id ID, name string) *Builder {
 // An empty parent makes it a root span.
 func (b *Builder) Span(name string, parent ID, start, dur time.Duration, tags map[string]string) ID {
 	b.next++
-	id := ID(fmt.Sprintf("%s-%04x", b.trace.ID, b.next))
+	id := SpanID(b.trace.ID, b.next)
 	b.trace.Spans = append(b.trace.Spans, &Span{
 		TraceID:   b.trace.ID,
 		SpanID:    id,
@@ -63,16 +71,26 @@ func (b *Builder) Span(name string, parent ID, start, dur time.Duration, tags ma
 	return id
 }
 
+// Append adds an externally-built span (a lower layer's remote span,
+// already carrying its own ids) to the trace.
+func (b *Builder) Append(s *Span) {
+	s.TraceID = b.trace.ID
+	b.trace.Spans = append(b.trace.Spans, s)
+}
+
 // Finish returns the assembled trace.
 func (b *Builder) Finish() *Trace { return b.trace }
 
-// Store is a bounded in-memory trace store (newest wins), safe for
-// concurrent use.
+// Store is a bounded in-memory trace store, safe for concurrent use.
+// Trace ids live in a fixed-capacity ring buffer: storing past
+// capacity overwrites — and evicts — the oldest trace, so memory stays
+// bounded no matter how long the daemon runs.
 type Store struct {
 	mu     sync.RWMutex
 	byID   map[ID]*Trace
-	order  []ID
-	cap    int
+	ring   []ID // fixed-capacity ring of ids, oldest at head
+	head   int  // index of the oldest id
+	n      int  // number of ids in the ring
 	nextID uint64
 }
 
@@ -81,7 +99,7 @@ func NewStore(capacity int) *Store {
 	if capacity <= 0 {
 		capacity = 256
 	}
-	return &Store{byID: make(map[ID]*Trace), cap: capacity}
+	return &Store{byID: make(map[ID]*Trace), ring: make([]ID, capacity)}
 }
 
 // NextID allocates a fresh trace id.
@@ -96,15 +114,19 @@ func (s *Store) NextID() ID {
 func (s *Store) Put(t *Trace) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, exists := s.byID[t.ID]; !exists {
-		s.order = append(s.order, t.ID)
+	if _, exists := s.byID[t.ID]; exists {
+		s.byID[t.ID] = t
+		return
+	}
+	if s.n == len(s.ring) {
+		delete(s.byID, s.ring[s.head])
+		s.ring[s.head] = t.ID
+		s.head = (s.head + 1) % len(s.ring)
+	} else {
+		s.ring[(s.head+s.n)%len(s.ring)] = t.ID
+		s.n++
 	}
 	s.byID[t.ID] = t
-	for len(s.order) > s.cap {
-		evict := s.order[0]
-		s.order = s.order[1:]
-		delete(s.byID, evict)
-	}
 }
 
 // Get returns the trace with id.
@@ -119,7 +141,27 @@ func (s *Store) Get(id ID) (*Trace, bool) {
 func (s *Store) List() []ID {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return append([]ID(nil), s.order...)
+	ids := make([]ID, 0, s.n)
+	for i := 0; i < s.n; i++ {
+		ids = append(ids, s.ring[(s.head+i)%len(s.ring)])
+	}
+	return ids
+}
+
+// ListNewest returns up to limit trace ids, newest first. limit <= 0
+// returns all.
+func (s *Store) ListNewest(limit int) []ID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := s.n
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	ids := make([]ID, 0, n)
+	for i := 0; i < n; i++ {
+		ids = append(ids, s.ring[(s.head+s.n-1-i)%len(s.ring)])
+	}
+	return ids
 }
 
 // Len returns the number of stored traces.

@@ -110,6 +110,49 @@ func TestStoreOverwriteSameID(t *testing.T) {
 	}
 }
 
+func TestStoreListNewest(t *testing.T) {
+	s := NewStore(3)
+	var ids []ID
+	for i := 0; i < 5; i++ {
+		id := s.NextID()
+		ids = append(ids, id)
+		s.Put(NewBuilder(id, "t").Finish())
+	}
+	// Ring wrapped twice: the three survivors are ids[2..4].
+	got := s.ListNewest(0)
+	if len(got) != 3 || got[0] != ids[4] || got[1] != ids[3] || got[2] != ids[2] {
+		t.Fatalf("ListNewest(0) = %v, want newest-first %v", got, []ID{ids[4], ids[3], ids[2]})
+	}
+	if got := s.ListNewest(2); len(got) != 2 || got[0] != ids[4] || got[1] != ids[3] {
+		t.Fatalf("ListNewest(2) = %v", got)
+	}
+	// List stays oldest-first and consistent with the ring.
+	if l := s.List(); len(l) != 3 || l[0] != ids[2] || l[2] != ids[4] {
+		t.Fatalf("List = %v", l)
+	}
+}
+
+func TestSpanIDMatchesBuilder(t *testing.T) {
+	b := NewBuilder("feed", "x")
+	first := b.Span("root", "", 0, time.Second, nil)
+	if want := SpanID("feed", 1); first != want {
+		t.Fatalf("first builder span id = %q, want %q (SpanID derivation out of sync)", first, want)
+	}
+}
+
+func TestBuilderAppend(t *testing.T) {
+	b := NewBuilder("beef", "x")
+	b.Span("root", "", 0, time.Second, nil)
+	b.Append(&Span{SpanID: "beef-vmm-0001", ParentID: SpanID("beef", 1), Name: "remote", Timestamp: 5, Duration: 1})
+	tr := b.Finish()
+	if len(tr.Spans) != 2 {
+		t.Fatalf("spans = %d", len(tr.Spans))
+	}
+	if tr.Spans[1].TraceID != "beef" {
+		t.Fatalf("appended span traceId = %q, want the builder's", tr.Spans[1].TraceID)
+	}
+}
+
 func TestStoreConcurrent(t *testing.T) {
 	s := NewStore(64)
 	var wg sync.WaitGroup

@@ -6,19 +6,60 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
 
 	"faasnap/internal/pipenet"
+	"faasnap/internal/telemetry"
 )
 
 // Client talks HTTP to a machine's API socket, like the FaaSnap daemon
-// talks to Firecracker over its Unix socket.
+// talks to Firecracker over its Unix socket. When a trace context is
+// set, every request carries it and the VMM's reply spans are
+// collected for the daemon to stitch into the invocation trace.
 type Client struct {
 	http *http.Client
+
+	mu    sync.Mutex
+	sc    telemetry.SpanContext
+	spans []telemetry.RemoteSpan
 }
 
 // Client returns an API client for the machine.
 func (m *Machine) Client() *Client {
-	return &Client{http: pipenet.HTTPClient(m.lis)}
+	c := &Client{}
+	c.http = pipenet.HTTPClientWithHook(m.lis, pipenet.Hook{
+		Before: func(req *http.Request) {
+			c.mu.Lock()
+			sc := c.sc
+			c.mu.Unlock()
+			telemetry.Inject(req.Header, sc)
+		},
+		After: func(resp *http.Response) {
+			spans, err := telemetry.DecodeSpans(resp.Header.Get(telemetry.SpansHeader))
+			if err != nil || len(spans) == 0 {
+				return
+			}
+			c.mu.Lock()
+			c.spans = append(c.spans, spans...)
+			c.mu.Unlock()
+		},
+	})
+	return c
+}
+
+// SetTraceContext makes subsequent requests carry the trace context.
+func (c *Client) SetTraceContext(sc telemetry.SpanContext) {
+	c.mu.Lock()
+	c.sc = sc
+	c.mu.Unlock()
+}
+
+// TraceSpans returns the spans the VMM reported for this client's
+// traced requests so far.
+func (c *Client) TraceSpans() []telemetry.RemoteSpan {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]telemetry.RemoteSpan(nil), c.spans...)
 }
 
 // APIError is a non-2xx response from the VMM.

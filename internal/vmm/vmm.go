@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"faasnap/internal/pipenet"
+	"faasnap/internal/telemetry"
 )
 
 // State is the microVM lifecycle state.
@@ -92,6 +93,15 @@ type apiError struct {
 	FaultMessage string `json:"fault_message"`
 }
 
+// machineTelemetry holds the registry handles one machine updates over
+// its lifecycle.
+type machineTelemetry struct {
+	active    *telemetry.Gauge
+	boots     *telemetry.Counter
+	restores  *telemetry.Counter
+	snapshots *telemetry.Counter
+}
+
 // Machine is one microVM process: an API server plus lifecycle state.
 type Machine struct {
 	id string
@@ -104,6 +114,9 @@ type Machine struct {
 	snapshots  []SnapshotCreateRequest
 	generation uint64          // bumps on every snapshot load (§7.4)
 	failNext   map[string]bool // injected one-shot API faults, by op
+
+	tel       *machineTelemetry
+	telOnDown sync.Once // the active gauge decrements exactly once
 
 	lis    *pipenet.Listener
 	server *http.Server
@@ -126,7 +139,10 @@ func Launch(id string) *Machine {
 	mux.HandleFunc("/snapshot/create", m.handleSnapshotCreate)
 	mux.HandleFunc("/actions", m.handleActions)
 	mux.HandleFunc("/vm", m.handleVM)
-	m.server = &http.Server{Handler: mux}
+	// Requests carrying a trace context get a VMM-side span reported
+	// back in the response, so the daemon can stitch one trace across
+	// the API-socket hop.
+	m.server = &http.Server{Handler: telemetry.TraceMiddleware("vmm", mux)}
 	go func() {
 		defer close(m.done)
 		_ = m.server.Serve(m.lis) // returns on Close
@@ -158,10 +174,36 @@ func (m *Machine) Snapshots() []SnapshotCreateRequest {
 	return append([]SnapshotCreateRequest(nil), m.snapshots...)
 }
 
+// SetTelemetry registers this machine's lifecycle with reg: the
+// active-VM gauge rises now and falls on Close; boots, restores, and
+// snapshot creates count as the API serves them. A nil reg disables
+// telemetry.
+func (m *Machine) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	t := &machineTelemetry{
+		active:    reg.Gauge("faasnap_vmm_active", "Live microVM processes.", nil),
+		boots:     reg.Counter("faasnap_vmm_boots_total", "InstanceStart boots served by VMMs.", nil),
+		restores:  reg.Counter("faasnap_vmm_restores_total", "Snapshot loads served by VMMs.", nil),
+		snapshots: reg.Counter("faasnap_vmm_snapshots_total", "Snapshot creates served by VMMs.", nil),
+	}
+	m.mu.Lock()
+	m.tel = t
+	m.mu.Unlock()
+	t.active.Inc()
+}
+
 // Close shuts the machine down (like killing the VMM process).
 func (m *Machine) Close() {
 	_ = m.server.Close()
 	<-m.done
+	m.mu.Lock()
+	tel := m.tel
+	m.mu.Unlock()
+	if tel != nil {
+		m.telOnDown.Do(tel.active.Dec)
+	}
 }
 
 // InjectFault makes the machine's next API call against the named
@@ -288,6 +330,9 @@ func (m *Machine) handleSnapshotLoad(w http.ResponseWriter, r *http.Request) {
 	// A restored VM gets a fresh generation id so in-guest PRNGs can
 	// detect the restore and reseed (§7.4).
 	m.generation++
+	if m.tel != nil {
+		m.tel.restores.Inc()
+	}
 	if req.ResumeVM {
 		m.state = StateRunning
 	} else {
@@ -321,6 +366,9 @@ func (m *Machine) handleSnapshotCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	m.snapshots = append(m.snapshots, req)
+	if m.tel != nil {
+		m.tel.snapshots.Inc()
+	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -351,6 +399,9 @@ func (m *Machine) handleActions(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		m.state = StateRunning
+		if m.tel != nil {
+			m.tel.boots.Inc()
+		}
 		w.WriteHeader(http.StatusNoContent)
 	default:
 		writeErr(w, http.StatusBadRequest, "unknown action_type %q", act.ActionType)
