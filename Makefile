@@ -2,12 +2,13 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-short test-race bench experiments figures fuzz clean
+.PHONY: all check build vet test test-short test-race chaos bench experiments figures fuzz clean
 
 all: build vet test
 
-# What CI runs: compile, vet, full tests, and the race detector.
-check: build vet test test-race
+# What CI runs: compile, vet, full tests, the race detector, and the
+# fault-injection matrix.
+check: build vet test test-race chaos
 
 build:
 	$(GO) build ./...
@@ -26,6 +27,16 @@ test-short:
 # concurrency-safety check.
 test-race:
 	$(GO) test -race ./... -timeout 3000s
+
+# The fault-injection matrix (RESILIENCE.md): chaos and resilience
+# units plus the daemon failure-matrix and per-layer fault hooks, under
+# the race detector. Chaos profiles are seeded in the tests themselves,
+# so the injected fault sequences are fixed run to run.
+chaos:
+	$(GO) test -race -count=1 -timeout 900s \
+		./internal/chaos/ ./internal/resilience/ ./internal/daemon/ \
+		./internal/vmm/ ./internal/guestagent/ ./internal/pipenet/ \
+		./internal/blockdev/ ./internal/snapfile/
 
 bench:
 	$(GO) test -bench=. -benchmem -timeout 1500s

@@ -12,6 +12,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -24,6 +25,7 @@ import (
 	"time"
 
 	"faasnap/internal/blockdev"
+	"faasnap/internal/chaos"
 	"faasnap/internal/core"
 	"faasnap/internal/daemon"
 	"faasnap/internal/kvstore"
@@ -41,14 +43,31 @@ func main() {
 // main would skip.
 func run(logger *log.Logger) error {
 	var (
-		listen     = flag.String("listen", "127.0.0.1:8700", "daemon listen address")
-		state      = flag.String("state", "", "state directory for snapshot persistence (empty = none)")
-		kvAddr     = flag.String("kv", "", "kvstore address for input descriptors (empty = none)")
-		kvEmbedded = flag.Bool("kv-embedded", false, "start an embedded kvstore and use it")
-		disk       = flag.String("disk", "nvme", "snapshot storage device: nvme or ebs")
-		pprofAddr  = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = off)")
+		listen        = flag.String("listen", "127.0.0.1:8700", "daemon listen address")
+		state         = flag.String("state", "", "state directory for snapshot persistence (empty = none)")
+		kvAddr        = flag.String("kv", "", "kvstore address for input descriptors (empty = none)")
+		kvEmbedded    = flag.Bool("kv-embedded", false, "start an embedded kvstore and use it")
+		disk          = flag.String("disk", "nvme", "snapshot storage device: nvme or ebs")
+		pprofAddr     = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = off)")
+		chaosPath     = flag.String("chaos", "", "JSON chaos config armed at start (also settable live via PUT /chaos)")
+		invokeTimeout = flag.Duration("invoke-timeout", 0, "per-request deadline for /invoke and /burst (0 = default 30s)")
+		maxInFlight   = flag.Int64("max-inflight", 0, "admission-control bound on in-flight invocations (0 = default 256)")
+		maxBurst      = flag.Int("max-burst", 0, "largest accepted burst parallelism (0 = default 256)")
 	)
 	flag.Parse()
+
+	var chaosCfg *chaos.Config
+	if *chaosPath != "" {
+		raw, err := os.ReadFile(*chaosPath)
+		if err != nil {
+			return fmt.Errorf("chaos config: %w", err)
+		}
+		var cc chaos.Config
+		if err := json.Unmarshal(raw, &cc); err != nil {
+			return fmt.Errorf("chaos config %s: %w", *chaosPath, err)
+		}
+		chaosCfg = &cc
+	}
 
 	if *pprofAddr != "" {
 		// A dedicated mux keeps the profiler off the API listener and
@@ -92,6 +111,12 @@ func run(logger *log.Logger) error {
 		Host:     host,
 		KVAddr:   *kvAddr,
 		Logger:   logger,
+		Chaos:    chaosCfg,
+		Resilience: daemon.ResilienceConfig{
+			InvokeTimeout:    *invokeTimeout,
+			MaxInFlight:      *maxInFlight,
+			MaxBurstParallel: *maxBurst,
+		},
 	})
 	if err != nil {
 		return err

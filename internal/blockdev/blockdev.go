@@ -98,12 +98,14 @@ func (c Class) String() string {
 type ClassStats struct {
 	Requests int64
 	Bytes    int64
+	Errors   int64
 }
 
 // Stats aggregates device activity.
 type Stats struct {
 	Requests  int64
 	Bytes     int64
+	Errors    int64         // requests a fault hook failed
 	QueueWait time.Duration // time spent waiting for a device slot
 	Busy      time.Duration // serialized transfer time
 	ByClass   [numClasses]ClassStats
@@ -112,6 +114,15 @@ type Stats struct {
 // Class returns the per-class counters for c.
 func (s Stats) Class(c Class) ClassStats { return s.ByClass[c] }
 
+// FaultFn lets a fault-injection layer degrade the device: slow > 1
+// multiplies the request's service time (a throttled or failing disk),
+// fail marks the request as errored in the device counters. Errored
+// requests still consume device time — a real failed read holds the
+// queue slot until the controller reports the error. blockdev stays
+// ignorant of who decides; the chaos registry plugs in here without a
+// dependency.
+type FaultFn func(class Class, bytes int64) (slow float64, fail bool)
+
 // Device is a simulated block device bound to one environment.
 type Device struct {
 	env   *sim.Env
@@ -119,6 +130,7 @@ type Device struct {
 	slots *sim.Resource
 	bus   *sim.Resource
 	stats Stats
+	fault FaultFn
 }
 
 // New returns a device with the given profile in env.
@@ -142,6 +154,10 @@ func (d *Device) Stats() Stats { return d.stats }
 
 // ResetStats clears the device counters.
 func (d *Device) ResetStats() { d.stats = Stats{} }
+
+// SetFault installs (or, with nil, removes) a fault hook consulted on
+// every request.
+func (d *Device) SetFault(f FaultFn) { d.fault = f }
 
 // transferTime is the serialized service time for one request.
 func (d *Device) transferTime(size int64) time.Duration {
@@ -167,6 +183,14 @@ func (d *Device) request(p *sim.Proc, size int64, class Class) time.Duration {
 	if size <= 0 {
 		return 0
 	}
+	var slow float64
+	var fail bool
+	if d.fault != nil {
+		slow, fail = d.fault(class, size)
+	}
+	if slow < 1 {
+		slow = 1
+	}
 	start := d.env.Now()
 	d.slots.Acquire(p)
 	queued := d.env.Now() - start
@@ -174,9 +198,9 @@ func (d *Device) request(p *sim.Proc, size int64, class Class) time.Duration {
 	// deterministically per environment seed.
 	lat := d.prof.Latency
 	lat += time.Duration((d.env.Rand().Float64()*2 - 1) * 0.05 * float64(lat))
-	p.Sleep(lat)
+	p.Sleep(time.Duration(float64(lat) * slow))
 	d.bus.Acquire(p)
-	xfer := d.transferTime(size)
+	xfer := time.Duration(float64(d.transferTime(size)) * slow)
 	p.Sleep(xfer)
 	d.bus.Release()
 	d.slots.Release()
@@ -187,5 +211,9 @@ func (d *Device) request(p *sim.Proc, size int64, class Class) time.Duration {
 	d.stats.Busy += xfer
 	d.stats.ByClass[class].Requests++
 	d.stats.ByClass[class].Bytes += size
+	if fail {
+		d.stats.Errors++
+		d.stats.ByClass[class].Errors++
+	}
 	return d.env.Now() - start
 }

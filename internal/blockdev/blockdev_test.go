@@ -177,6 +177,54 @@ func TestClassString(t *testing.T) {
 	}
 }
 
+func TestFaultHookSlowsRequests(t *testing.T) {
+	run := func(f FaultFn) time.Duration {
+		e := sim.NewEnv(1)
+		d := New(e, NVMeLocal())
+		d.SetFault(f)
+		var got time.Duration
+		e.Go("r", func(p *sim.Proc) { got = d.Read(p, 1<<20, FetchRead) })
+		e.Run()
+		return got
+	}
+	clean := run(nil)
+	slowed := run(func(Class, int64) (float64, bool) { return 4, false })
+	if slowed < 3*clean {
+		t.Fatalf("4x slow fault: %v vs clean %v, want >= 3x", slowed, clean)
+	}
+	// A sub-unity multiplier must not speed the device up.
+	if fast := run(func(Class, int64) (float64, bool) { return 0.1, false }); fast < clean {
+		t.Fatalf("slow=0.1 sped up the device: %v vs %v", fast, clean)
+	}
+}
+
+func TestFaultHookCountsErrors(t *testing.T) {
+	e := sim.NewEnv(1)
+	d := New(e, NVMeLocal())
+	d.SetFault(func(c Class, _ int64) (float64, bool) { return 1, c == FaultRead })
+	e.Go("r", func(p *sim.Proc) {
+		d.Read(p, 4096, FaultRead)
+		d.Read(p, 4096, PrefetchRead)
+		d.Read(p, 4096, FaultRead)
+	})
+	e.Run()
+	s := d.Stats()
+	if s.Errors != 2 || s.Class(FaultRead).Errors != 2 || s.Class(PrefetchRead).Errors != 0 {
+		t.Fatalf("errors = %d (fault %d, prefetch %d), want 2/2/0",
+			s.Errors, s.Class(FaultRead).Errors, s.Class(PrefetchRead).Errors)
+	}
+	// Errored requests still consume device time and count as requests.
+	if s.Requests != 3 {
+		t.Fatalf("requests = %d", s.Requests)
+	}
+	d.SetFault(nil)
+	e.Go("r2", func(p *sim.Proc) { d.Read(p, 4096, FaultRead) })
+	e.Run()
+	if d.Stats().Errors != 2 {
+		t.Fatal("cleared fault hook still failing requests")
+	}
+}
+
 func TestSequentialBeatsScatteredForSameBytes(t *testing.T) {
 	// The core motivation for loading-set files: reading 8 MiB as one
 	// large sequential stream must be much faster than as 2048

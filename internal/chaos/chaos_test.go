@@ -1,0 +1,216 @@
+package chaos
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"faasnap/internal/telemetry"
+)
+
+func TestNilAndDisabledInjectorsNeverFire(t *testing.T) {
+	var nilInj *Injector
+	if nilInj.Eval(PointVMMAPI, "/snapshot/load").Fired() {
+		t.Fatal("nil injector fired")
+	}
+	if nilInj.Enabled() {
+		t.Fatal("nil injector enabled")
+	}
+	inj := New()
+	if inj.Eval(PointVMMAPI, "/snapshot/load").Fired() {
+		t.Fatal("fresh injector fired")
+	}
+	// Rules present but Enabled false: still silent.
+	if err := inj.Configure(Config{Enabled: false, Rules: []Rule{{Point: PointVMMAPI, Kind: KindError}}}); err != nil {
+		t.Fatal(err)
+	}
+	if inj.Eval(PointVMMAPI, "/snapshot/load").Fired() {
+		t.Fatal("disabled injector fired")
+	}
+}
+
+func TestRuleMatchingAndDecision(t *testing.T) {
+	inj := New()
+	err := inj.Configure(Config{Enabled: true, Seed: 7, Rules: []Rule{
+		{Point: PointVMMAPI, Op: "snapshot/load", Kind: KindError},
+		{Point: PointBlockdev, Kind: KindSlow, Factor: 8},
+		{Point: PointAgent, Kind: KindDelay, DelayMs: 25},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Op is a substring match within the point.
+	d := inj.Eval(PointVMMAPI, "/snapshot/load")
+	if !d.Is(KindError) {
+		t.Fatalf("want error fault, got %+v", d)
+	}
+	if !errors.Is(d.Err(), ErrInjected) {
+		t.Fatalf("decision error %v does not wrap ErrInjected", d.Err())
+	}
+	if inj.Eval(PointVMMAPI, "/actions").Fired() {
+		t.Fatal("op mismatch fired")
+	}
+	// Empty rule op matches every op at the point.
+	if d := inj.Eval(PointBlockdev, "prefetch"); !d.Is(KindSlow) || d.Factor != 8 {
+		t.Fatalf("want slow x8, got %+v", d)
+	}
+	if d := inj.Eval(PointAgent, "invoke"); !d.Is(KindDelay) || d.Delay != 25*time.Millisecond {
+		t.Fatalf("want 25ms delay, got %+v", d)
+	}
+	// A no-fault decision has a nil error.
+	if err := (Decision{}).Err(); err != nil {
+		t.Fatalf("zero decision error: %v", err)
+	}
+}
+
+func TestCountLimitsFiring(t *testing.T) {
+	inj := New()
+	if err := inj.Configure(Config{Enabled: true, Rules: []Rule{
+		{Point: PointAgent, Kind: KindCrash, Count: 2},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	for i := 0; i < 10; i++ {
+		if inj.Eval(PointAgent, "invoke").Fired() {
+			fired++
+		}
+	}
+	if fired != 2 {
+		t.Fatalf("count-2 rule fired %d times", fired)
+	}
+	if got := inj.Injected(); got != 2 {
+		t.Fatalf("injected total %d, want 2", got)
+	}
+}
+
+func TestSeededProbabilityIsDeterministic(t *testing.T) {
+	run := func() []bool {
+		inj := New()
+		if err := inj.Configure(Config{Enabled: true, Seed: 42, Rules: []Rule{
+			{Point: PointVMMAPI, Kind: KindError, Prob: 0.5},
+		}}); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = inj.Eval(PointVMMAPI, "x").Fired()
+		}
+		return out
+	}
+	a, b := run(), run()
+	some, all := false, true
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seeded sequences diverge at %d", i)
+		}
+		some = some || a[i]
+		all = all && a[i]
+	}
+	if !some || all {
+		t.Fatalf("prob 0.5 should fire sometimes but not always (fired=%v)", a)
+	}
+}
+
+func TestConfigureResetsSequenceAndCounts(t *testing.T) {
+	cfg := Config{Enabled: true, Seed: 9, Rules: []Rule{
+		{Point: PointVMMAPI, Kind: KindError, Prob: 0.3},
+	}}
+	inj := New()
+	if err := inj.Configure(cfg); err != nil {
+		t.Fatal(err)
+	}
+	first := make([]bool, 32)
+	for i := range first {
+		first[i] = inj.Eval(PointVMMAPI, "x").Fired()
+	}
+	if err := inj.Configure(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if st := inj.Status(); st.Rules[0].Fired != 0 {
+		t.Fatalf("fired count survived Configure: %d", st.Rules[0].Fired)
+	}
+	for i := range first {
+		if got := inj.Eval(PointVMMAPI, "x").Fired(); got != first[i] {
+			t.Fatalf("replay diverges at %d", i)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Rules: []Rule{{Point: "nope", Kind: KindError}}},
+		{Rules: []Rule{{Point: PointVMMAPI, Kind: "nope"}}},
+		{Rules: []Rule{{Point: PointVMMAPI, Kind: KindError, Prob: 1.5}}},
+		{Rules: []Rule{{Point: PointVMMAPI, Kind: KindError, Count: -1}}},
+		{Rules: []Rule{{Point: PointVMMAPI, Kind: KindDelay, DelayMs: -5}}},
+		{Rules: []Rule{{Point: PointBlockdev, Kind: KindSlow, Factor: 0.5}}},
+	}
+	inj := New()
+	for i, cfg := range bad {
+		if err := inj.Configure(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	// A rejected config leaves the injector unchanged.
+	if inj.Enabled() {
+		t.Fatal("invalid config armed the injector")
+	}
+}
+
+func TestStatusAndTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	inj := New()
+	inj.SetTelemetry(reg)
+	if err := inj.Configure(Config{Enabled: true, Seed: 3, Rules: []Rule{
+		{Point: PointSnapfile, Kind: KindCorrupt},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		inj.Eval(PointSnapfile, "hello.snap")
+	}
+	st := inj.Status()
+	if !st.Enabled || st.Seed != 3 || len(st.Rules) != 1 {
+		t.Fatalf("bad status %+v", st)
+	}
+	if st.Rules[0].Fired != 3 || st.Injected != 3 {
+		t.Fatalf("want 3 fires, got rule=%d total=%d", st.Rules[0].Fired, st.Injected)
+	}
+	c := reg.Counter("faasnap_chaos_injected_total", "", telemetry.L("point", PointSnapfile, "kind", string(KindCorrupt)))
+	if c.Value() != 3 {
+		t.Fatalf("telemetry counter %v, want 3", c.Value())
+	}
+}
+
+func TestDialFaultAdapter(t *testing.T) {
+	var nilInj *Injector
+	if nilInj.DialFault("x") != nil {
+		t.Fatal("nil injector produced a dial hook")
+	}
+
+	inj := New()
+	if err := inj.Configure(Config{Enabled: true, Rules: []Rule{
+		{Point: PointPipenet, Op: "api.sock", Kind: KindDrop, Count: 1},
+		{Point: PointPipenet, Op: "api.sock", Kind: KindDelay, DelayMs: 7},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+
+	hook := inj.DialFault("vm-1-api.sock")
+	// First dial hits the count-limited drop rule.
+	if _, err := hook(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("dropped dial err = %v, want injected", err)
+	}
+	// With the drop exhausted, the delay rule takes over.
+	if delay, err := hook(); err != nil || delay != 7*time.Millisecond {
+		t.Fatalf("delayed dial = (%v, %v), want (7ms, nil)", delay, err)
+	}
+
+	// A hook scoped to a different listener never fires.
+	other := inj.DialFault("vm-2-guest:80")
+	if delay, err := other(); err != nil || delay != 0 {
+		t.Fatalf("unmatched dial = (%v, %v), want clean", delay, err)
+	}
+}

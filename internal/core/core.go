@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"faasnap/internal/blockdev"
+	"faasnap/internal/chaos"
 	"faasnap/internal/cpu"
 	"faasnap/internal/guest"
 	"faasnap/internal/hostmm"
@@ -126,6 +127,11 @@ type HostConfig struct {
 	// LoaderMaxAhead bounds how many pages the FaaSnap loader may run
 	// ahead of guest consumption; 0 means unbounded.
 	LoaderMaxAhead int64
+	// Chaos optionally arms the host's data plane with fault injection:
+	// block-device reads consult it (point "blockdev.read", op = request
+	// class, plus the "loading-set" op the FaaSnap restore path checks
+	// before trusting the loading-set file). Nil disables injection.
+	Chaos *chaos.Injector
 }
 
 // DefaultHostConfig matches the evaluation platform: an AWS c5d.metal
@@ -208,6 +214,22 @@ func NewHost(cfg HostConfig) *Host {
 		h.LSDev = blockdev.New(env, cfg.LSDisk)
 	} else {
 		h.LSDev = h.Dev
+	}
+	if cfg.Chaos != nil {
+		fault := func(class blockdev.Class, bytes int64) (float64, bool) {
+			d := cfg.Chaos.Eval(chaos.PointBlockdev, class.String())
+			switch {
+			case d.Is(chaos.KindSlow):
+				return d.Factor, false
+			case d.Is(chaos.KindError):
+				return 1, true
+			}
+			return 1, false
+		}
+		h.Dev.SetFault(fault)
+		if h.LSDev != h.Dev {
+			h.LSDev.SetFault(fault)
+		}
 	}
 	return h
 }
@@ -317,4 +339,10 @@ type InvokeResult struct {
 	// deployment has fault tracing enabled (the bpftrace-style
 	// instrumentation used for Figures 2 and 9); nil otherwise.
 	FaultTrace []hostmm.FaultEvent
+
+	// LSDegraded marks a FaaSnap restore that could not read the
+	// loading-set file (I/O error): the VM still restores, but from the
+	// memory file alone with the per-region load plan — correct, just
+	// slower, the graceful-degradation half of the §4.7 design.
+	LSDegraded bool
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"faasnap/internal/blockdev"
+	"faasnap/internal/chaos"
 	"faasnap/internal/guest"
 	"faasnap/internal/hostmm"
 	"faasnap/internal/metrics"
@@ -104,6 +105,19 @@ func (d *Deployment) Invoke(p *sim.Proc, mode Mode, in workload.Input) *InvokeRe
 	}
 	as := hostmm.New(h.Env, h.Cache, cfg.Costs, gcfg.Pages)
 
+	// A FaaSnap restore depends on the loading-set file being readable.
+	// When the chaos layer declares it failed (an I/O error opening or
+	// validating it), the restore degrades rather than dies: map from
+	// the memory file alone and fall back to the per-region load plan,
+	// trading the compact sequential read for scattered ones.
+	withLS := true
+	if mode == ModeFaaSnap && cfg.Chaos != nil {
+		if dec := cfg.Chaos.Eval(chaos.PointBlockdev, "loading-set"); dec.Is(chaos.KindError) {
+			withLS = false
+			r.LSDegraded = true
+		}
+	}
+
 	switch mode {
 	case ModeFirecracker, ModeCached, ModeConcurrentPaging:
 		as.Mmap(p, 0, gcfg.Pages, hostmm.BackFile, d.memFile, 0)
@@ -112,7 +126,7 @@ func (d *Deployment) Invoke(p *sim.Proc, mode Mode, in workload.Input) *InvokeRe
 		as.RegisterUffd(0, gcfg.Pages, &reapHandler{cache: h.Cache, mem: d.memFile})
 		d.reapFetch(p, as, r)
 	case ModeFaaSnap, ModePerRegion:
-		d.mmapPerRegion(p, as, mode == ModeFaaSnap)
+		d.mmapPerRegion(p, as, mode == ModeFaaSnap && withLS)
 	default:
 		panic(fmt.Sprintf("core: unhandled mode %v", mode))
 	}
@@ -123,7 +137,11 @@ func (d *Deployment) Invoke(p *sim.Proc, mode Mode, in workload.Input) *InvokeRe
 	// receives the invocation request (§4.2).
 	switch mode {
 	case ModeFaaSnap:
-		d.startLoader(r, d.faasnapLoadPlan())
+		if withLS {
+			d.startLoader(r, d.faasnapLoadPlan())
+		} else {
+			d.startLoader(r, d.perRegionLoadPlan())
+		}
 	case ModePerRegion:
 		d.startLoader(r, d.perRegionLoadPlan())
 	case ModeConcurrentPaging:

@@ -12,6 +12,7 @@
 package daemon
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -25,9 +26,11 @@ import (
 	"sync"
 	"time"
 
+	"faasnap/internal/chaos"
 	"faasnap/internal/core"
 	"faasnap/internal/guestagent"
 	"faasnap/internal/kvstore"
+	"faasnap/internal/resilience"
 	"faasnap/internal/snapfile"
 	"faasnap/internal/telemetry"
 	"faasnap/internal/trace"
@@ -50,6 +53,12 @@ type Config struct {
 	// Registry is the telemetry registry backing GET /metrics; nil
 	// creates a private one.
 	Registry *telemetry.Registry
+	// Resilience tunes deadlines, retries, the circuit breaker, and
+	// admission control; zero fields take defaults.
+	Resilience ResilienceConfig
+	// Chaos optionally arms fault injection from daemon start; the
+	// injector is always present and reconfigurable via PUT /chaos.
+	Chaos *chaos.Config
 }
 
 // fnState is one managed function.
@@ -78,6 +87,15 @@ type Daemon struct {
 	telemetry *telemetry.Registry
 	faults    *faultHub
 
+	res     ResilienceConfig
+	chaos   *chaos.Injector
+	limiter *resilience.Limiter
+
+	breakers struct {
+		sync.Mutex
+		m map[string]*resilience.Breaker
+	}
+
 	stats struct {
 		sync.Mutex
 		Records     int64
@@ -104,8 +122,22 @@ func New(cfg Config) (*Daemon, error) {
 		traces:    trace.NewStore(512),
 		telemetry: cfg.Registry,
 		faults:    newFaultHub(),
+		res:       cfg.Resilience.withDefaults(),
+		chaos:     chaos.New(),
 	}
 	d.stats.ByMode = make(map[string]int64)
+	d.breakers.m = make(map[string]*resilience.Breaker)
+	d.limiter = resilience.NewLimiter(d.res.MaxInFlight)
+	d.chaos.SetTelemetry(d.telemetry)
+	if cfg.Chaos != nil {
+		if err := d.chaos.Configure(*cfg.Chaos); err != nil {
+			return nil, fmt.Errorf("daemon: chaos config: %w", err)
+		}
+	}
+	// The simulated data plane consults the same injector, so one chaos
+	// config reaches every layer: VMM API, transport, block devices,
+	// snapfiles, guest agents.
+	d.cfg.Host.Chaos = d.chaos
 	if cfg.KVAddr != "" {
 		kv, err := kvstore.Dial(cfg.KVAddr)
 		if err != nil {
@@ -149,6 +181,10 @@ func (d *Daemon) Close() {
 }
 
 // reload restores functions whose snapfiles exist in the state dir.
+// Every file is checksum-verified as it deploys (snapfile.Read checks
+// the trailing CRC); files that fail — including ones the chaos layer
+// corrupts or truncates in transit — are quarantined rather than
+// served.
 func (d *Daemon) reload() error {
 	entries, err := os.ReadDir(d.cfg.StateDir)
 	if err != nil {
@@ -159,9 +195,16 @@ func (d *Daemon) reload() error {
 			continue
 		}
 		path := filepath.Join(d.cfg.StateDir, e.Name())
-		arts, err := snapfile.Load(path)
+		fault := snapfile.FaultNone
+		switch dec := d.chaos.Eval(chaos.PointSnapfile, e.Name()); {
+		case dec.Is(chaos.KindCorrupt):
+			fault = snapfile.FaultCorrupt
+		case dec.Is(chaos.KindTruncate):
+			fault = snapfile.FaultTruncate
+		}
+		arts, err := snapfile.LoadWithFault(path, fault)
 		if err != nil {
-			d.log.Printf("skipping corrupt snapfile %s: %v", path, err)
+			d.quarantine(path, err)
 			continue
 		}
 		d.fns[arts.Fn.Name] = &fnState{spec: arts.Fn, arts: arts}
@@ -200,6 +243,8 @@ func (d *Daemon) Handler() http.Handler {
 	handle("GET /functions/{name}/faults", d.handleFaults)
 	handle("GET /traces", d.handleTraceList)
 	handle("GET /traces/{id}", d.handleTraceGet)
+	handle("GET /chaos", d.handleChaosGet)
+	handle("PUT /chaos", d.handleChaosPut)
 	return d.logRequests(mux)
 }
 
@@ -398,6 +443,7 @@ func (d *Daemon) handleCreate(w http.ResponseWriter, r *http.Request) {
 		// itself is counted.
 		m := launchVMM(name)
 		m.SetTelemetry(d.telemetry)
+		m.SetChaos(d.chaos)
 		c := m.Client()
 		if err := c.SetMachineConfig(vmm.MachineConfig{VcpuCount: 2, MemSizeMib: 2048}); err != nil {
 			bootFail(m, nil, http.StatusInternalServerError, "machine config: %v", err)
@@ -413,6 +459,7 @@ func (d *Daemon) handleCreate(w http.ResponseWriter, r *http.Request) {
 			return guestagent.InvokeReply{}, nil
 		})
 		agent.SetTelemetry(d.telemetry)
+		agent.SetChaos(d.chaos)
 		if err := agent.Client().Health(); err != nil {
 			bootFail(m, agent, http.StatusInternalServerError, "guest agent: %v", err)
 			return
@@ -459,7 +506,7 @@ func (d *Daemon) infoLocked(fs *fnState) FunctionInfo {
 func (d *Daemon) handleGet(w http.ResponseWriter, r *http.Request) {
 	fs, ok := d.fn(r.PathValue("name"))
 	if !ok {
-		writeErr(w, http.StatusNotFound, "function not registered")
+		writeErr(w, http.StatusNotFound, "%v", errNotRegistered)
 		return
 	}
 	writeJSON(w, http.StatusOK, d.info(fs))
@@ -472,7 +519,7 @@ func (d *Daemon) handleDelete(w http.ResponseWriter, r *http.Request) {
 	delete(d.fns, name)
 	d.mu.Unlock()
 	if !ok {
-		writeErr(w, http.StatusNotFound, "function not registered")
+		writeErr(w, http.StatusNotFound, "%v", errNotRegistered)
 		return
 	}
 	fs.mu.Lock()
@@ -512,32 +559,6 @@ func regionMaps(arts *core.Artifacts, name string) []vmm.RegionMap {
 	return out
 }
 
-// restoreVMM sends the snapshot-load request a restore of the given
-// mode implies to a fresh VMM instance, validating the control-plane
-// path the paper's daemon exercises for every invocation. The trace
-// context rides the request; the VMM's spans come back for stitching.
-func (d *Daemon) restoreVMM(name string, arts *core.Artifacts, mode core.Mode, sc telemetry.SpanContext) ([]telemetry.RemoteSpan, error) {
-	m := vmm.Launch(name + "-restore")
-	m.SetTelemetry(d.telemetry)
-	defer m.Close()
-	c := m.Client()
-	c.SetTraceContext(sc)
-	req := vmm.SnapshotLoadRequest{
-		SnapshotPath: "/snapshots/" + name + ".state",
-		MemBackend:   vmm.MemBackend{BackendType: "File", BackendPath: "/snapshots/" + name + ".mem"},
-		ResumeVM:     true,
-	}
-	if mode == core.ModeFaaSnap || mode == core.ModePerRegion {
-		req.RegionMaps = regionMaps(arts, name)
-	}
-	if err := c.LoadSnapshot(req); err != nil {
-		return nil, err
-	}
-	if st := m.State(); st != vmm.StateRunning {
-		return nil, fmt.Errorf("restored VM in state %q", st)
-	}
-	return c.TraceSpans(), nil
-}
 
 // inputDescriptor is what the daemon stores in the kvstore per input.
 type inputDescriptor struct {
@@ -665,6 +686,13 @@ func (d *Daemon) handleRecord(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusInternalServerError, "persist snapshot: %v", err)
 			return
 		}
+		// Read the file straight back: a snapshot that cannot pass its
+		// own checksum must never sit in the deploy path.
+		if err := snapfile.Verify(path); err != nil {
+			d.quarantine(path, err)
+			writeErr(w, http.StatusInternalServerError, "snapshot failed verification: %v", err)
+			return
+		}
 	}
 	d.stats.Lock()
 	d.stats.Records++
@@ -700,11 +728,19 @@ type InvokeResponse struct {
 	MmapCalls     int     `json:"mmap_calls"`
 	BlockRequests int64   `json:"block_requests"`
 	TraceID       string  `json:"trace_id,omitempty"`
+
+	// Degraded marks an invocation that succeeded but not as asked: a
+	// restore fell back to another mode, the loading set was unreadable,
+	// or the guest agent failed. The fields after it say which.
+	Degraded       bool   `json:"degraded,omitempty"`
+	FallbackMode   string `json:"fallback_mode,omitempty"`
+	DegradedReason string `json:"degraded_reason,omitempty"`
+	AgentError     string `json:"agent_error,omitempty"`
 }
 
 func toResponse(fn string, r *core.InvokeResult) InvokeResponse {
 	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
-	return InvokeResponse{
+	resp := InvokeResponse{
 		Function:      fn,
 		Mode:          r.Mode.String(),
 		Input:         r.Input,
@@ -719,14 +755,17 @@ func toResponse(fn string, r *core.InvokeResult) InvokeResponse {
 		MmapCalls:     r.MmapCalls,
 		BlockRequests: r.BlockRequests,
 	}
+	if r.LSDegraded {
+		resp.Degraded = true
+		resp.DegradedReason = "loading-set-io"
+	}
+	return resp
 }
-
-var errNoSnapshot = errors.New("function has no snapshot; POST /functions/{name}/record first")
 
 func (d *Daemon) invokeArgs(r *http.Request) (*fnState, core.Mode, workload.Input, error) {
 	fs, ok := d.fn(r.PathValue("name"))
 	if !ok {
-		return nil, 0, workload.Input{}, errors.New("function not registered")
+		return nil, 0, workload.Input{}, errNotRegistered
 	}
 	var req invokeRequest
 	if err := decodeBody(r, &req); err != nil {
@@ -753,10 +792,17 @@ func (d *Daemon) invokeArgs(r *http.Request) (*fnState, core.Mode, workload.Inpu
 }
 
 func (d *Daemon) handleInvoke(w http.ResponseWriter, r *http.Request) {
+	// Admission control first: a saturated host sheds load before doing
+	// any work for the request.
+	if !d.limiter.Acquire(1) {
+		d.shed(w, "invoke")
+		return
+	}
+	defer d.limiter.Release(1)
 	fs, mode, in, err := d.invokeArgs(r)
 	if err != nil {
 		code := http.StatusBadRequest
-		if err == errNoSnapshot || err.Error() == "function not registered" {
+		if errors.Is(err, errNoSnapshot) || errors.Is(err, errNotRegistered) {
 			code = http.StatusNotFound
 		}
 		writeErr(w, code, "%v", err)
@@ -765,6 +811,10 @@ func (d *Daemon) handleInvoke(w http.ResponseWriter, r *http.Request) {
 	fs.mu.Lock()
 	arts := fs.arts
 	fs.mu.Unlock()
+	// The per-request deadline rides this context through every hop:
+	// daemon -> VMM API client -> guest agent.
+	ctx, cancel := context.WithTimeout(r.Context(), d.res.InvokeTimeout)
+	defer cancel()
 	// Allocate the trace id before any work runs so lower layers can
 	// parent their spans under the root span the trace builder will
 	// create first (SpanID keeps the derivation in sync).
@@ -777,39 +827,70 @@ func (d *Daemon) handleInvoke(w http.ResponseWriter, r *http.Request) {
 	agentParent := rootSC
 	// Drive the restore through the Firecracker-style API: a fresh VMM
 	// gets the snapshot-load request, including the per-region mapping
-	// plan for FaaSnap modes (the §5 API extension).
+	// plan for FaaSnap modes (the §5 API extension). Restore failures
+	// degrade down the fallback chain instead of failing the request.
+	degraded := restoreOutcome{mode: mode}
 	if mode != core.ModeWarm && mode != core.ModeCold {
-		spans, err := d.restoreVMM(fs.spec.Name, arts, mode, rootSC)
+		out, err := d.resilientRestore(ctx, fs.spec.Name, arts, mode, rootSC)
 		if err != nil {
-			writeErr(w, http.StatusInternalServerError, "vmm restore: %v", err)
+			d.deadlineExceeded(w, "invoke", err)
 			return
 		}
-		remote = append(remote, spans...)
-		if len(spans) > 0 {
-			agentParent.SpanID = spans[0].SpanID
+		degraded = out
+		remote = append(remote, out.spans...)
+		if len(out.spans) > 0 {
+			agentParent.SpanID = out.spans[0].SpanID
 		}
 	}
-	res := core.RunSingleTraced(d.cfg.Host, arts, mode, in)
+	if ctx.Err() != nil {
+		d.deadlineExceeded(w, "invoke", ctx.Err())
+		return
+	}
+	res := core.RunSingleTraced(d.cfg.Host, arts, degraded.mode, in)
 	// Forward the request to the in-guest server, as the daemon does
 	// for a live VM ("it uses the guest IP address to connect to the
-	// Flask server for invoking functions", §5).
+	// Flask server for invoking functions", §5). Agent failures must
+	// not be swallowed: they surface in the response and telemetry.
+	var agentErr error
 	fs.mu.Lock()
 	agent := fs.agent
 	fs.mu.Unlock()
 	if agent != nil {
 		ac := agent.Client()
+		ac.SetContext(ctx)
 		ac.SetTraceContext(agentParent)
 		if _, err := ac.Invoke(guestagent.InvokeRequest{Input: in.Name}); err != nil {
+			agentErr = err
+			d.telemetry.Counter("faasnap_agent_errors_total",
+				"Guest-agent invoke failures surfaced to clients, by function.",
+				telemetry.L("function", fs.spec.Name)).Inc()
 			d.log.Printf("guest agent invoke: %v", err)
 		}
 		remote = append(remote, ac.TraceSpans()...)
 	}
 	d.stats.Lock()
 	d.stats.Invocations++
-	d.stats.ByMode[mode.String()]++
+	d.stats.ByMode[degraded.mode.String()]++
 	d.stats.Unlock()
 	core.ObserveInvoke(d.telemetry, res)
 	out := toResponse(fs.spec.Name, res)
+	if degraded.mode != mode {
+		// Mode reports what the client asked for; FallbackMode what
+		// actually served it.
+		out.Mode = mode.String()
+		out.Degraded = true
+		out.FallbackMode = degraded.mode.String()
+		out.DegradedReason = degraded.reason
+	}
+	if res.LSDegraded {
+		d.telemetry.Counter("faasnap_ls_degraded_total",
+			"FaaSnap restores served without the loading-set file after an I/O error, by function.",
+			telemetry.L("function", fs.spec.Name)).Inc()
+	}
+	if agentErr != nil {
+		out.Degraded = true
+		out.AgentError = agentErr.Error()
+	}
 	out.TraceID = string(d.recordTrace(fs.spec.Name, res, traceID, remote))
 	d.publishFaults(fs, traceID, res)
 	writeJSON(w, http.StatusOK, out)
@@ -824,19 +905,24 @@ type burstRequest struct {
 
 // BurstResponse is the burst endpoint's reply.
 type BurstResponse struct {
-	Function string           `json:"function"`
-	Mode     string           `json:"mode"`
-	Parallel int              `json:"parallel"`
-	Same     bool             `json:"same_snapshot"`
-	MeanMs   float64          `json:"mean_ms"`
-	StdMs    float64          `json:"std_ms"`
-	Results  []InvokeResponse `json:"results"`
+	Function string  `json:"function"`
+	Mode     string  `json:"mode"`
+	Parallel int     `json:"parallel"`
+	Same     bool    `json:"same_snapshot"`
+	MeanMs   float64 `json:"mean_ms"`
+	StdMs    float64 `json:"std_ms"`
+	// Degraded marks a burst whose restore fell back to another mode;
+	// every result carries the fallback too.
+	Degraded       bool             `json:"degraded,omitempty"`
+	FallbackMode   string           `json:"fallback_mode,omitempty"`
+	DegradedReason string           `json:"degraded_reason,omitempty"`
+	Results        []InvokeResponse `json:"results"`
 }
 
 func (d *Daemon) handleBurst(w http.ResponseWriter, r *http.Request) {
 	fs, ok := d.fn(r.PathValue("name"))
 	if !ok {
-		writeErr(w, http.StatusNotFound, "function not registered")
+		writeErr(w, http.StatusNotFound, "%v", errNotRegistered)
 		return
 	}
 	var req burstRequest
@@ -852,8 +938,8 @@ func (d *Daemon) handleBurst(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if req.Parallel <= 0 || req.Parallel > 256 {
-		writeErr(w, http.StatusBadRequest, "parallel must be in [1,256]")
+	if req.Parallel <= 0 || req.Parallel > d.res.MaxBurstParallel {
+		writeErr(w, http.StatusBadRequest, "parallel must be in [1,%d]", d.res.MaxBurstParallel)
 		return
 	}
 	in, err := d.resolveInput(fs.spec, req.Input)
@@ -868,11 +954,34 @@ func (d *Daemon) handleBurst(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, "%v", errNoSnapshot)
 		return
 	}
+	// A burst admits at its full width: either the host has room for
+	// all of it or the whole burst is shed — admitting half a burst
+	// would skew the concurrency the caller asked to measure.
+	weight := int64(req.Parallel)
+	if !d.limiter.Acquire(weight) {
+		d.shed(w, "burst")
+		return
+	}
+	defer d.limiter.Release(weight)
+	ctx, cancel := context.WithTimeout(r.Context(), d.res.InvokeTimeout)
+	defer cancel()
+	// One control-plane restore guards the whole burst (invocations of
+	// one snapshot share the restore, §6.6); its failure degrades every
+	// invocation in the burst the same way.
+	degraded := restoreOutcome{mode: mode}
+	if mode != core.ModeWarm && mode != core.ModeCold {
+		out, err := d.resilientRestore(ctx, fs.spec.Name, arts, mode, telemetry.SpanContext{})
+		if err != nil {
+			d.deadlineExceeded(w, "burst", err)
+			return
+		}
+		degraded = out
+	}
 	same := true
 	if req.SameSnapshot != nil {
 		same = *req.SameSnapshot
 	}
-	br := core.RunBurst(d.cfg.Host, arts, mode, in, req.Parallel, same)
+	br := core.RunBurst(d.cfg.Host, arts, degraded.mode, in, req.Parallel, same)
 	resp := BurstResponse{
 		Function: fs.spec.Name,
 		Mode:     mode.String(),
@@ -881,12 +990,24 @@ func (d *Daemon) handleBurst(w http.ResponseWriter, r *http.Request) {
 		MeanMs:   float64(br.Mean) / float64(time.Millisecond),
 		StdMs:    float64(br.Std) / float64(time.Millisecond),
 	}
+	if degraded.mode != mode {
+		resp.Degraded = true
+		resp.FallbackMode = degraded.mode.String()
+		resp.DegradedReason = degraded.reason
+	}
 	for _, res := range br.Results {
-		resp.Results = append(resp.Results, toResponse(fs.spec.Name, res))
+		ir := toResponse(fs.spec.Name, res)
+		if degraded.mode != mode {
+			ir.Mode = mode.String()
+			ir.Degraded = true
+			ir.FallbackMode = degraded.mode.String()
+			ir.DegradedReason = degraded.reason
+		}
+		resp.Results = append(resp.Results, ir)
 	}
 	d.stats.Lock()
 	d.stats.Invocations += int64(req.Parallel)
-	d.stats.ByMode[mode.String()] += int64(req.Parallel)
+	d.stats.ByMode[degraded.mode.String()] += int64(req.Parallel)
 	d.stats.Unlock()
 	core.ObserveBurst(d.telemetry, br)
 	writeJSON(w, http.StatusOK, resp)

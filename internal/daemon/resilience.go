@@ -1,0 +1,267 @@
+package daemon
+
+// The daemon's failure handling: admission control, deadlines, retried
+// restores behind a per-function circuit breaker, and the graceful-
+// degradation fallback chain. The design goal is that the invoke path
+// never returns a 500 for a snapshot-layer failure — it retries, falls
+// back toward a cold boot (which needs no snapshot at all), or sheds
+// the request with 429 before taking it on. See RESILIENCE.md.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"faasnap/internal/chaos"
+	"faasnap/internal/core"
+	"faasnap/internal/resilience"
+	"faasnap/internal/telemetry"
+	"faasnap/internal/vmm"
+)
+
+// ResilienceConfig tunes the invocation pipeline's failure handling.
+// Zero fields take the defaults below.
+type ResilienceConfig struct {
+	// InvokeTimeout is the per-request deadline propagated from the
+	// daemon through the VMM client to the guest agent.
+	InvokeTimeout time.Duration
+	// MaxInFlight bounds admitted work across /invoke (weight 1) and
+	// /burst (weight = parallel); excess requests get 429 + Retry-After.
+	MaxInFlight int64
+	// MaxBurstParallel caps burstRequest.Parallel; larger asks get 400.
+	MaxBurstParallel int
+	// RetryAttempts bounds tries of one restore (first try included).
+	RetryAttempts int
+	// RetryBase seeds the exponential backoff between restore attempts.
+	RetryBase time.Duration
+	// BreakerThreshold is the consecutive restore failures that open a
+	// function's circuit breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker rejects restores
+	// before admitting a half-open probe.
+	BreakerCooldown time.Duration
+}
+
+func (c ResilienceConfig) withDefaults() ResilienceConfig {
+	if c.InvokeTimeout == 0 {
+		c.InvokeTimeout = 30 * time.Second
+	}
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = 256
+	}
+	if c.MaxBurstParallel == 0 {
+		c.MaxBurstParallel = 256
+	}
+	if c.RetryAttempts == 0 {
+		c.RetryAttempts = 3
+	}
+	if c.RetryBase == 0 {
+		c.RetryBase = 2 * time.Millisecond
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown == 0 {
+		c.BreakerCooldown = 2 * time.Second
+	}
+	return c
+}
+
+// Sentinel errors for the daemon's error paths; handlers classify with
+// errors.Is rather than matching message strings.
+var (
+	errNotRegistered = errors.New("function not registered")
+	errNoSnapshot    = errors.New("function has no snapshot; POST /functions/{name}/record first")
+	errCircuitOpen   = errors.New("circuit breaker open")
+)
+
+// breaker returns (creating on first use) the named function's circuit
+// breaker, with its state mirrored into the telemetry gauge.
+func (d *Daemon) breaker(fn string) *resilience.Breaker {
+	d.breakers.Lock()
+	defer d.breakers.Unlock()
+	b, ok := d.breakers.m[fn]
+	if !ok {
+		gauge := d.telemetry.Gauge("faasnap_breaker_state",
+			"Restore circuit-breaker state per function (0 closed, 1 open, 2 half-open).",
+			telemetry.L("function", fn))
+		b = resilience.NewBreaker(d.res.BreakerThreshold, d.res.BreakerCooldown,
+			func(s resilience.BreakerState) { gauge.Set(float64(s)) })
+		d.breakers.m[fn] = b
+	}
+	return b
+}
+
+// shed rejects a request at admission, with Retry-After so well-behaved
+// clients back off instead of hammering a saturated host.
+func (d *Daemon) shed(w http.ResponseWriter, route string) {
+	d.telemetry.Counter("faasnap_invoke_shed_total",
+		"Requests shed by admission control, by route.",
+		telemetry.L("route", route)).Inc()
+	w.Header().Set("Retry-After", "1")
+	writeErr(w, http.StatusTooManyRequests,
+		"server saturated (%d/%d in flight); retry later", d.limiter.InFlight(), d.limiter.Max())
+}
+
+// deadlineExceeded reports a request that ran out its deadline.
+func (d *Daemon) deadlineExceeded(w http.ResponseWriter, route string, err error) {
+	d.telemetry.Counter("faasnap_deadline_exceeded_total",
+		"Requests that exceeded their deadline, by route.",
+		telemetry.L("route", route)).Inc()
+	writeErr(w, http.StatusGatewayTimeout, "deadline exceeded: %v", err)
+}
+
+// fallbackChain orders the modes a restore failure degrades through:
+// the requested mode, then Cached (a plain snapshot restore without
+// FaaSnap's mapping machinery), then a cold boot, which needs no
+// snapshot artifacts at all and therefore always terminates the chain.
+// Warm and cold requests need no restore and never degrade.
+func fallbackChain(mode core.Mode) []core.Mode {
+	switch mode {
+	case core.ModeWarm, core.ModeCold:
+		return []core.Mode{mode}
+	case core.ModeCached:
+		return []core.Mode{core.ModeCached, core.ModeCold}
+	default:
+		return []core.Mode{mode, core.ModeCached, core.ModeCold}
+	}
+}
+
+// restoreOutcome is how the restore phase of one invocation ended.
+type restoreOutcome struct {
+	mode   core.Mode // the mode actually served
+	spans  []telemetry.RemoteSpan
+	reason string // non-empty when mode differs from the request
+}
+
+// restoreVMM drives one snapshot restore through the Firecracker-style
+// API with bounded retries: each attempt gets a fresh VMM (a failed
+// load leaves the instance unusable, as with real Firecracker), and
+// only transient errors (transport, 5xx, injected faults) re-try.
+func (d *Daemon) restoreVMM(ctx context.Context, name string, arts *core.Artifacts, mode core.Mode, sc telemetry.SpanContext) ([]telemetry.RemoteSpan, error) {
+	var spans []telemetry.RemoteSpan
+	attempt := 0
+	err := resilience.Retry(ctx, d.res.RetryAttempts, d.res.RetryBase, vmm.Retryable, func() error {
+		attempt++
+		if attempt > 1 {
+			d.telemetry.Counter("faasnap_restore_retries_total",
+				"Snapshot-restore attempts beyond the first, by function.",
+				telemetry.L("function", name)).Inc()
+		}
+		m := vmm.Launch(name + "-restore")
+		m.SetTelemetry(d.telemetry)
+		m.SetChaos(d.chaos)
+		defer m.Close()
+		c := m.Client()
+		c.SetContext(ctx)
+		c.SetTraceContext(sc)
+		req := vmm.SnapshotLoadRequest{
+			SnapshotPath: "/snapshots/" + name + ".state",
+			MemBackend:   vmm.MemBackend{BackendType: "File", BackendPath: "/snapshots/" + name + ".mem"},
+			ResumeVM:     true,
+		}
+		if mode == core.ModeFaaSnap || mode == core.ModePerRegion {
+			req.RegionMaps = regionMaps(arts, name)
+		}
+		if err := c.LoadSnapshot(req); err != nil {
+			return err
+		}
+		if st := m.State(); st != vmm.StateRunning {
+			return fmt.Errorf("restored VM in state %q", st)
+		}
+		spans = c.TraceSpans()
+		return nil
+	})
+	return spans, err
+}
+
+// resilientRestore walks the fallback chain until a restore succeeds or
+// a mode needing none is reached. Every restore is guarded by the
+// function's circuit breaker — an open breaker skips straight down the
+// chain without burning attempts on a known-bad path. The only error it
+// returns is deadline expiry: the chain ends in a cold boot, which
+// cannot fail at this layer.
+func (d *Daemon) resilientRestore(ctx context.Context, fn string, arts *core.Artifacts, mode core.Mode, sc telemetry.SpanContext) (restoreOutcome, error) {
+	out := restoreOutcome{mode: mode}
+	chain := fallbackChain(mode)
+	for i, m := range chain {
+		if m == core.ModeWarm || m == core.ModeCold {
+			out.mode = m
+			return out, nil
+		}
+		br := d.breaker(fn)
+		var err error
+		if !br.Allow() {
+			err = errCircuitOpen
+		} else {
+			var spans []telemetry.RemoteSpan
+			spans, err = d.restoreVMM(ctx, fn, arts, m, sc)
+			if err == nil {
+				br.Success()
+				out.mode = m
+				out.spans = spans
+				return out, nil
+			}
+			br.Failure()
+		}
+		if ctx.Err() != nil {
+			return out, ctx.Err()
+		}
+		next := chain[i+1] // chain always ends in ModeCold, handled above
+		reason := "restore-error"
+		if errors.Is(err, errCircuitOpen) {
+			reason = "circuit-open"
+		}
+		d.telemetry.Counter("faasnap_invoke_fallback_total",
+			"Invocations degraded to a fallback mode after restore failure.",
+			telemetry.L("from", m.String(), "to", next.String(), "reason", reason)).Inc()
+		out.reason = reason
+		d.log.Printf("restore %s as %s failed (%v); falling back to %s", fn, m, err, next)
+	}
+	return out, nil
+}
+
+// quarantine moves a snapfile that failed verification into the state
+// directory's quarantine/ subdirectory, out of the deploy path but
+// preserved for inspection.
+func (d *Daemon) quarantine(path string, cause error) {
+	qdir := filepath.Join(d.cfg.StateDir, "quarantine")
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		d.log.Printf("quarantine dir: %v", err)
+		return
+	}
+	dst := filepath.Join(qdir, filepath.Base(path))
+	if err := os.Rename(path, dst); err != nil {
+		d.log.Printf("quarantine %s: %v", path, err)
+		return
+	}
+	d.telemetry.Counter("faasnap_snapfile_quarantined_total",
+		"Snapshot files that failed verification and were quarantined.", nil).Inc()
+	d.log.Printf("quarantined corrupt snapfile %s -> %s: %v", path, dst, cause)
+}
+
+// handleChaosGet reports the chaos injector's config and fire counts.
+func (d *Daemon) handleChaosGet(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, d.chaos.Status())
+}
+
+// handleChaosPut replaces the chaos configuration live. Reconfiguring
+// reseeds the RNG and zeroes per-rule fire counts, so a fixed config
+// replays a fixed fault sequence.
+func (d *Daemon) handleChaosPut(w http.ResponseWriter, r *http.Request) {
+	var cfg chaos.Config
+	if err := decodeBody(r, &cfg); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := d.chaos.Configure(cfg); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	d.log.Printf("chaos reconfigured: enabled=%v seed=%d rules=%d", cfg.Enabled, cfg.Seed, len(cfg.Rules))
+	writeJSON(w, http.StatusOK, d.chaos.Status())
+}

@@ -12,6 +12,7 @@ package guestagent
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -20,6 +21,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"faasnap/internal/chaos"
 	"faasnap/internal/pipenet"
 	"faasnap/internal/telemetry"
 )
@@ -43,6 +45,7 @@ type Agent struct {
 	name     string
 	exec     Executor
 	sanitize atomic.Bool
+	chaos    atomic.Pointer[chaos.Injector]
 
 	lis    *pipenet.Listener
 	server *http.Server
@@ -87,6 +90,18 @@ func (a *Agent) SetTelemetry(reg *telemetry.Registry) {
 		telemetry.L("function", a.name))
 }
 
+// SetChaos arms the agent with a chaos injector, consulted on every
+// invoke request (point "guestagent", op "invoke"): error fails the
+// request, hang stalls it until the caller's deadline, crash kills the
+// whole server mid-request — the guest process dying under the daemon.
+// Dials of the agent's virtual network device additionally consult the
+// transport point (point "pipenet", op = listener name, kinds drop and
+// delay). A nil injector disables both.
+func (a *Agent) SetChaos(inj *chaos.Injector) {
+	a.chaos.Store(inj)
+	a.lis.SetDialFault(inj.DialFault(a.lis.Addr().String()))
+}
+
 // Sanitizing reports the guest kernel's freed-page sanitizing state.
 func (a *Agent) Sanitizing() bool { return a.sanitize.Load() }
 
@@ -102,6 +117,30 @@ func (a *Agent) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 func (a *Agent) handleInvoke(w http.ResponseWriter, r *http.Request) {
+	if d := a.chaos.Load().Eval(chaos.PointAgent, "invoke"); d.Fired() {
+		switch {
+		case d.Is(chaos.KindCrash):
+			// The guest process dies mid-request: stop the server and
+			// abort this connection without a response, so the daemon
+			// sees a transport error, not a clean HTTP failure.
+			go a.server.Close()
+			panic(http.ErrAbortHandler)
+		case d.Is(chaos.KindHang):
+			limit := d.Delay
+			if limit <= 0 {
+				limit = 30 * time.Second
+			}
+			select {
+			case <-r.Context().Done():
+			case <-time.After(limit):
+			}
+			writeErr(w, http.StatusInternalServerError, "%v", d.Err())
+			return
+		default:
+			writeErr(w, http.StatusInternalServerError, "%v", d.Err())
+			return
+		}
+	}
 	var req InvokeRequest
 	if r.Body != nil {
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -162,6 +201,7 @@ type Client struct {
 	http *http.Client
 
 	mu    sync.Mutex
+	ctx   context.Context
 	sc    telemetry.SpanContext
 	spans []telemetry.RemoteSpan
 }
@@ -197,6 +237,24 @@ func (c *Client) SetTraceContext(sc telemetry.SpanContext) {
 	c.mu.Unlock()
 }
 
+// SetContext scopes subsequent requests to ctx: the daemon propagates
+// its per-invocation deadline across the guest-network hop through
+// here, so a hung or crashed guest cannot hold a request forever.
+func (c *Client) SetContext(ctx context.Context) {
+	c.mu.Lock()
+	c.ctx = ctx
+	c.mu.Unlock()
+}
+
+func (c *Client) context() context.Context {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ctx != nil {
+		return c.ctx
+	}
+	return context.Background()
+}
+
 // TraceSpans returns the spans the agent reported for this client's
 // traced requests so far.
 func (c *Client) TraceSpans() []telemetry.RemoteSpan {
@@ -207,7 +265,11 @@ func (c *Client) TraceSpans() []telemetry.RemoteSpan {
 
 // Health checks agent liveness.
 func (c *Client) Health() error {
-	resp, err := c.http.Get("http://guest/healthz")
+	req, err := http.NewRequestWithContext(c.context(), http.MethodGet, "http://guest/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
 	if err != nil {
 		return err
 	}
@@ -221,7 +283,12 @@ func (c *Client) Health() error {
 // Invoke runs the installed function.
 func (c *Client) Invoke(req InvokeRequest) (InvokeReply, error) {
 	raw, _ := json.Marshal(req)
-	resp, err := c.http.Post("http://guest/invoke", "application/json", jsonBody(raw))
+	hreq, err := http.NewRequestWithContext(c.context(), http.MethodPost, "http://guest/invoke", jsonBody(raw))
+	if err != nil {
+		return InvokeReply{}, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(hreq)
 	if err != nil {
 		return InvokeReply{}, err
 	}

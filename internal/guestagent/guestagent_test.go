@@ -1,10 +1,15 @@
 package guestagent
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
+	"strings"
 	"sync"
 	"testing"
+	"time"
+
+	"faasnap/internal/chaos"
 )
 
 func newAgent(t *testing.T, exec Executor) (*Agent, *Client) {
@@ -102,6 +107,78 @@ func TestConcurrentInvokes(t *testing.T) {
 	wg.Wait()
 	if a.Invocations() != 16 {
 		t.Fatalf("invocations = %d", a.Invocations())
+	}
+}
+
+func chaosAgent(t *testing.T, cfg chaos.Config) (*Agent, *Client) {
+	t.Helper()
+	inj := chaos.New()
+	if err := inj.Configure(cfg); err != nil {
+		t.Fatal(err)
+	}
+	a, c := newAgent(t, echoExec)
+	a.SetChaos(inj)
+	return a, c
+}
+
+func TestChaosErrorFailsInvoke(t *testing.T) {
+	a, c := chaosAgent(t, chaos.Config{Enabled: true, Rules: []chaos.Rule{
+		{Point: chaos.PointAgent, Op: "invoke", Kind: chaos.KindError, Count: 1},
+	}})
+	if _, err := c.Invoke(InvokeRequest{Input: "x"}); err == nil ||
+		!strings.Contains(err.Error(), "chaos") {
+		t.Fatalf("invoke err = %v, want injected failure", err)
+	}
+	if a.Invocations() != 0 {
+		t.Fatal("failed invoke was counted")
+	}
+	// Count-limited rule: the next invoke goes through.
+	if _, err := c.Invoke(InvokeRequest{Input: "x"}); err != nil {
+		t.Fatalf("invoke after exhausted rule: %v", err)
+	}
+	// Health is untouched by invoke-scoped chaos.
+	if err := c.Health(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChaosCrashKillsAgentMidInvoke(t *testing.T) {
+	a, c := chaosAgent(t, chaos.Config{Enabled: true, Rules: []chaos.Rule{
+		{Point: chaos.PointAgent, Op: "invoke", Kind: chaos.KindCrash},
+	}})
+	_, err := c.Invoke(InvokeRequest{Input: "x"})
+	if err == nil {
+		t.Fatal("invoke against crashing agent succeeded")
+	}
+	// The daemon must see a transport error (the guest died), not a
+	// well-formed HTTP failure.
+	if strings.Contains(err.Error(), "invoke failed (") {
+		t.Fatalf("crash produced a clean HTTP error: %v", err)
+	}
+	// The whole agent is gone, like a dead guest process.
+	if err := c.Health(); err == nil {
+		t.Fatal("agent still healthy after crash")
+	}
+	_ = a
+}
+
+func TestChaosHangRespectsDeadline(t *testing.T) {
+	_, c := chaosAgent(t, chaos.Config{Enabled: true, Rules: []chaos.Rule{
+		{Point: chaos.PointAgent, Op: "invoke", Kind: chaos.KindHang},
+	}})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	c.SetContext(ctx)
+	start := time.Now()
+	_, err := c.Invoke(InvokeRequest{Input: "x"})
+	if err == nil {
+		t.Fatal("hung invoke succeeded")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) && !strings.Contains(err.Error(), "deadline") {
+		t.Fatalf("hang err = %v, want deadline expiry", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("hang outlived the request deadline by far")
 	}
 }
 

@@ -9,10 +9,18 @@ import (
 	"errors"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // ErrClosed is returned for operations on a closed listener.
 var ErrClosed = errors.New("pipenet: listener closed")
+
+// DialFault lets a fault-injection layer intercept dials: a non-zero
+// delay stalls the dial, a non-nil error refuses the connection
+// (a dropped SYN / unreachable socket). pipenet stays ignorant of who
+// decides — the chaos registry plugs in here without a dependency.
+type DialFault func() (delay time.Duration, err error)
 
 // Listener is an in-memory net.Listener.
 type Listener struct {
@@ -20,6 +28,7 @@ type Listener struct {
 	conns  chan net.Conn
 	closed chan struct{}
 	once   sync.Once
+	fault  atomic.Pointer[DialFault]
 }
 
 // NewListener returns a listener with the given display name.
@@ -50,8 +59,30 @@ func (l *Listener) Close() error {
 // Addr implements net.Listener.
 func (l *Listener) Addr() net.Addr { return addr{name: l.name} }
 
+// SetDialFault installs (or, with nil, removes) a dial interceptor.
+func (l *Listener) SetDialFault(f DialFault) {
+	if f == nil {
+		l.fault.Store(nil)
+		return
+	}
+	l.fault.Store(&f)
+}
+
 // Dial opens a client connection to the listener.
 func (l *Listener) Dial() (net.Conn, error) {
+	if fp := l.fault.Load(); fp != nil {
+		delay, err := (*fp)()
+		if delay > 0 {
+			select {
+			case <-time.After(delay):
+			case <-l.closed:
+				return nil, ErrClosed
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
 	client, server := net.Pipe()
 	select {
 	case l.conns <- server:

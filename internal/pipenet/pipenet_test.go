@@ -2,10 +2,12 @@ package pipenet
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net/http"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestDialAccept(t *testing.T) {
@@ -49,6 +51,66 @@ func TestAddr(t *testing.T) {
 	l := NewListener("vm7-api.sock")
 	if l.Addr().Network() != "pipe" || l.Addr().String() != "vm7-api.sock" {
 		t.Fatalf("addr = %v/%v", l.Addr().Network(), l.Addr().String())
+	}
+}
+
+func TestDialFault(t *testing.T) {
+	l := NewListener("faulty")
+	defer l.Close()
+	refused := errors.New("connection refused")
+	l.SetDialFault(func() (time.Duration, error) { return 0, refused })
+	if _, err := l.Dial(); !errors.Is(err, refused) {
+		t.Fatalf("dial err = %v, want injected refusal", err)
+	}
+
+	// A delay-only fault stalls the dial but still connects.
+	l.SetDialFault(func() (time.Duration, error) { return 5 * time.Millisecond, nil })
+	go func() {
+		conn, err := l.Accept()
+		if err == nil {
+			conn.Close()
+		}
+	}()
+	start := time.Now()
+	c, err := l.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if d := time.Since(start); d < 5*time.Millisecond {
+		t.Fatalf("delayed dial completed in %v", d)
+	}
+
+	// Clearing the fault restores normal dialing.
+	l.SetDialFault(nil)
+	go func() {
+		conn, err := l.Accept()
+		if err == nil {
+			conn.Close()
+		}
+	}()
+	if _, err := l.Dial(); err != nil {
+		t.Fatalf("dial after clearing fault: %v", err)
+	}
+}
+
+func TestDialFaultDelayUnblocksOnClose(t *testing.T) {
+	l := NewListener("stuck")
+	l.SetDialFault(func() (time.Duration, error) { return time.Hour, nil })
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := l.Dial()
+		errCh <- err
+	}()
+	time.Sleep(time.Millisecond)
+	l.Close()
+	select {
+	case err := <-errCh:
+		if err != ErrClosed {
+			t.Fatalf("dial err = %v, want ErrClosed", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("dial still stuck after listener close")
 	}
 }
 

@@ -1,0 +1,245 @@
+// Package resilience holds the small, dependency-free building blocks
+// the daemon's invocation pipeline survives failures with: bounded
+// retries with jittered exponential backoff, a per-function circuit
+// breaker, and an admission-control limiter. All three are safe for
+// concurrent use.
+package resilience
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// jitter is the backoff jitter source. Retry timing does not need to be
+// reproducible, only bounded, so a private seeded source (guarded by a
+// mutex — math/rand.Rand is not concurrency-safe) is enough.
+var jitter = struct {
+	sync.Mutex
+	rng *rand.Rand
+}{rng: rand.New(rand.NewSource(1))}
+
+// BackoffDelay returns the sleep before retry attempt n (0-based):
+// base·2ⁿ plus up to 50% jitter, capped at max (0 means no cap).
+func BackoffDelay(n int, base, max time.Duration) time.Duration {
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	d := base << uint(n)
+	if d <= 0 || (max > 0 && d > max) { // overflow or cap
+		d = max
+		if d == 0 {
+			d = base
+		}
+	}
+	jitter.Lock()
+	f := jitter.rng.Float64()
+	jitter.Unlock()
+	return d + time.Duration(f*0.5*float64(d))
+}
+
+// Retry runs fn up to attempts times, backing off between failures and
+// stopping early when ctx is done or when retryable reports the error
+// is not worth retrying. It returns nil on the first success, the
+// context error if the deadline cut the loop short, and otherwise the
+// last error fn returned. A nil retryable retries everything.
+func Retry(ctx context.Context, attempts int, base time.Duration, retryable func(error) bool, fn func() error) error {
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for n := 0; n < attempts; n++ {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			if err != nil {
+				return err
+			}
+			return ctxErr
+		}
+		if err = fn(); err == nil {
+			return nil
+		}
+		if retryable != nil && !retryable(err) {
+			return err
+		}
+		if n == attempts-1 {
+			break
+		}
+		t := time.NewTimer(BackoffDelay(n, base, 500*time.Millisecond))
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return err
+		case <-t.C:
+		}
+	}
+	return err
+}
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+const (
+	// Closed passes requests through, counting consecutive failures.
+	Closed BreakerState = iota
+	// Open rejects requests until the cooldown elapses.
+	Open
+	// HalfOpen admits one probe; its outcome closes or re-opens.
+	HalfOpen
+)
+
+// String returns the conventional state name.
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// Breaker is a consecutive-failure circuit breaker: Threshold failures
+// in a row open it; after Cooldown one probe is admitted, and its
+// outcome closes the breaker or re-arms the cooldown.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+	onChange  func(BreakerState)
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int
+	openedAt time.Time
+	probing  bool
+}
+
+// NewBreaker builds a breaker. onChange (may be nil) runs on every
+// state transition, outside the breaker's lock order guarantees —
+// keep it cheap (a telemetry gauge update).
+func NewBreaker(threshold int, cooldown time.Duration, onChange func(BreakerState)) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	return &Breaker{
+		threshold: threshold,
+		cooldown:  cooldown,
+		now:       time.Now,
+		onChange:  onChange,
+	}
+}
+
+// SetClock overrides the breaker's clock (tests).
+func (b *Breaker) SetClock(now func() time.Time) {
+	b.mu.Lock()
+	b.now = now
+	b.mu.Unlock()
+}
+
+func (b *Breaker) transition(to BreakerState) {
+	if b.state == to {
+		return
+	}
+	b.state = to
+	if b.onChange != nil {
+		b.onChange(to)
+	}
+}
+
+// Allow reports whether a request may take the guarded path. In Open it
+// flips to HalfOpen once the cooldown has elapsed and admits a single
+// probe; concurrent callers during the probe are rejected.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return true
+	case Open:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.transition(HalfOpen)
+		b.probing = true
+		return true
+	case HalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+	return false
+}
+
+// Success reports a guarded-path success, closing the breaker.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	b.probing = false
+	b.transition(Closed)
+}
+
+// Failure reports a guarded-path failure. The threshold'th consecutive
+// failure — or any failed half-open probe — opens the breaker.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures++
+	b.probing = false
+	if b.state == HalfOpen || b.failures >= b.threshold {
+		b.openedAt = b.now()
+		b.failures = 0
+		b.transition(Open)
+	}
+}
+
+// State returns the current state without side effects.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Limiter is a weighted in-flight admission controller: Acquire(w)
+// succeeds while the running total stays within max.
+type Limiter struct {
+	max int64
+	cur atomic.Int64
+}
+
+// NewLimiter bounds total in-flight weight to max (≤ 0 means 1).
+func NewLimiter(max int64) *Limiter {
+	if max <= 0 {
+		max = 1
+	}
+	return &Limiter{max: max}
+}
+
+// Acquire tries to admit weight w, returning false (without admitting)
+// when the limiter is saturated.
+func (l *Limiter) Acquire(w int64) bool {
+	for {
+		cur := l.cur.Load()
+		if cur+w > l.max {
+			return false
+		}
+		if l.cur.CompareAndSwap(cur, cur+w) {
+			return true
+		}
+	}
+}
+
+// Release returns weight w admitted by a successful Acquire.
+func (l *Limiter) Release(w int64) { l.cur.Add(-w) }
+
+// InFlight returns the admitted weight.
+func (l *Limiter) InFlight() int64 { return l.cur.Load() }
+
+// Max returns the limiter's capacity.
+func (l *Limiter) Max() int64 { return l.max }

@@ -1,0 +1,230 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBackoffDelayBounds(t *testing.T) {
+	for n := 0; n < 8; n++ {
+		base := 2 * time.Millisecond
+		d := BackoffDelay(n, base, 100*time.Millisecond)
+		lo := base << uint(n)
+		if lo > 100*time.Millisecond {
+			lo = 100 * time.Millisecond
+		}
+		hi := lo + lo/2
+		if d < lo || d > hi {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v]", n, d, lo, hi)
+		}
+	}
+	// Zero/negative base falls back to something positive.
+	if d := BackoffDelay(0, 0, 0); d <= 0 {
+		t.Fatalf("zero base gave %v", d)
+	}
+	// Shift overflow clamps to the cap instead of going negative.
+	if d := BackoffDelay(62, time.Second, time.Minute); d <= 0 || d > 90*time.Second {
+		t.Fatalf("overflowing attempt gave %v", d)
+	}
+}
+
+func TestRetrySucceedsAfterFailures(t *testing.T) {
+	calls := 0
+	err := Retry(context.Background(), 3, time.Microsecond, nil, func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestRetryExhaustsAttempts(t *testing.T) {
+	boom := errors.New("boom")
+	calls := 0
+	err := Retry(context.Background(), 3, time.Microsecond, nil, func() error {
+		calls++
+		return boom
+	})
+	if !errors.Is(err, boom) || calls != 3 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestRetryStopsOnNonRetryable(t *testing.T) {
+	fatal := errors.New("fatal")
+	calls := 0
+	err := Retry(context.Background(), 5, time.Microsecond, func(err error) bool { return false }, func() error {
+		calls++
+		return fatal
+	})
+	if !errors.Is(err, fatal) || calls != 1 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestRetryHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	err := Retry(ctx, 10, time.Hour, nil, func() error {
+		calls++
+		cancel() // cancel during the first backoff wait
+		return errors.New("transient")
+	})
+	if err == nil || calls != 1 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+	// Already-expired context: fn never runs, ctx error comes back.
+	done, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	err = Retry(done, 3, time.Microsecond, nil, func() error {
+		t.Fatal("fn ran under dead context")
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	now := time.Unix(0, 0)
+	var transitions []BreakerState
+	b := NewBreaker(3, time.Second, func(s BreakerState) { transitions = append(transitions, s) })
+	b.SetClock(func() time.Time { return now })
+
+	// Closed until the third consecutive failure.
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatal("closed breaker rejected")
+		}
+		b.Failure()
+	}
+	if b.State() != Closed {
+		t.Fatalf("state after 2 failures: %v", b.State())
+	}
+	b.Allow()
+	b.Failure()
+	if b.State() != Open {
+		t.Fatalf("state after 3 failures: %v", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted before cooldown")
+	}
+
+	// After cooldown: exactly one half-open probe.
+	now = now.Add(time.Second)
+	if !b.Allow() {
+		t.Fatal("half-open probe rejected")
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("state during probe: %v", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second concurrent probe admitted")
+	}
+
+	// A failed probe re-opens immediately (single failure, not threshold).
+	b.Failure()
+	if b.State() != Open {
+		t.Fatalf("state after failed probe: %v", b.State())
+	}
+
+	// A successful probe closes.
+	now = now.Add(time.Second)
+	if !b.Allow() {
+		t.Fatal("second probe rejected")
+	}
+	b.Success()
+	if b.State() != Closed {
+		t.Fatalf("state after good probe: %v", b.State())
+	}
+
+	want := []BreakerState{Open, HalfOpen, Open, HalfOpen, Closed}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transition %d = %v, want %v", i, transitions[i], want[i])
+		}
+	}
+}
+
+func TestBreakerSuccessResetsFailureStreak(t *testing.T) {
+	b := NewBreaker(3, time.Second, nil)
+	b.Failure()
+	b.Failure()
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if b.State() != Closed {
+		t.Fatalf("non-consecutive failures opened breaker: %v", b.State())
+	}
+}
+
+func TestBreakerStateString(t *testing.T) {
+	cases := map[BreakerState]string{Closed: "closed", Open: "open", HalfOpen: "half-open", BreakerState(9): "unknown"}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(s), got, want)
+		}
+	}
+}
+
+func TestLimiterWeightedAdmission(t *testing.T) {
+	l := NewLimiter(4)
+	if l.Max() != 4 {
+		t.Fatalf("max %d", l.Max())
+	}
+	if !l.Acquire(3) {
+		t.Fatal("first acquire rejected")
+	}
+	if l.Acquire(2) {
+		t.Fatal("over-capacity acquire admitted")
+	}
+	if !l.Acquire(1) {
+		t.Fatal("exact-fit acquire rejected")
+	}
+	if l.InFlight() != 4 {
+		t.Fatalf("in-flight %d", l.InFlight())
+	}
+	l.Release(3)
+	if !l.Acquire(2) {
+		t.Fatal("post-release acquire rejected")
+	}
+	l.Release(2)
+	l.Release(1)
+	if l.InFlight() != 0 {
+		t.Fatalf("leaked weight: %d", l.InFlight())
+	}
+}
+
+func TestLimiterConcurrentNeverOversubscribes(t *testing.T) {
+	const max, workers = 8, 64
+	l := NewLimiter(max)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				if l.Acquire(1) {
+					if got := l.InFlight(); got > max {
+						t.Errorf("in-flight %d exceeds max %d", got, max)
+					}
+					l.Release(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if l.InFlight() != 0 {
+		t.Fatalf("leaked weight: %d", l.InFlight())
+	}
+}

@@ -11,6 +11,7 @@ package snapfile
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
@@ -328,6 +329,64 @@ func Read(r io.Reader) (*core.Artifacts, error) {
 		LSUnmerged:  lsu,
 		ReapWS:      workingset.NewWSFile(reapPages),
 	}, nil
+}
+
+// Fault is a storage-corruption fault applied while reading a
+// snapfile, used by the chaos layer to prove the checksum catches real
+// damage. snapfile stays ignorant of who injects it.
+type Fault int
+
+const (
+	// FaultNone reads the file as-is.
+	FaultNone Fault = iota
+	// FaultCorrupt flips one byte in the body, as a torn write or bad
+	// sector would.
+	FaultCorrupt
+	// FaultTruncate drops the file's tail, as a crashed writer would
+	// (Save's atomic rename normally prevents this; remote copies can
+	// still arrive short).
+	FaultTruncate
+)
+
+// ReadWithFault is Read with a storage fault applied to the stream
+// first. Faulted reads are expected to fail the checksum or section
+// parsing; a nil error under FaultCorrupt/FaultTruncate would mean the
+// format's integrity checking has a hole.
+func ReadWithFault(r io.Reader, f Fault) (*core.Artifacts, error) {
+	if f == FaultNone {
+		return Read(r)
+	}
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("snapfile: read: %w", err)
+	}
+	switch f {
+	case FaultCorrupt:
+		if len(raw) > 0 {
+			raw[len(raw)/2] ^= 0xff
+		}
+	case FaultTruncate:
+		raw = raw[:len(raw)/2]
+	}
+	return Read(bytes.NewReader(raw))
+}
+
+// LoadWithFault is Load with a storage fault applied.
+func LoadWithFault(path string, f Fault) (*core.Artifacts, error) {
+	fd, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fd.Close()
+	return ReadWithFault(fd, f)
+}
+
+// Verify checks the snapfile at path end to end — magic, version,
+// section parsing, trailing CRC — without keeping the artifacts. The
+// daemon runs this at deploy time and quarantines files that fail.
+func Verify(path string) error {
+	_, err := Load(path)
+	return err
 }
 
 // Save writes arts to path atomically (via a temp file rename).

@@ -149,6 +149,53 @@ func TestLoadMissingFile(t *testing.T) {
 	}
 }
 
+func TestReadWithFault(t *testing.T) {
+	arts := testArtifacts(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, arts); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	if _, err := ReadWithFault(bytes.NewReader(data), FaultNone); err != nil {
+		t.Fatalf("FaultNone read failed: %v", err)
+	}
+	if _, err := ReadWithFault(bytes.NewReader(data), FaultCorrupt); err == nil {
+		t.Fatal("corrupted read passed the checksum")
+	}
+	if _, err := ReadWithFault(bytes.NewReader(data), FaultTruncate); err == nil {
+		t.Fatal("truncated read succeeded")
+	}
+}
+
+func TestVerify(t *testing.T) {
+	arts := testArtifacts(t)
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.snap")
+	if err := Save(good, arts); err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(good); err != nil {
+		t.Fatalf("verify of valid snapfile: %v", err)
+	}
+
+	raw, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xff
+	bad := filepath.Join(dir, "bad.snap")
+	if err := os.WriteFile(bad, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(bad); err == nil {
+		t.Fatal("verify of corrupted snapfile passed")
+	}
+	if err := Verify(filepath.Join(dir, "absent.snap")); err == nil {
+		t.Fatal("verify of missing snapfile passed")
+	}
+}
+
 func TestCustomFunctionRoundTrip(t *testing.T) {
 	cfg := workload.SpecConfig{
 		Name: "custom-fn", BootMB: 100, StablePages: 2000, ChunkMean: 4,

@@ -2,12 +2,16 @@ package vmm
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"sync"
+	"time"
 
+	"faasnap/internal/chaos"
 	"faasnap/internal/pipenet"
 	"faasnap/internal/telemetry"
 )
@@ -17,16 +21,21 @@ import (
 // set, every request carries it and the VMM's reply spans are
 // collected for the daemon to stitch into the invocation trace.
 type Client struct {
-	http *http.Client
+	http  *http.Client
+	chaos *chaos.Injector
 
 	mu    sync.Mutex
+	ctx   context.Context
 	sc    telemetry.SpanContext
 	spans []telemetry.RemoteSpan
 }
 
 // Client returns an API client for the machine.
 func (m *Machine) Client() *Client {
-	c := &Client{}
+	m.mu.Lock()
+	inj := m.chaos
+	m.mu.Unlock()
+	c := &Client{chaos: inj}
 	c.http = pipenet.HTTPClientWithHook(m.lis, pipenet.Hook{
 		Before: func(req *http.Request) {
 			c.mu.Lock()
@@ -54,6 +63,24 @@ func (c *Client) SetTraceContext(sc telemetry.SpanContext) {
 	c.mu.Unlock()
 }
 
+// SetContext scopes subsequent requests to ctx: the daemon propagates
+// its per-invocation deadline to the VMM API hop through here, so a
+// hung VMM cannot outlive the request that is waiting on it.
+func (c *Client) SetContext(ctx context.Context) {
+	c.mu.Lock()
+	c.ctx = ctx
+	c.mu.Unlock()
+}
+
+func (c *Client) context() context.Context {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ctx != nil {
+		return c.ctx
+	}
+	return context.Background()
+}
+
 // TraceSpans returns the spans the VMM reported for this client's
 // traced requests so far.
 func (c *Client) TraceSpans() []telemetry.RemoteSpan {
@@ -72,7 +99,49 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("vmm: api error %d: %s", e.Code, e.Message)
 }
 
+// Retryable reports whether a VMM API error is worth retrying on a
+// fresh attempt: transport failures, VMM-side 5xx, and chaos-injected
+// faults are transient; 4xx responses and context expiry are not.
+func Retryable(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.Code >= 500
+	}
+	return true
+}
+
 func (c *Client) do(method, path string, body, out interface{}) error {
+	ctx := c.context()
+	if d := c.chaos.Eval(chaos.PointVMMAPI, path); d.Fired() {
+		switch {
+		case d.Is(chaos.KindDelay):
+			select {
+			case <-time.After(d.Delay):
+			case <-ctx.Done():
+				return fmt.Errorf("vmm: %s %s: %w", method, path, ctx.Err())
+			}
+		case d.Is(chaos.KindHang):
+			// A hang blocks until the caller's deadline fires; the rule's
+			// delay_ms caps it so an undeadlined test cannot wedge.
+			limit := d.Delay
+			if limit <= 0 {
+				limit = 30 * time.Second
+			}
+			select {
+			case <-time.After(limit):
+			case <-ctx.Done():
+			}
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("vmm: %s %s: %w", method, path, err)
+			}
+			return fmt.Errorf("vmm: %s %s: %w", method, path, d.Err())
+		default:
+			return fmt.Errorf("vmm: %s %s: %w", method, path, d.Err())
+		}
+	}
 	var rd io.Reader
 	if body != nil {
 		buf, err := json.Marshal(body)
@@ -81,7 +150,7 @@ func (c *Client) do(method, path string, body, out interface{}) error {
 		}
 		rd = bytes.NewReader(buf)
 	}
-	req, err := http.NewRequest(method, "http://vmm"+path, rd)
+	req, err := http.NewRequestWithContext(ctx, method, "http://vmm"+path, rd)
 	if err != nil {
 		return err
 	}

@@ -18,6 +18,7 @@ import (
 	"net/http"
 	"sync"
 
+	"faasnap/internal/chaos"
 	"faasnap/internal/pipenet"
 	"faasnap/internal/telemetry"
 )
@@ -118,6 +119,8 @@ type Machine struct {
 	tel       *machineTelemetry
 	telOnDown sync.Once // the active gauge decrements exactly once
 
+	chaos *chaos.Injector
+
 	lis    *pipenet.Listener
 	server *http.Server
 	done   chan struct{}
@@ -192,6 +195,18 @@ func (m *Machine) SetTelemetry(reg *telemetry.Registry) {
 	m.tel = t
 	m.mu.Unlock()
 	t.active.Inc()
+}
+
+// SetChaos arms the machine's API path with a chaos injector: clients
+// created after this call consult it on every request (point
+// "vmm.api", op = API path), and every dial of the API socket consults
+// the transport point (point "pipenet", op = listener name, kinds drop
+// and delay). A nil injector disables injection.
+func (m *Machine) SetChaos(inj *chaos.Injector) {
+	m.mu.Lock()
+	m.chaos = inj
+	m.mu.Unlock()
+	m.lis.SetDialFault(inj.DialFault(m.lis.Addr().String()))
 }
 
 // Close shuts the machine down (like killing the VMM process).

@@ -1,8 +1,13 @@
 package vmm
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
+	"time"
+
+	"faasnap/internal/chaos"
 )
 
 func newMachine(t *testing.T) (*Machine, *Client) {
@@ -209,6 +214,127 @@ func TestConcurrentClients(t *testing.T) {
 	for i := 0; i < 8; i++ {
 		if err := <-done; err != nil {
 			t.Fatal(err)
+		}
+	}
+}
+
+// chaosMachine launches a machine with an armed injector. SetChaos must
+// run before Client(), which snapshots the injector.
+func chaosMachine(t *testing.T, cfg chaos.Config) (*Machine, *Client) {
+	t.Helper()
+	inj := chaos.New()
+	if err := inj.Configure(cfg); err != nil {
+		t.Fatal(err)
+	}
+	m := Launch("vm-chaos")
+	m.SetChaos(inj)
+	t.Cleanup(m.Close)
+	return m, m.Client()
+}
+
+func TestChaosErrorOnRoute(t *testing.T) {
+	m, c := chaosMachine(t, chaos.Config{Enabled: true, Rules: []chaos.Rule{
+		{Point: chaos.PointVMMAPI, Op: "snapshot/load", Kind: chaos.KindError},
+	}})
+	err := c.LoadSnapshot(SnapshotLoadRequest{
+		SnapshotPath: "/s/x.state",
+		MemBackend:   MemBackend{BackendType: "File", BackendPath: "/s/x.mem"},
+	})
+	if !errors.Is(err, chaos.ErrInjected) {
+		t.Fatalf("load err = %v, want injected", err)
+	}
+	if !Retryable(err) {
+		t.Fatal("injected fault not retryable")
+	}
+	// Other routes are untouched.
+	if _, err := c.Info(); err != nil {
+		t.Fatalf("info under scoped chaos: %v", err)
+	}
+	_ = m
+}
+
+func TestChaosPipenetDropRefusesDial(t *testing.T) {
+	m, c := chaosMachine(t, chaos.Config{Enabled: true, Rules: []chaos.Rule{
+		{Point: chaos.PointPipenet, Op: "api.sock", Kind: chaos.KindDrop, Count: 1},
+	}})
+	// The dropped dial surfaces as a transport error, which the retry
+	// layer classifies as retryable.
+	_, err := c.Info()
+	if !errors.Is(err, chaos.ErrInjected) {
+		t.Fatalf("info over dropped transport err = %v, want injected", err)
+	}
+	if !Retryable(err) {
+		t.Fatal("dropped dial not retryable")
+	}
+	// The rule is count-limited: the next dial connects.
+	if _, err := c.Info(); err != nil {
+		t.Fatalf("info after exhausted drop rule: %v", err)
+	}
+	_ = m
+}
+
+func TestChaosPipenetDelayStallsDial(t *testing.T) {
+	_, c := chaosMachine(t, chaos.Config{Enabled: true, Rules: []chaos.Rule{
+		{Point: chaos.PointPipenet, Kind: chaos.KindDelay, DelayMs: 10},
+	}})
+	start := time.Now()
+	if _, err := c.Info(); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Fatalf("delayed dial completed in %v", d)
+	}
+}
+
+func TestChaosDelayStallsRequest(t *testing.T) {
+	_, c := chaosMachine(t, chaos.Config{Enabled: true, Rules: []chaos.Rule{
+		{Point: chaos.PointVMMAPI, Op: "/", Kind: chaos.KindDelay, DelayMs: 10},
+	}})
+	start := time.Now()
+	if _, err := c.Info(); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Fatalf("delayed request completed in %v", d)
+	}
+}
+
+func TestChaosHangRespectsDeadline(t *testing.T) {
+	_, c := chaosMachine(t, chaos.Config{Enabled: true, Rules: []chaos.Rule{
+		{Point: chaos.PointVMMAPI, Kind: chaos.KindHang},
+	}})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	c.SetContext(ctx)
+	start := time.Now()
+	_, err := c.Info()
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("hang err = %v, want deadline exceeded", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("hang outlived its deadline by far")
+	}
+	if Retryable(err) {
+		t.Fatal("deadline expiry must not be retryable")
+	}
+}
+
+func TestRetryableClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{context.Canceled, false},
+		{context.DeadlineExceeded, false},
+		{&APIError{Code: 400, Message: "bad request"}, false},
+		{&APIError{Code: 500, Message: "internal"}, true},
+		{errors.New("write pipe: broken"), true},
+		{chaos.ErrInjected, true},
+	}
+	for _, tc := range cases {
+		if got := Retryable(tc.err); got != tc.want {
+			t.Errorf("Retryable(%v) = %v, want %v", tc.err, got, tc.want)
 		}
 	}
 }
