@@ -2,13 +2,13 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-short test-race chaos bench experiments figures fuzz clean
+.PHONY: all check build vet test test-short test-race chaos gateway-e2e bench experiments figures fuzz clean
 
 all: build vet test
 
-# What CI runs: compile, vet, full tests, the race detector, and the
-# fault-injection matrix.
-check: build vet test test-race chaos
+# What CI runs: compile, vet, full tests, the race detector, the
+# fault-injection matrix, and the multi-host gateway e2e.
+check: build vet test test-race chaos gateway-e2e
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,12 @@ chaos:
 		./internal/chaos/ ./internal/resilience/ ./internal/daemon/ \
 		./internal/vmm/ ./internal/guestagent/ ./internal/pipenet/ \
 		./internal/blockdev/ ./internal/snapfile/
+
+# The multi-host serving-tier e2e (GATEWAY.md): three real daemons
+# behind a faasnap-gw routing tier; one backend is killed mid-burst
+# with chaos armed on another, and no client may ever see a 500.
+gateway-e2e:
+	$(GO) test -race -count=1 -run TestGatewayE2E ./internal/gateway/ -timeout 600s
 
 bench:
 	$(GO) test -bench=. -benchmem -timeout 1500s

@@ -17,12 +17,18 @@ import (
 	"net/http"
 	"os"
 	"strconv"
+	"time"
+
+	"faasnap/internal/resilience"
 )
 
-var addr = flag.String("addr", "127.0.0.1:8700", "daemon address")
+var (
+	addr    = flag.String("addr", "127.0.0.1:8700", "daemon or gateway address")
+	retries = flag.Int("retries", 4, "retries after a 429 shed (Retry-After honored, jittered backoff)")
+)
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: faasnapctl [-addr host:port] <command> [args]
+	fmt.Fprintf(os.Stderr, `usage: faasnapctl [-addr host:port] [-retries n] <command> [args]
 
 commands:
   list                                      list functions
@@ -34,32 +40,73 @@ commands:
   delete <fn>                               remove a function
   traces [id]                               list invocation traces, or fetch one (Zipkin v2 JSON)
   metrics                                   daemon counters
+  cluster [fn]                              gateway topology (and fn's placement preference)
+
+429 responses are retried up to -retries times, sleeping at least the
+server's Retry-After hint with jittered exponential backoff.
+
+gateway: point -addr at a faasnap-gw instance to use the multi-host
+tier; every command above works unchanged, e.g.
+  faasnapctl -addr 127.0.0.1:8800 invoke hello-world faasnap A
+  faasnapctl -addr 127.0.0.1:8800 cluster hello-world
 `)
 	os.Exit(2)
 }
 
-func call(method, path string, body interface{}) {
+// doOnce issues one request, returning the response and its body.
+func doOnce(method, path string, body []byte) (*http.Response, []byte, error) {
 	var rd io.Reader
 	if body != nil {
-		buf, err := json.Marshal(body)
-		if err != nil {
-			fatal(err)
-		}
-		rd = bytes.NewReader(buf)
+		rd = bytes.NewReader(body)
 	}
 	req, err := http.NewRequest(method, "http://"+*addr+path, rd)
 	if err != nil {
-		fatal(err)
+		return nil, nil, err
 	}
 	if rd != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
-		fatal(err)
+		return nil, nil, err
 	}
 	defer resp.Body.Close()
 	raw, _ := io.ReadAll(resp.Body)
+	return resp, raw, nil
+}
+
+func call(method, path string, body interface{}) {
+	var buf []byte
+	if body != nil {
+		var err error
+		buf, err = json.Marshal(body)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	var resp *http.Response
+	var raw []byte
+	for attempt := 0; ; attempt++ {
+		var err error
+		resp, raw, err = doOnce(method, path, buf)
+		if err != nil {
+			fatal(err)
+		}
+		if resp.StatusCode != http.StatusTooManyRequests || attempt >= *retries {
+			break
+		}
+		// Shed by admission control: honor the server's Retry-After as
+		// the backoff floor, jittered and growing per attempt so
+		// retrying clients spread out instead of re-converging.
+		base := time.Second
+		if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
+			base = time.Duration(ra) * time.Second
+		}
+		delay := resilience.BackoffDelay(attempt, base, 30*time.Second)
+		fmt.Fprintf(os.Stderr, "saturated (429); retrying in %v (attempt %d/%d)\n",
+			delay.Round(time.Millisecond), attempt+1, *retries)
+		time.Sleep(delay)
+	}
 	if resp.StatusCode/100 != 2 {
 		fmt.Fprintf(os.Stderr, "error (%d): %s\n", resp.StatusCode, bytes.TrimSpace(raw))
 		os.Exit(1)
@@ -92,6 +139,15 @@ func main() {
 		call("GET", "/functions", nil)
 	case "metrics":
 		call("GET", "/metrics.json", nil)
+	case "cluster":
+		if len(rest) > 1 {
+			usage()
+		}
+		path := "/cluster"
+		if len(rest) == 1 {
+			path += "?fn=" + rest[0]
+		}
+		call("GET", path, nil)
 	case "traces":
 		if len(rest) == 0 {
 			call("GET", "/traces", nil)

@@ -233,6 +233,7 @@ func (d *Daemon) Handler() http.Handler {
 	handle("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 	})
+	handle("GET /readyz", d.handleReady)
 	handle("GET /functions", d.handleList)
 	handle("PUT /functions/{name}", d.handleCreate)
 	handle("GET /functions/{name}", d.handleGet)
@@ -246,6 +247,33 @@ func (d *Daemon) Handler() http.Handler {
 	handle("GET /chaos", d.handleChaosGet)
 	handle("PUT /chaos", d.handleChaosPut)
 	return d.logRequests(mux)
+}
+
+// handleReady is readiness, distinct from /healthz liveness: a daemon
+// that cannot persist snapshots or reach its kvstore keeps answering
+// /healthz (the process is alive) but reports 503 here so a gateway
+// health checker drains it instead of black-holing requests.
+func (d *Daemon) handleReady(w http.ResponseWriter, r *http.Request) {
+	var reasons []string
+	if d.cfg.StateDir != "" {
+		probe, err := os.CreateTemp(d.cfg.StateDir, ".readyz-*")
+		if err != nil {
+			reasons = append(reasons, fmt.Sprintf("state dir not writable: %v", err))
+		} else {
+			probe.Close()
+			os.Remove(probe.Name())
+		}
+	}
+	if d.kv != nil {
+		if err := d.kv.Ping(); err != nil {
+			reasons = append(reasons, fmt.Sprintf("kvstore ping: %v", err))
+		}
+	}
+	if len(reasons) > 0 {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]interface{}{"ready": false, "reasons": reasons})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ready": true})
 }
 
 // recordTrace builds a Zipkin-style span tree for one invocation, as
@@ -817,8 +845,14 @@ func (d *Daemon) handleInvoke(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	// Allocate the trace id before any work runs so lower layers can
 	// parent their spans under the root span the trace builder will
-	// create first (SpanID keeps the derivation in sync).
+	// create first (SpanID keeps the derivation in sync). A request
+	// arriving with a traceparent (from the gateway tier or any tracing
+	// client) keeps its trace id, so the stored trace is addressable by
+	// the id the upstream hop already knows.
 	traceID := d.traces.NextID()
+	if sc, ok := telemetry.Extract(r.Header); ok && sc.TraceID != "" {
+		traceID = trace.ID(sc.TraceID)
+	}
 	rootSC := telemetry.SpanContext{TraceID: string(traceID), SpanID: string(trace.SpanID(traceID, 1))}
 	var remote []telemetry.RemoteSpan
 	// The guest agent's work is causally downstream of the VMM restore,

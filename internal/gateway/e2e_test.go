@@ -1,0 +1,357 @@
+package gateway_test
+
+// End-to-end proof of the multi-host serving tier: three real daemons
+// behind a real gateway over real HTTP. The test registers and records
+// functions through the gateway's fan-out, shows sticky routing beats
+// the locality-blind random baseline on repeat-invocation latency,
+// then kills one backend mid-burst with chaos armed on another and
+// requires every client-visible answer to be 200/429/504 — never 500.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"faasnap/internal/chaos"
+	"faasnap/internal/daemon"
+	"faasnap/internal/gateway"
+)
+
+type e2eNode struct {
+	d      *daemon.Daemon
+	srv    *httptest.Server
+	addr   string
+	killed atomic.Bool
+}
+
+// kill force-closes the backend the way a crashed host looks to the
+// gateway: in-flight connections die mid-request, new dials are
+// refused.
+func (n *e2eNode) kill() {
+	if n.killed.Swap(true) {
+		return
+	}
+	n.srv.CloseClientConnections()
+	n.srv.Close()
+	n.d.Close()
+}
+
+func startNode(t *testing.T) *e2eNode {
+	t.Helper()
+	d, err := daemon.New(daemon.Config{
+		StateDir: t.TempDir(),
+		Logger:   log.New(io.Discard, "", 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(d.Handler())
+	n := &e2eNode{d: d, srv: srv, addr: srv.Listener.Addr().String()}
+	t.Cleanup(n.kill)
+	return n
+}
+
+func startGateway(t *testing.T, cfg gateway.Config) *httptest.Server {
+	t.Helper()
+	cfg.Logger = log.New(io.Discard, "", 0)
+	g, err := gateway.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(g.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		g.Close()
+	})
+	return srv
+}
+
+// invokeOnce posts one invoke through url and returns the status, the
+// placement header, and the client-observed latency.
+func invokeOnce(t *testing.T, url, fn string) (int, string, time.Duration) {
+	t.Helper()
+	body := []byte(`{"mode":"faasnap","input":"A"}`)
+	start := time.Now()
+	resp, err := http.Post(url+"/functions/"+fn+"/invoke", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("invoke %s: %v", fn, err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, resp.Header.Get("X-Faasnap-Placement"), time.Since(start)
+}
+
+func e2eJSON(t *testing.T, method, url string, body, out interface{}) *http.Response {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode/100 == 2 {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decode: %v", method, url, err)
+		}
+	}
+	return resp
+}
+
+func TestGatewayE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("3-daemon e2e; skipped in -short")
+	}
+
+	nodes := []*e2eNode{startNode(t), startNode(t), startNode(t)}
+	byAddr := map[string]*e2eNode{}
+	addrs := make([]string, len(nodes))
+	for i, n := range nodes {
+		addrs[i] = n.addr
+		byAddr[n.addr] = n
+	}
+
+	gwSrv := startGateway(t, gateway.Config{
+		Backends:       addrs,
+		HealthInterval: 25 * time.Millisecond,
+		RequestTimeout: 10 * time.Second,
+		RetryAttempts:  3,
+		Replicas:       1,
+	})
+
+	// --- Provision through the gateway's fan-out: owner + 1 standby. ---
+	for _, fn := range []string{"hello-world", "json"} {
+		var created map[string]interface{}
+		if resp := e2eJSON(t, "PUT", gwSrv.URL+"/functions/"+fn, nil, &created); resp.StatusCode/100 != 2 {
+			t.Fatalf("create %s via gateway = %d", fn, resp.StatusCode)
+		}
+		repl, _ := created["replicated_to"].([]interface{})
+		if len(repl) != 2 {
+			t.Fatalf("create %s replicated_to = %v, want owner + 1 standby", fn, created["replicated_to"])
+		}
+		if resp := e2eJSON(t, "POST", gwSrv.URL+"/functions/"+fn+"/record",
+			map[string]string{"input": "A"}, nil); resp.StatusCode/100 != 2 {
+			t.Fatalf("record %s via gateway = %d", fn, resp.StatusCode)
+		}
+	}
+
+	// The merged listing must show each function on exactly its owner
+	// and standby.
+	var listing []map[string]interface{}
+	e2eJSON(t, "GET", gwSrv.URL+"/functions", nil, &listing)
+	for _, entry := range listing {
+		on, _ := entry["backends"].([]interface{})
+		if len(on) != 2 {
+			t.Fatalf("function %v registered on %v, want 2 backends", entry["name"], on)
+		}
+	}
+
+	// --- Topology: resolve hello-world's preference order. ---
+	var cluster struct {
+		Preference []string `json:"preference"`
+	}
+	e2eJSON(t, "GET", gwSrv.URL+"/cluster?fn=hello-world", nil, &cluster)
+	if len(cluster.Preference) != 3 {
+		t.Fatalf("cluster preference = %v, want 3 backends", cluster.Preference)
+	}
+	owner, standby := byAddr[cluster.Preference[0]], byAddr[cluster.Preference[1]]
+	if owner == nil || standby == nil {
+		t.Fatalf("preference %v names unknown backends", cluster.Preference)
+	}
+
+	// --- Sticky vs random on repeat invocations (all backends up). ---
+	// The random baseline is locality-blind: ~1/3 of its picks land on
+	// the backend holding no hello-world snapshot, eat a 404, and pay a
+	// retry hop — so sticky must win on mean latency.
+	randSrv := startGateway(t, gateway.Config{
+		Backends:       addrs,
+		HealthInterval: 25 * time.Millisecond,
+		RequestTimeout: 10 * time.Second,
+		RetryAttempts:  3,
+		Replicas:       1,
+		Policy:         gateway.PolicyRandom,
+		Seed:           7,
+	})
+	const samples = 90
+	for i := 0; i < 4; i++ { // warm both paths before timing
+		invokeOnce(t, gwSrv.URL, "hello-world")
+		invokeOnce(t, randSrv.URL, "hello-world")
+	}
+	var stickyTotal, randomTotal time.Duration
+	stickyPlacements := map[string]int{}
+	randomPlacements := map[string]int{}
+	for i := 0; i < samples; i++ {
+		st, pl, d := invokeOnce(t, gwSrv.URL, "hello-world")
+		if st != 200 {
+			t.Fatalf("sticky invoke %d = %d", i, st)
+		}
+		stickyPlacements[pl]++
+		stickyTotal += d
+		st, pl, d = invokeOnce(t, randSrv.URL, "hello-world")
+		if st != 200 {
+			t.Fatalf("random invoke %d = %d", i, st)
+		}
+		randomPlacements[pl]++
+		randomTotal += d
+	}
+	if frac := float64(stickyPlacements[gateway.PlacementSticky]) / samples; frac < 0.9 {
+		t.Fatalf("sticky placement rate = %.0f%% (%v), want >= 90%%", frac*100, stickyPlacements)
+	}
+	if randomPlacements[gateway.PlacementRetry] == 0 {
+		t.Fatalf("random baseline never paid a retry hop: %v", randomPlacements)
+	}
+	meanSticky := stickyTotal / samples
+	meanRandom := randomTotal / samples
+	t.Logf("repeat-invocation latency: sticky mean=%v random mean=%v (placements %v vs %v)",
+		meanSticky, meanRandom, stickyPlacements, randomPlacements)
+	if meanRandom <= meanSticky {
+		t.Errorf("random routing (%v) should be slower than sticky (%v): misses pay an extra hop",
+			meanRandom, meanSticky)
+	}
+
+	// --- Fault phase: chaos on the standby, then kill the owner cold
+	// mid-burst. Spillover lands on the chaos-slowed standby; no client
+	// may ever see a 500. ---
+	chaosCfg := chaos.Config{
+		Enabled: true,
+		Seed:    42,
+		Rules: []chaos.Rule{{
+			Point:   chaos.PointVMMAPI,
+			Op:      "/snapshot/load",
+			Kind:    chaos.KindDelay,
+			Prob:    0.5,
+			DelayMs: 5,
+		}},
+	}
+	if resp := e2eJSON(t, "PUT", "http://"+standby.addr+"/chaos", chaosCfg, nil); resp.StatusCode/100 != 2 {
+		t.Fatalf("arm chaos on standby = %d", resp.StatusCode)
+	}
+
+	const (
+		workers   = 8
+		perWorker = 12
+		killAfter = 30 // invokes completed before the owner dies
+	)
+	var (
+		mu         sync.Mutex
+		statuses   = map[int]int{}
+		placements = map[string]int{}
+		completed  atomic.Int64
+		wg         sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				st, pl, _ := invokeOnce(t, gwSrv.URL, "hello-world")
+				mu.Lock()
+				statuses[st]++
+				placements[pl]++
+				mu.Unlock()
+				if completed.Add(1) == killAfter {
+					owner.kill()
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+
+	for st, n := range statuses {
+		switch st {
+		case http.StatusOK, http.StatusTooManyRequests, http.StatusGatewayTimeout:
+		default:
+			t.Errorf("burst saw %d × status %d; only 200/429/504 are acceptable", n, st)
+		}
+	}
+	if statuses[http.StatusOK] == 0 {
+		t.Fatalf("burst produced no 200s: %v", statuses)
+	}
+	if placements[gateway.PlacementSpillover]+placements[gateway.PlacementRetry] == 0 {
+		t.Errorf("owner died mid-burst but no spillover/retry placements observed: %v", placements)
+	}
+	t.Logf("burst through owner kill: statuses=%v placements=%v", statuses, placements)
+
+	// The health checker must have drained the dead owner...
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		var after struct {
+			Backends []struct {
+				Addr string `json:"addr"`
+				Up   bool   `json:"up"`
+			} `json:"backends"`
+		}
+		e2eJSON(t, "GET", gwSrv.URL+"/cluster", nil, &after)
+		ownerDown := false
+		for _, b := range after.Backends {
+			if b.Addr == owner.addr && !b.Up {
+				ownerDown = true
+			}
+		}
+		if ownerDown {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("gateway never marked the killed owner down")
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	// ...while the gateway itself stays ready on the surviving backends.
+	if resp := e2eJSON(t, "GET", gwSrv.URL+"/readyz", nil, nil); resp.StatusCode != 200 {
+		t.Fatalf("gateway /readyz after losing one backend = %d, want 200", resp.StatusCode)
+	}
+
+	// Gateway telemetry: placement-labelled request counters and
+	// per-backend gauges must be visible on /metrics.
+	mresp, err := http.Get(gwSrv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	metrics := string(mbody)
+	for _, want := range []string{
+		`faasnap_gw_requests_total`,
+		`placement="sticky"`,
+		`faasnap_gw_backend_up`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("gateway /metrics missing %s", want)
+		}
+	}
+
+	// Cross-tier tracing: an invoke routed by the gateway yields a
+	// gateway-minted trace id resolvable back through GET /traces/{id}.
+	var inv struct {
+		TraceID string `json:"trace_id"`
+	}
+	if resp := e2eJSON(t, "POST", gwSrv.URL+"/functions/hello-world/invoke",
+		map[string]string{"mode": "faasnap", "input": "A"}, &inv); resp.StatusCode != 200 {
+		t.Fatalf("post-kill invoke = %d", resp.StatusCode)
+	}
+	if !strings.HasPrefix(inv.TraceID, "gw") {
+		t.Fatalf("trace_id = %q, want a gateway-minted gw… id", inv.TraceID)
+	}
+	if resp := e2eJSON(t, "GET", gwSrv.URL+"/traces/"+inv.TraceID, nil, nil); resp.StatusCode != 200 {
+		t.Fatalf("GET /traces/%s via gateway = %d, want 200", inv.TraceID, resp.StatusCode)
+	}
+}

@@ -1,0 +1,698 @@
+// Package gateway is the multi-host serving tier in front of N
+// faasnapd backends: the load balancer the daemon's §4.1 deployment
+// story assumes. Placement is snapshot-locality-aware — invocations
+// consistent-hash on function name so repeat requests land on the
+// backend that already holds the function's snapfile and page-cache
+// state (§7.2), with least-loaded spillover when the owner is down,
+// draining, saturated, or breaker-open. Failures retry on another
+// backend under the client's deadline, so one dead host degrades
+// capacity, never availability. See GATEWAY.md.
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"faasnap/internal/telemetry"
+)
+
+// Policy names a routing policy.
+const (
+	// PolicySticky is the default: consistent-hash owner first,
+	// least-loaded spillover.
+	PolicySticky = "sticky"
+	// PolicyRandom routes uniformly at random over ready backends — the
+	// locality-blind baseline the e2e test measures sticky against.
+	PolicyRandom = "random"
+)
+
+// Placement values reported in the "placement" response field.
+const (
+	// PlacementSticky: the request was served by its consistent-hash
+	// owner on the first attempt.
+	PlacementSticky = "sticky"
+	// PlacementSpillover: the owner was unusable (down, unready,
+	// saturated, breaker-open) and the first attempt went elsewhere.
+	PlacementSpillover = "spillover"
+	// PlacementRetry: at least one backend failed or missed and the
+	// request was retried on another.
+	PlacementRetry = "retry"
+)
+
+// Config configures a gateway.
+type Config struct {
+	// Backends are the daemon addresses (host:port) to route across.
+	Backends []string
+	// Logger receives operational logs; nil discards them.
+	Logger *log.Logger
+	// Registry backs GET /metrics; nil creates a private one.
+	Registry *telemetry.Registry
+	// HealthInterval is the /readyz + /metrics sweep period (default 1s).
+	HealthInterval time.Duration
+	// RequestTimeout bounds one client request across every backend
+	// attempt (default 30s); expiry returns 504.
+	RequestTimeout time.Duration
+	// RetryAttempts is the most backends one request may be sent to
+	// (default 3).
+	RetryAttempts int
+	// Replicas is how many standby backends receive function
+	// registration and snapshot recording besides the owner (default 1).
+	Replicas int
+	// MaxPerBackend is the per-backend in-flight load above which the
+	// owner is considered saturated and spilled over (default 256).
+	MaxPerBackend int64
+	// BreakerThreshold / BreakerCooldown tune the per-backend circuit
+	// breakers (defaults 3 failures, 2s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// Policy is PolicySticky (default) or PolicyRandom.
+	Policy string
+	// Seed seeds the random policy's picks (0 = 1), keeping baselines
+	// reproducible.
+	Seed int64
+	// VNodes is the ring's virtual-node count per backend (default 64).
+	VNodes int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Logger == nil {
+		c.Logger = log.New(os.Stderr, "faasnap-gw: ", log.LstdFlags)
+	}
+	if c.Registry == nil {
+		c.Registry = telemetry.NewRegistry()
+	}
+	if c.HealthInterval == 0 {
+		c.HealthInterval = time.Second
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.RetryAttempts == 0 {
+		c.RetryAttempts = 3
+	}
+	if c.Replicas == 0 {
+		c.Replicas = 1
+	}
+	if c.MaxPerBackend == 0 {
+		c.MaxPerBackend = 256
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown == 0 {
+		c.BreakerCooldown = 2 * time.Second
+	}
+	if c.Policy == "" {
+		c.Policy = PolicySticky
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Gateway fronts a set of faasnapd backends.
+type Gateway struct {
+	cfg  Config
+	log  *log.Logger
+	pool *Pool
+	reg  *telemetry.Registry
+
+	// proxy is the client for forwarded requests; per-request deadlines
+	// come from contexts, not a client timeout.
+	proxy *http.Client
+
+	traceSeq atomic.Uint64
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+// New builds a gateway and runs the first health sweep before
+// returning, so routing decisions never start from an unknown state.
+func New(cfg Config) (*Gateway, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Backends) == 0 {
+		return nil, fmt.Errorf("gateway: no backends configured")
+	}
+	if cfg.Policy != PolicySticky && cfg.Policy != PolicyRandom {
+		return nil, fmt.Errorf("gateway: unknown policy %q (%s or %s)", cfg.Policy, PolicySticky, PolicyRandom)
+	}
+	g := &Gateway{
+		cfg:   cfg,
+		log:   cfg.Logger,
+		reg:   cfg.Registry,
+		proxy: &http.Client{},
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+	g.pool = newPool(cfg.Backends, cfg.VNodes, cfg.HealthInterval, cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Registry)
+	g.pool.start()
+	return g, nil
+}
+
+// Close stops the health loop.
+func (g *Gateway) Close() { g.pool.close() }
+
+// Pool exposes the backend pool (tests and the /cluster handler).
+func (g *Gateway) Pool() *Pool { return g.pool }
+
+// Handler returns the gateway's REST API handler. The surface mirrors
+// the daemon's so faasnapctl and other clients work unchanged against
+// either tier.
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		g.reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("GET /healthz", g.handleHealthz)
+	mux.HandleFunc("GET /readyz", g.handleReadyz)
+	mux.HandleFunc("GET /cluster", g.handleCluster)
+	mux.HandleFunc("GET /functions", g.handleListAll)
+	mux.HandleFunc("PUT /functions/{name}", g.handleFanout)
+	mux.HandleFunc("POST /functions/{name}/record", g.handleFanout)
+	mux.HandleFunc("GET /functions/{name}", g.handleForward)
+	mux.HandleFunc("DELETE /functions/{name}", g.handleDeleteAll)
+	mux.HandleFunc("POST /functions/{name}/invoke", g.handleForward)
+	mux.HandleFunc("POST /functions/{name}/burst", g.handleForward)
+	mux.HandleFunc("GET /functions/{name}/faults", g.handleForward)
+	mux.HandleFunc("GET /traces/{id}", g.handleTraceFind)
+	return g.logRequests(mux)
+}
+
+func (g *Gateway) logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		g.log.Printf("%s %s (%v)", r.Method, r.URL.Path, time.Since(start).Round(time.Microsecond))
+	})
+}
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]interface{}{"ok": true, "ready_backends": g.readyCount()})
+}
+
+// handleReadyz: the gateway is ready when at least one backend is.
+func (g *Gateway) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	n := g.readyCount()
+	if n == 0 {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]interface{}{"ready": false, "reason": "no ready backends"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"ready": true, "ready_backends": n})
+}
+
+func (g *Gateway) readyCount() int {
+	n := 0
+	for _, b := range g.pool.snapshot() {
+		if b.Ready() {
+			n++
+		}
+	}
+	return n
+}
+
+// handleCluster reports the serving topology: every backend's health,
+// breaker, and load, plus — with ?fn=<name> — the preference order
+// (owner first) the placement ring assigns that function.
+func (g *Gateway) handleCluster(w http.ResponseWriter, r *http.Request) {
+	backends := make([]BackendStatus, 0)
+	for _, b := range g.pool.snapshot() {
+		backends = append(backends, b.status())
+	}
+	out := map[string]interface{}{
+		"policy":   g.cfg.Policy,
+		"replicas": g.cfg.Replicas,
+		"backends": backends,
+	}
+	if fn := r.URL.Query().Get("fn"); fn != "" {
+		prefs := g.pool.ring.Preference(fn, 0)
+		out["function"] = fn
+		out["preference"] = prefs
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// nextTraceSC mints a trace context for a request that arrived without
+// one, so the daemon's stitched trace carries a gateway-issued id the
+// client can look up via GET /traces/{id}.
+func (g *Gateway) nextTraceSC() telemetry.SpanContext {
+	return telemetry.SpanContext{
+		TraceID: fmt.Sprintf("gw%014x", g.traceSeq.Add(1)),
+		SpanID:  "0000000000000001",
+	}
+}
+
+// candidates returns the ordered backends a request for fn should try.
+// Sticky policy: the ring owner first, then the remaining backends by
+// ascending load, ties broken by ring (standby) order so equally-loaded
+// snapshot replicas are preferred. Random policy: a uniform shuffle of
+// all backends — the locality-blind baseline.
+func (g *Gateway) candidates(fn string) []*Backend {
+	prefs := g.pool.preference(fn, 0)
+	if len(prefs) <= 1 || g.cfg.Policy == PolicySticky {
+		if len(prefs) > 1 {
+			rest := append([]*Backend(nil), prefs[1:]...)
+			sort.SliceStable(rest, func(i, j int) bool { return rest[i].load() < rest[j].load() })
+			prefs = append(prefs[:1:1], rest...)
+		}
+		return prefs
+	}
+	shuffled := append([]*Backend(nil), prefs...)
+	g.rngMu.Lock()
+	g.rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	g.rngMu.Unlock()
+	return shuffled
+}
+
+// proxyResult is one backend attempt's outcome.
+type proxyResult struct {
+	status int
+	header http.Header
+	body   []byte
+}
+
+// do forwards one request to one backend, tracking per-backend
+// in-flight load and latency.
+func (g *Gateway) do(ctx context.Context, b *Backend, method, path string, query string, body []byte, sc telemetry.SpanContext) (proxyResult, error) {
+	url := "http://" + b.Addr + path
+	if query != "" {
+		url += "?" + query
+	}
+	var rd io.Reader
+	if len(body) > 0 {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
+	if err != nil {
+		return proxyResult{}, err
+	}
+	if len(body) > 0 {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	telemetry.Inject(req.Header, sc)
+	b.inflight.Add(1)
+	start := time.Now()
+	resp, err := g.proxy.Do(req)
+	g.reg.Histogram("faasnap_gw_backend_seconds",
+		"Wall time of forwarded backend requests, by backend.",
+		telemetry.L("backend", b.Addr)).Observe(time.Since(start))
+	b.inflight.Add(-1)
+	if err != nil {
+		return proxyResult{}, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return proxyResult{}, err
+	}
+	return proxyResult{status: resp.StatusCode, header: resp.Header, body: raw}, nil
+}
+
+func (g *Gateway) countRequest(b *Backend, placement string, status int) {
+	g.reg.Counter("faasnap_gw_requests_total",
+		"Requests forwarded to backends, by backend, placement, and status class.",
+		telemetry.L("backend", b.Addr, "placement", placement, "class", statusClass(status))).Inc()
+}
+
+func statusClass(code int) string {
+	if code < 100 || code > 599 {
+		return "other"
+	}
+	return fmt.Sprintf("%dxx", code/100)
+}
+
+// handleForward routes one function-scoped request (invoke, burst,
+// get, faults) with snapshot-locality-aware placement and bounded
+// retry-on-another-backend:
+//
+//   - transport errors and backend 5xx count against the backend's
+//     breaker and move to the next candidate;
+//   - 429 honors the backend's shed (no breaker penalty) and tries a
+//     less-loaded backend, propagating the largest Retry-After if every
+//     candidate sheds;
+//   - 404 means this backend does not hold the function — another
+//     replica may, so it is a miss, not an error;
+//   - deadline expiry anywhere returns 504.
+//
+// Successful JSON-object responses gain "placement" and "backend"
+// fields recording where and how the request landed.
+func (g *Gateway) handleForward(w http.ResponseWriter, r *http.Request) {
+	fn := r.PathValue("name")
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), g.cfg.RequestTimeout)
+	defer cancel()
+	// Propagate the client's trace context, or mint one, so the
+	// daemon's stitched trace carries an id known at this tier.
+	sc, ok := telemetry.Extract(r.Header)
+	if !ok {
+		sc = g.nextTraceSC()
+	}
+
+	cands := g.candidates(fn)
+	if len(cands) == 0 {
+		writeErr(w, http.StatusServiceUnavailable, "no backends configured")
+		return
+	}
+	owner := g.pool.preference(fn, 1)
+	attempts := 0
+	sawShed, retryAfter := false, 1
+	var lastMiss *proxyResult
+	var lastErr error
+	for _, b := range cands {
+		if attempts >= g.cfg.RetryAttempts {
+			break
+		}
+		if ctx.Err() != nil {
+			g.deadlineExceeded(w, ctx.Err())
+			return
+		}
+		if !b.Ready() || b.load() >= g.cfg.MaxPerBackend || !b.breaker.Allow() {
+			continue
+		}
+		placement := PlacementRetry
+		if attempts == 0 {
+			placement = PlacementSpillover
+			if len(owner) > 0 && b == owner[0] {
+				placement = PlacementSticky
+			}
+		}
+		attempts++
+		res, err := g.do(ctx, b, r.Method, r.URL.Path, r.URL.RawQuery, body, sc)
+		if err != nil {
+			if ctx.Err() != nil {
+				g.deadlineExceeded(w, ctx.Err())
+				return
+			}
+			b.breaker.Failure()
+			g.countRequest(b, placement, 0)
+			lastErr = err
+			g.log.Printf("backend %s: %s %s failed: %v", b.Addr, r.Method, r.URL.Path, err)
+			continue
+		}
+		g.countRequest(b, placement, res.status)
+		switch {
+		case res.status == http.StatusTooManyRequests:
+			// The backend shed by policy; it is healthy. Spill to a
+			// less-loaded backend, remembering its backoff hint.
+			b.breaker.Success()
+			sawShed = true
+			if ra, err := strconv.Atoi(res.header.Get("Retry-After")); err == nil && ra > retryAfter {
+				retryAfter = ra
+			}
+			continue
+		case res.status == http.StatusNotFound:
+			// Not registered here; a snapshot replica may hold it.
+			b.breaker.Success()
+			miss := res
+			lastMiss = &miss
+			continue
+		case res.status >= 500 && res.status != http.StatusGatewayTimeout:
+			b.breaker.Failure()
+			lastErr = fmt.Errorf("backend %s returned %d", b.Addr, res.status)
+			continue
+		default:
+			// 2xx, 4xx client errors, and backend 504s pass through.
+			b.breaker.Success()
+			g.writeProxied(w, res, b, placement)
+			return
+		}
+	}
+	if ctx.Err() != nil {
+		g.deadlineExceeded(w, ctx.Err())
+		return
+	}
+	if sawShed {
+		g.reg.Counter("faasnap_gw_shed_total",
+			"Requests answered 429 because every candidate backend shed.", nil).Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+		writeErr(w, http.StatusTooManyRequests, "all candidate backends saturated; retry later")
+		return
+	}
+	if lastMiss != nil {
+		g.writeRaw(w, *lastMiss)
+		return
+	}
+	g.reg.Counter("faasnap_gw_unroutable_total",
+		"Requests that exhausted every candidate backend.", nil).Inc()
+	if lastErr != nil {
+		writeErr(w, http.StatusServiceUnavailable, "no backend could serve the request: %v", lastErr)
+		return
+	}
+	writeErr(w, http.StatusServiceUnavailable, "no ready backend for %q", fn)
+}
+
+func (g *Gateway) deadlineExceeded(w http.ResponseWriter, err error) {
+	g.reg.Counter("faasnap_gw_deadline_exceeded_total",
+		"Requests that ran out their gateway deadline.", nil).Inc()
+	writeErr(w, http.StatusGatewayTimeout, "deadline exceeded: %v", err)
+}
+
+// writeProxied relays a backend response, stamping placement metadata
+// into JSON-object bodies and always into response headers.
+func (g *Gateway) writeProxied(w http.ResponseWriter, res proxyResult, b *Backend, placement string) {
+	w.Header().Set("X-Faasnap-Backend", b.Addr)
+	w.Header().Set("X-Faasnap-Placement", placement)
+	var obj map[string]interface{}
+	if json.Unmarshal(res.body, &obj) == nil && obj != nil {
+		obj["backend"] = b.Addr
+		obj["placement"] = placement
+		if raw, err := json.Marshal(obj); err == nil {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(res.status)
+			_, _ = w.Write(raw)
+			return
+		}
+	}
+	if ct := res.header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(res.status)
+	_, _ = w.Write(res.body)
+}
+
+func (g *Gateway) writeRaw(w http.ResponseWriter, res proxyResult) {
+	if ct := res.header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(res.status)
+	_, _ = w.Write(res.body)
+}
+
+// handleFanout serves PUT /functions/{name} and POST .../record:
+// the mutation lands on the function's owner and is replicated to the
+// next Replicas standbys in ring order, so spillover and failover
+// backends already hold the snapshot state when traffic reaches them.
+// The owner's response is returned (first success if the owner is
+// down), extended with the list of backends that accepted the change.
+func (g *Gateway) handleFanout(w http.ResponseWriter, r *http.Request) {
+	fn := r.PathValue("name")
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), g.cfg.RequestTimeout)
+	defer cancel()
+	sc, ok := telemetry.Extract(r.Header)
+	if !ok {
+		sc = g.nextTraceSC()
+	}
+	prefs := g.pool.preference(fn, 1+g.cfg.Replicas)
+	if len(prefs) == 0 {
+		writeErr(w, http.StatusServiceUnavailable, "no backends configured")
+		return
+	}
+	var accepted []string
+	var first *proxyResult
+	var firstBackend *Backend
+	var clientErr *proxyResult
+	for _, b := range prefs {
+		if ctx.Err() != nil {
+			g.deadlineExceeded(w, ctx.Err())
+			return
+		}
+		if !b.Ready() {
+			continue
+		}
+		res, err := g.do(ctx, b, r.Method, r.URL.Path, r.URL.RawQuery, body, sc)
+		if err != nil {
+			b.breaker.Failure()
+			g.log.Printf("fanout %s to %s failed: %v", r.URL.Path, b.Addr, err)
+			continue
+		}
+		g.reg.Counter("faasnap_gw_fanout_total",
+			"Fan-out requests (register/record) sent to backends, by backend and status class.",
+			telemetry.L("backend", b.Addr, "class", statusClass(res.status))).Inc()
+		if res.status/100 == 2 {
+			b.breaker.Success()
+			accepted = append(accepted, b.Addr)
+			if first == nil {
+				firstRes := res
+				first = &firstRes
+				firstBackend = b
+			}
+			continue
+		}
+		if res.status >= 500 {
+			b.breaker.Failure()
+		} else if clientErr == nil {
+			// A 4xx is deterministic (bad spec, unknown function):
+			// every backend would refuse it the same way.
+			b.breaker.Success()
+			errRes := res
+			clientErr = &errRes
+			break
+		}
+	}
+	if first == nil {
+		if clientErr != nil {
+			g.writeRaw(w, *clientErr)
+			return
+		}
+		if ctx.Err() != nil {
+			g.deadlineExceeded(w, ctx.Err())
+			return
+		}
+		writeErr(w, http.StatusServiceUnavailable, "no backend accepted %s %s", r.Method, r.URL.Path)
+		return
+	}
+	placement := PlacementSpillover
+	if owner := g.pool.preference(fn, 1); len(owner) > 0 && firstBackend == owner[0] {
+		placement = PlacementSticky
+	}
+	w.Header().Set("X-Faasnap-Backend", firstBackend.Addr)
+	w.Header().Set("X-Faasnap-Placement", placement)
+	var obj map[string]interface{}
+	if json.Unmarshal(first.body, &obj) == nil && obj != nil {
+		obj["backend"] = firstBackend.Addr
+		obj["placement"] = placement
+		obj["replicated_to"] = accepted
+		if raw, err := json.Marshal(obj); err == nil {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(first.status)
+			_, _ = w.Write(raw)
+			return
+		}
+	}
+	g.writeRaw(w, *first)
+}
+
+// handleListAll merges GET /functions across every ready backend,
+// deduplicating by name and annotating each entry with the backends
+// that hold it.
+func (g *Gateway) handleListAll(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), g.cfg.RequestTimeout)
+	defer cancel()
+	merged := make(map[string]map[string]interface{})
+	for _, b := range g.pool.snapshot() {
+		if !b.Ready() {
+			continue
+		}
+		res, err := g.do(ctx, b, http.MethodGet, "/functions", "", nil, telemetry.SpanContext{})
+		if err != nil || res.status != http.StatusOK {
+			continue
+		}
+		var list []map[string]interface{}
+		if json.Unmarshal(res.body, &list) != nil {
+			continue
+		}
+		for _, entry := range list {
+			name, _ := entry["name"].(string)
+			if name == "" {
+				continue
+			}
+			if have, ok := merged[name]; ok {
+				have["backends"] = append(have["backends"].([]string), b.Addr)
+			} else {
+				entry["backends"] = []string{b.Addr}
+				merged[name] = entry
+			}
+		}
+	}
+	names := make([]string, 0, len(merged))
+	for n := range merged {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]map[string]interface{}, 0, len(names))
+	for _, n := range names {
+		out = append(out, merged[n])
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleDeleteAll removes a function everywhere it lives; 204 if any
+// backend had it.
+func (g *Gateway) handleDeleteAll(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), g.cfg.RequestTimeout)
+	defer cancel()
+	found := false
+	for _, b := range g.pool.snapshot() {
+		if !b.Ready() {
+			continue
+		}
+		res, err := g.do(ctx, b, http.MethodDelete, r.URL.Path, "", nil, telemetry.SpanContext{})
+		if err != nil {
+			b.breaker.Failure()
+			continue
+		}
+		b.breaker.Success()
+		if res.status/100 == 2 {
+			found = true
+		}
+	}
+	if !found {
+		writeErr(w, http.StatusNotFound, "function %q not found on any backend", r.PathValue("name"))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleTraceFind looks a trace id up across backends: the gateway
+// minted the id, but the owning daemon stored the stitched trace.
+func (g *Gateway) handleTraceFind(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), g.cfg.RequestTimeout)
+	defer cancel()
+	for _, b := range g.pool.snapshot() {
+		if !b.Ready() {
+			continue
+		}
+		res, err := g.do(ctx, b, http.MethodGet, r.URL.Path, "", nil, telemetry.SpanContext{})
+		if err == nil && res.status == http.StatusOK {
+			g.writeRaw(w, res)
+			return
+		}
+	}
+	writeErr(w, http.StatusNotFound, "trace %q not found on any backend", r.PathValue("id"))
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...interface{}) {
+	writeJSON(w, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,423 @@
+package gateway
+
+// Unit tests against scriptable fake backends: placement decisions
+// (sticky, spillover, retry), breaker behavior, 429 shed handling, and
+// deadline propagation — no real daemons involved.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeBackend is a scriptable stand-in for one faasnapd.
+type fakeBackend struct {
+	srv     *httptest.Server
+	addr    string
+	invokes atomic.Int64
+	// invoke is the handler for POST /functions/{name}/invoke; swap it
+	// atomically to change behavior mid-test.
+	invoke atomic.Value // func(w http.ResponseWriter, r *http.Request)
+	ready  atomic.Bool
+	// creates records PUT /functions bodies seen (fan-out tests).
+	creates atomic.Int64
+}
+
+func newFakeBackend(t *testing.T) *fakeBackend {
+	t.Helper()
+	f := &fakeBackend{}
+	f.ready.Store(true)
+	f.invoke.Store(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"function":%q,"mode":"faasnap","total_ms":1.5}`, r.PathValue("name"))
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !f.ready.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprint(w, `{"ready":true}`)
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "# TYPE faasnap_http_in_flight gauge\n")
+	})
+	mux.HandleFunc("POST /functions/{name}/invoke", func(w http.ResponseWriter, r *http.Request) {
+		f.invokes.Add(1)
+		f.invoke.Load().(func(http.ResponseWriter, *http.Request))(w, r)
+	})
+	mux.HandleFunc("PUT /functions/{name}", func(w http.ResponseWriter, r *http.Request) {
+		f.creates.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"name":%q,"vm_state":"Running"}`, r.PathValue("name"))
+	})
+	f.srv = httptest.NewServer(mux)
+	f.addr = strings.TrimPrefix(f.srv.URL, "http://")
+	t.Cleanup(f.srv.Close)
+	return f
+}
+
+// newTestGateway builds a gateway over the fakes with a health loop
+// that effectively never ticks; tests drive sweeps via CheckNow.
+func newTestGateway(t *testing.T, cfg Config, fakes ...*fakeBackend) *Gateway {
+	t.Helper()
+	for _, f := range fakes {
+		cfg.Backends = append(cfg.Backends, f.addr)
+	}
+	if cfg.HealthInterval == 0 {
+		cfg.HealthInterval = time.Hour
+	}
+	cfg.Logger = log.New(io.Discard, "", 0)
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(g.Close)
+	return g
+}
+
+// ownerIndex returns which fake owns fn on g's ring.
+func ownerIndex(t *testing.T, g *Gateway, fn string, fakes []*fakeBackend) int {
+	t.Helper()
+	owner := g.pool.ring.Owner(fn)
+	for i, f := range fakes {
+		if f.addr == owner {
+			return i
+		}
+	}
+	t.Fatalf("owner %q not among fakes", owner)
+	return -1
+}
+
+type invokeReply struct {
+	status    int
+	placement string
+	backend   string
+	body      map[string]interface{}
+}
+
+func gwInvoke(t *testing.T, g *Gateway, fn string) invokeReply {
+	t.Helper()
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+	return gwInvokeURL(t, srv.URL, fn)
+}
+
+func gwInvokeURL(t *testing.T, base, fn string) invokeReply {
+	t.Helper()
+	req, err := http.NewRequest("POST", base+"/functions/"+fn+"/invoke", strings.NewReader(`{"mode":"faasnap"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	out := invokeReply{status: resp.StatusCode, placement: resp.Header.Get("X-Faasnap-Placement"), backend: resp.Header.Get("X-Faasnap-Backend")}
+	_ = json.Unmarshal(raw, &out.body)
+	return out
+}
+
+func TestStickyRoutingHitsOwner(t *testing.T) {
+	fakes := []*fakeBackend{newFakeBackend(t), newFakeBackend(t), newFakeBackend(t)}
+	g := newTestGateway(t, Config{}, fakes...)
+	oi := ownerIndex(t, g, "hello-world", fakes)
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+	for i := 0; i < 10; i++ {
+		rep := gwInvokeURL(t, srv.URL, "hello-world")
+		if rep.status != 200 {
+			t.Fatalf("invoke %d = %d", i, rep.status)
+		}
+		if rep.placement != PlacementSticky {
+			t.Fatalf("invoke %d placement = %q, want sticky", i, rep.placement)
+		}
+		if rep.backend != fakes[oi].addr {
+			t.Fatalf("invoke %d backend = %q, want owner %q", i, rep.backend, fakes[oi].addr)
+		}
+		if rep.body["placement"] != "sticky" || rep.body["backend"] != fakes[oi].addr {
+			t.Fatalf("response body missing placement metadata: %v", rep.body)
+		}
+	}
+	if n := fakes[oi].invokes.Load(); n != 10 {
+		t.Fatalf("owner served %d invokes, want 10", n)
+	}
+}
+
+// A drained (unready) owner spills over to the least-loaded remaining
+// backend without a failed attempt.
+func TestSpilloverWhenOwnerUnready(t *testing.T) {
+	fakes := []*fakeBackend{newFakeBackend(t), newFakeBackend(t), newFakeBackend(t)}
+	g := newTestGateway(t, Config{}, fakes...)
+	oi := ownerIndex(t, g, "fn-a", fakes)
+	fakes[oi].ready.Store(false)
+	g.pool.CheckNow()
+
+	// Load the second-preference backend so least-loaded wins over ring
+	// order.
+	prefs := g.pool.preference("fn-a", 0)
+	prefs[1].inflight.Store(10)
+	rep := gwInvoke(t, g, "fn-a")
+	if rep.status != 200 || rep.placement != PlacementSpillover {
+		t.Fatalf("got %d/%q, want 200/spillover", rep.status, rep.placement)
+	}
+	if rep.backend != prefs[2].Addr {
+		t.Fatalf("spillover chose %q, want least-loaded %q", rep.backend, prefs[2].Addr)
+	}
+	if fakes[oi].invokes.Load() != 0 {
+		t.Fatal("unready owner still received traffic")
+	}
+}
+
+// A saturated owner (at MaxPerBackend) spills over instead of queueing.
+func TestSpilloverWhenOwnerSaturated(t *testing.T) {
+	fakes := []*fakeBackend{newFakeBackend(t), newFakeBackend(t), newFakeBackend(t)}
+	g := newTestGateway(t, Config{MaxPerBackend: 4}, fakes...)
+	oi := ownerIndex(t, g, "fn-a", fakes)
+	ob, _ := g.pool.backend(fakes[oi].addr)
+	ob.inflight.Store(4)
+	rep := gwInvoke(t, g, "fn-a")
+	if rep.status != 200 || rep.placement != PlacementSpillover {
+		t.Fatalf("got %d/%q, want 200/spillover", rep.status, rep.placement)
+	}
+	if rep.backend == fakes[oi].addr {
+		t.Fatal("saturated owner still chosen")
+	}
+}
+
+// An open breaker skips the owner without spending an attempt on it.
+func TestSpilloverWhenBreakerOpen(t *testing.T) {
+	fakes := []*fakeBackend{newFakeBackend(t), newFakeBackend(t), newFakeBackend(t)}
+	g := newTestGateway(t, Config{BreakerThreshold: 3, BreakerCooldown: time.Hour}, fakes...)
+	oi := ownerIndex(t, g, "fn-a", fakes)
+	ob, _ := g.pool.backend(fakes[oi].addr)
+	for i := 0; i < 3; i++ {
+		ob.breaker.Failure()
+	}
+	rep := gwInvoke(t, g, "fn-a")
+	if rep.status != 200 || rep.placement != PlacementSpillover {
+		t.Fatalf("got %d/%q, want 200/spillover", rep.status, rep.placement)
+	}
+	if fakes[oi].invokes.Load() != 0 {
+		t.Fatal("breaker-open owner still received traffic")
+	}
+}
+
+// A failing owner costs one attempt, trips its breaker failure count,
+// and the request is answered by another backend as a retry.
+func TestRetryOnBackendError(t *testing.T) {
+	fakes := []*fakeBackend{newFakeBackend(t), newFakeBackend(t), newFakeBackend(t)}
+	g := newTestGateway(t, Config{}, fakes...)
+	oi := ownerIndex(t, g, "fn-a", fakes)
+	fakes[oi].invoke.Store(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprint(w, `{"error":"boom"}`)
+	})
+	rep := gwInvoke(t, g, "fn-a")
+	if rep.status != 200 || rep.placement != PlacementRetry {
+		t.Fatalf("got %d/%q, want 200/retry", rep.status, rep.placement)
+	}
+	if rep.backend == fakes[oi].addr {
+		t.Fatal("failing owner answered the request")
+	}
+}
+
+// A 404 is a locality miss, not a failure: the request tries the next
+// replica and the miss does not count against the breaker.
+func TestRetryOnSnapshotMiss(t *testing.T) {
+	fakes := []*fakeBackend{newFakeBackend(t), newFakeBackend(t), newFakeBackend(t)}
+	g := newTestGateway(t, Config{}, fakes...)
+	oi := ownerIndex(t, g, "fn-a", fakes)
+	fakes[oi].invoke.Store(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNotFound)
+		fmt.Fprint(w, `{"error":"function not registered"}`)
+	})
+	rep := gwInvoke(t, g, "fn-a")
+	if rep.status != 200 || rep.placement != PlacementRetry {
+		t.Fatalf("got %d/%q, want 200/retry", rep.status, rep.placement)
+	}
+	ob, _ := g.pool.backend(fakes[oi].addr)
+	if st := ob.breaker.State().String(); st != "closed" {
+		t.Fatalf("owner breaker %s after a 404 miss, want closed", st)
+	}
+}
+
+// When every backend 404s, the client sees the 404, not a gateway
+// error.
+func TestMissEverywherePassesThrough404(t *testing.T) {
+	fakes := []*fakeBackend{newFakeBackend(t), newFakeBackend(t)}
+	for _, f := range fakes {
+		f.invoke.Store(func(w http.ResponseWriter, r *http.Request) {
+			w.WriteHeader(http.StatusNotFound)
+			fmt.Fprint(w, `{"error":"function not registered"}`)
+		})
+	}
+	g := newTestGateway(t, Config{}, fakes...)
+	rep := gwInvoke(t, g, "nope")
+	if rep.status != 404 {
+		t.Fatalf("status = %d, want 404", rep.status)
+	}
+}
+
+// All backends shedding means the gateway sheds, propagating the
+// largest Retry-After hint it saw.
+func TestAllBackendsShed(t *testing.T) {
+	fakes := []*fakeBackend{newFakeBackend(t), newFakeBackend(t), newFakeBackend(t)}
+	for i, f := range fakes {
+		ra := fmt.Sprintf("%d", i+1)
+		f.invoke.Store(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Retry-After", ra)
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error":"saturated"}`)
+		})
+	}
+	g := newTestGateway(t, Config{}, fakes...)
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/functions/fn-a/invoke", "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "3" {
+		t.Fatalf("Retry-After = %q, want the max hint 3", ra)
+	}
+	// Sheds are backpressure, not failures: no breaker may have
+	// tripped.
+	for _, f := range fakes {
+		b, _ := g.pool.backend(f.addr)
+		if st := b.breaker.State().String(); st != "closed" {
+			t.Fatalf("breaker %s after sheds, want closed", st)
+		}
+	}
+}
+
+// The gateway deadline covers all attempts; a hung backend turns into
+// a 504, not a hung client.
+func TestDeadlinePropagation(t *testing.T) {
+	fakes := []*fakeBackend{newFakeBackend(t), newFakeBackend(t)}
+	for _, f := range fakes {
+		f.invoke.Store(func(w http.ResponseWriter, r *http.Request) {
+			select {
+			case <-r.Context().Done():
+			case <-time.After(2 * time.Second):
+			}
+		})
+	}
+	g := newTestGateway(t, Config{RequestTimeout: 100 * time.Millisecond}, fakes...)
+	start := time.Now()
+	rep := gwInvoke(t, g, "fn-a")
+	if rep.status != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504", rep.status)
+	}
+	if el := time.Since(start); el > time.Second {
+		t.Fatalf("deadline took %v to fire, want ~100ms", el)
+	}
+}
+
+// Registration fans out to the owner plus Replicas standbys, in ring
+// order, and reports who accepted it.
+func TestCreateFanout(t *testing.T) {
+	fakes := []*fakeBackend{newFakeBackend(t), newFakeBackend(t), newFakeBackend(t)}
+	g := newTestGateway(t, Config{Replicas: 1}, fakes...)
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+	req, _ := http.NewRequest("PUT", srv.URL+"/functions/hello-world", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body map[string]interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	reps, _ := body["replicated_to"].([]interface{})
+	if len(reps) != 2 {
+		t.Fatalf("replicated_to = %v, want owner + 1 standby", body["replicated_to"])
+	}
+	prefs := g.pool.ring.Preference("hello-world", 2)
+	if reps[0] != prefs[0] || reps[1] != prefs[1] {
+		t.Fatalf("replicated_to = %v, want ring order %v", reps, prefs)
+	}
+	total := fakes[0].creates.Load() + fakes[1].creates.Load() + fakes[2].creates.Load()
+	if total != 2 {
+		t.Fatalf("%d backends saw the create, want 2", total)
+	}
+}
+
+// GET /cluster reports topology and, with ?fn=, placement preference.
+func TestClusterEndpoint(t *testing.T) {
+	fakes := []*fakeBackend{newFakeBackend(t), newFakeBackend(t)}
+	fakes[1].ready.Store(false)
+	g := newTestGateway(t, Config{}, fakes...)
+	g.pool.CheckNow()
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/cluster?fn=hello-world")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Policy   string          `json:"policy"`
+		Backends []BackendStatus `json:"backends"`
+		Pref     []string        `json:"preference"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Policy != PolicySticky || len(body.Backends) != 2 {
+		t.Fatalf("cluster = %+v", body)
+	}
+	readyCount := 0
+	for _, b := range body.Backends {
+		if b.Ready {
+			readyCount++
+		}
+	}
+	if readyCount != 1 {
+		t.Fatalf("ready backends = %d, want 1", readyCount)
+	}
+	if len(body.Pref) != 2 || body.Pref[0] != g.pool.ring.Owner("hello-world") {
+		t.Fatalf("preference = %v", body.Pref)
+	}
+}
+
+func TestSumPromGauge(t *testing.T) {
+	text := `# HELP faasnap_http_in_flight Requests currently being served.
+# TYPE faasnap_http_in_flight gauge
+faasnap_http_in_flight{route="POST /functions/{name}/invoke"} 3
+faasnap_http_in_flight{route="POST /functions/{name}/burst"} 2
+faasnap_http_in_flight_other{route="x"} 100
+faasnap_http_requests_total{route="y"} 50
+`
+	if got := sumPromGauge(strings.NewReader(text), "faasnap_http_in_flight"); got != 5 {
+		t.Fatalf("sum = %v, want 5", got)
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New with no backends succeeded")
+	}
+	if _, err := New(Config{Backends: []string{"h:1"}, Policy: "bogus", Logger: log.New(io.Discard, "", 0)}); err == nil {
+		t.Fatal("New with bogus policy succeeded")
+	}
+}

@@ -1,0 +1,148 @@
+package gateway
+
+// Snapshot-locality-aware placement: a consistent-hash ring over the
+// backend set keyed by function name. Repeat invocations of one
+// function hash to the same backend — the one that already holds its
+// snapfile and warm page-cache state (§7.2) — so ownership survives
+// unrelated backends joining or leaving, and the ring's clockwise walk
+// doubles as the standby order for snapshot replication.
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// defaultVNodes is the virtual-node count per backend; enough that a
+// 3-node cluster splits function ownership roughly evenly.
+const defaultVNodes = 64
+
+// ringPoint is one virtual node on the hash circle.
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+// Ring is a consistent-hash ring over backend addresses. Membership is
+// the configured backend set, not the currently-healthy one: ownership
+// must stay stable across transient failures, with availability
+// filtering applied at pick time instead.
+type Ring struct {
+	mu      sync.RWMutex
+	vnodes  int
+	points  []ringPoint
+	members map[string]struct{}
+}
+
+// NewRing builds an empty ring with vnodes virtual nodes per member
+// (<= 0 takes the default).
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = defaultVNodes
+	}
+	return &Ring{vnodes: vnodes, members: make(map[string]struct{})}
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	// FNV-1a avalanches poorly on short, similar keys (vnode labels differ
+	// only in a suffix digit), which skews ring ownership badly; a 64-bit
+	// finalizer (murmur3 fmix64) fixes the spread.
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Add inserts a member's virtual nodes; re-adding is a no-op.
+func (r *Ring) Add(member string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[member]; ok {
+		return
+	}
+	r.members[member] = struct{}{}
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, ringPoint{hash: hash64(member + "#" + strconv.Itoa(i)), member: member})
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+}
+
+// Remove drops a member and its virtual nodes. Only keys the member
+// owned move; everything else keeps its owner.
+func (r *Ring) Remove(member string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[member]; !ok {
+		return
+	}
+	delete(r.members, member)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.member != member {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Members returns the member set, sorted.
+func (r *Ring) Members() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.members))
+	for m := range r.members {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Size returns the member count.
+func (r *Ring) Size() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.members)
+}
+
+// Owner returns the member owning key ("" on an empty ring).
+func (r *Ring) Owner(key string) string {
+	p := r.Preference(key, 1)
+	if len(p) == 0 {
+		return ""
+	}
+	return p[0]
+}
+
+// Preference returns up to n distinct members in ring order starting
+// at key's owner: element 0 is the sticky owner, the rest are the
+// standby order used for snapshot replication and failover. n <= 0
+// returns every member.
+func (r *Ring) Preference(key string, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return nil
+	}
+	if n <= 0 || n > len(r.members) {
+		n = len(r.members)
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]struct{}, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if _, dup := seen[p.member]; dup {
+			continue
+		}
+		seen[p.member] = struct{}{}
+		out = append(out, p.member)
+	}
+	return out
+}

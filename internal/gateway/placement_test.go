@@ -1,0 +1,134 @@
+package gateway
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringOf(members ...string) *Ring {
+	r := NewRing(0)
+	for _, m := range members {
+		r.Add(m)
+	}
+	return r
+}
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("fn-%d", i)
+	}
+	return out
+}
+
+// Ownership must not depend on the order backends were configured in:
+// two gateways given the same backend set in different orders have to
+// agree on every function's owner.
+func TestRingInsertionOrderIrrelevant(t *testing.T) {
+	a := ringOf("h1:1", "h2:1", "h3:1", "h4:1")
+	b := ringOf("h3:1", "h1:1", "h4:1", "h2:1")
+	for _, k := range keys(200) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("owner(%s) differs by insertion order: %s vs %s", k, a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+// Removing one backend may only move the keys it owned; every other
+// function keeps its snapshot locality.
+func TestRingStabilityUnderRemove(t *testing.T) {
+	r := ringOf("h1:1", "h2:1", "h3:1", "h4:1")
+	before := make(map[string]string)
+	for _, k := range keys(300) {
+		before[k] = r.Owner(k)
+	}
+	r.Remove("h2:1")
+	moved := 0
+	for k, owner := range before {
+		now := r.Owner(k)
+		if owner != "h2:1" {
+			if now != owner {
+				t.Fatalf("key %s moved %s -> %s though its owner stayed", k, owner, now)
+			}
+			continue
+		}
+		if now == "h2:1" {
+			t.Fatalf("key %s still owned by removed backend", k)
+		}
+		moved++
+	}
+	if moved == 0 {
+		t.Fatal("removed backend owned no keys; vnode spread is broken")
+	}
+}
+
+// Adding a backend may only move keys TO the new backend, and only a
+// roughly proportional share of them.
+func TestRingStabilityUnderAdd(t *testing.T) {
+	r := ringOf("h1:1", "h2:1", "h3:1")
+	before := make(map[string]string)
+	ks := keys(300)
+	for _, k := range ks {
+		before[k] = r.Owner(k)
+	}
+	r.Add("h4:1")
+	moved := 0
+	for _, k := range ks {
+		now := r.Owner(k)
+		if now != before[k] {
+			if now != "h4:1" {
+				t.Fatalf("key %s moved %s -> %s, not to the new backend", k, before[k], now)
+			}
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no keys moved to the new backend")
+	}
+	if frac := float64(moved) / float64(len(ks)); frac > 0.5 {
+		t.Fatalf("adding 1 of 4 backends moved %.0f%% of keys, want roughly 25%%", frac*100)
+	}
+}
+
+// Preference returns distinct members, owner first, and the standby
+// order is a stable function of the key.
+func TestRingPreference(t *testing.T) {
+	r := ringOf("h1:1", "h2:1", "h3:1")
+	for _, k := range keys(50) {
+		p := r.Preference(k, 0)
+		if len(p) != 3 {
+			t.Fatalf("preference(%s) = %v, want 3 distinct members", k, p)
+		}
+		seen := map[string]bool{}
+		for _, m := range p {
+			if seen[m] {
+				t.Fatalf("preference(%s) repeats %s", k, m)
+			}
+			seen[m] = true
+		}
+		if p[0] != r.Owner(k) {
+			t.Fatalf("preference(%s)[0] = %s, owner = %s", k, p[0], r.Owner(k))
+		}
+		if got := r.Preference(k, 2); len(got) != 2 || got[0] != p[0] || got[1] != p[1] {
+			t.Fatalf("preference(%s, 2) = %v, want prefix of %v", k, got, p)
+		}
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	r := NewRing(8)
+	if got := r.Preference("fn", 0); got != nil {
+		t.Fatalf("empty ring preference = %v, want nil", got)
+	}
+	if r.Owner("fn") != "" {
+		t.Fatal("empty ring has an owner")
+	}
+	r.Add("only:1")
+	if r.Owner("fn") != "only:1" {
+		t.Fatal("single-member ring must own everything")
+	}
+	r.Remove("missing:1") // no-op
+	if r.Size() != 1 {
+		t.Fatalf("size = %d, want 1", r.Size())
+	}
+}

@@ -1,0 +1,273 @@
+package gateway
+
+// The backend pool: one entry per configured faasnapd, actively health
+// checked. Liveness/readiness comes from each daemon's GET /readyz (a
+// backend that answers /healthz but cannot persist snapshots or reach
+// its kvstore is drained, not black-holed); load comes from scraping
+// the daemon's Prometheus /metrics for its in-flight gauge, combined
+// with the gateway's own per-backend in-flight count, which reacts
+// faster than the scrape interval.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"faasnap/internal/resilience"
+	"faasnap/internal/telemetry"
+)
+
+// Backend is one faasnapd the gateway routes to.
+type Backend struct {
+	// Addr is the daemon's host:port; it doubles as the backend's
+	// identity on the placement ring.
+	Addr string
+
+	breaker  *resilience.Breaker
+	inflight atomic.Int64 // requests this gateway currently has open
+
+	mu        sync.Mutex
+	ready     bool
+	lastErr   string
+	lastCheck time.Time
+	scraped   float64 // daemon-reported in-flight from the last scrape
+}
+
+// Ready reports the last health sweep's verdict.
+func (b *Backend) Ready() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.ready
+}
+
+func (b *Backend) setReady(ready bool, reason string) {
+	b.mu.Lock()
+	b.ready = ready
+	b.lastErr = reason
+	b.lastCheck = time.Now()
+	b.mu.Unlock()
+}
+
+func (b *Backend) setScraped(v float64) {
+	b.mu.Lock()
+	b.scraped = v
+	b.mu.Unlock()
+}
+
+// load is the placement load signal: the gateway's own open requests
+// plus the daemon's last-scraped in-flight gauge (which counts load
+// arriving from other gateways or direct clients).
+func (b *Backend) load() int64 {
+	b.mu.Lock()
+	scraped := b.scraped
+	b.mu.Unlock()
+	return b.inflight.Load() + int64(scraped)
+}
+
+// BackendStatus is a backend's row in GET /cluster.
+type BackendStatus struct {
+	Addr            string `json:"addr"`
+	Ready           bool   `json:"ready"`
+	Breaker         string `json:"breaker"`
+	InFlightGateway int64  `json:"inflight_gateway"`
+	InFlightDaemon  int64  `json:"inflight_daemon"`
+	LastError       string `json:"last_error,omitempty"`
+	LastCheck       string `json:"last_check,omitempty"`
+}
+
+func (b *Backend) status() BackendStatus {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := BackendStatus{
+		Addr:            b.Addr,
+		Ready:           b.ready,
+		Breaker:         b.breaker.State().String(),
+		InFlightGateway: b.inflight.Load(),
+		InFlightDaemon:  int64(b.scraped),
+		LastError:       b.lastErr,
+	}
+	if !b.lastCheck.IsZero() {
+		st.LastCheck = b.lastCheck.Format(time.RFC3339Nano)
+	}
+	return st
+}
+
+// Pool owns the backend set, the placement ring, and the health loop.
+type Pool struct {
+	ring     *Ring
+	client   *http.Client
+	interval time.Duration
+	reg      *telemetry.Registry
+
+	mu       sync.RWMutex
+	backends map[string]*Backend
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+func newPool(addrs []string, vnodes int, interval time.Duration, breakerThreshold int, breakerCooldown time.Duration, reg *telemetry.Registry) *Pool {
+	p := &Pool{
+		ring:     NewRing(vnodes),
+		client:   &http.Client{Timeout: 2 * time.Second},
+		interval: interval,
+		reg:      reg,
+		backends: make(map[string]*Backend),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	for _, addr := range addrs {
+		if _, dup := p.backends[addr]; dup {
+			continue
+		}
+		b := &Backend{Addr: addr}
+		gauge := reg.Gauge("faasnap_gw_breaker_state",
+			"Per-backend circuit-breaker state (0 closed, 1 open, 2 half-open).",
+			telemetry.L("backend", addr))
+		b.breaker = resilience.NewBreaker(breakerThreshold, breakerCooldown,
+			func(s resilience.BreakerState) { gauge.Set(float64(s)) })
+		p.backends[addr] = b
+		p.ring.Add(addr)
+	}
+	return p
+}
+
+// start launches the health loop. The first sweep runs synchronously
+// so a freshly-built gateway has a verdict for every backend before it
+// serves its first request.
+func (p *Pool) start() {
+	p.CheckNow()
+	go func() {
+		defer close(p.done)
+		t := time.NewTicker(p.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-p.stop:
+				return
+			case <-t.C:
+				p.CheckNow()
+			}
+		}
+	}()
+}
+
+func (p *Pool) close() {
+	close(p.stop)
+	<-p.done
+}
+
+// CheckNow runs one health + load sweep across all backends,
+// concurrently, and returns when every verdict is in.
+func (p *Pool) CheckNow() {
+	var wg sync.WaitGroup
+	for _, b := range p.snapshot() {
+		wg.Add(1)
+		go func(b *Backend) {
+			defer wg.Done()
+			p.check(b)
+		}(b)
+	}
+	wg.Wait()
+}
+
+// check probes one backend: /readyz for the routing verdict, /metrics
+// for the daemon's own in-flight load.
+func (p *Pool) check(b *Backend) {
+	up := p.reg.Gauge("faasnap_gw_backend_up",
+		"Backend readiness as seen by the gateway health checker (1 ready).",
+		telemetry.L("backend", b.Addr))
+	resp, err := p.client.Get("http://" + b.Addr + "/readyz")
+	if err != nil {
+		b.setReady(false, err.Error())
+		up.Set(0)
+		return
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.setReady(false, fmt.Sprintf("readyz returned %d", resp.StatusCode))
+		up.Set(0)
+		return
+	}
+	b.setReady(true, "")
+	up.Set(1)
+
+	if mresp, err := p.client.Get("http://" + b.Addr + "/metrics"); err == nil {
+		v := sumPromGauge(io.LimitReader(mresp.Body, 1<<20), "faasnap_http_in_flight")
+		mresp.Body.Close()
+		b.setScraped(v)
+		p.reg.Gauge("faasnap_gw_backend_inflight",
+			"Daemon-reported in-flight requests from the last /metrics scrape.",
+			telemetry.L("backend", b.Addr)).Set(v)
+	}
+}
+
+// sumPromGauge sums every series of one metric family in a Prometheus
+// text exposition stream. Parsing is deliberately minimal: the gateway
+// only needs the daemon's in-flight gauge, not a full scrape model.
+func sumPromGauge(r io.Reader, name string) float64 {
+	var sum float64
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, name) || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rest := line[len(name):]
+		// Series are "name{labels} value" or "name value"; skip other
+		// families sharing the prefix (e.g. name_total).
+		if len(rest) > 0 && rest[0] != '{' && rest[0] != ' ' {
+			continue
+		}
+		i := strings.LastIndexByte(rest, ' ')
+		if i < 0 {
+			continue
+		}
+		if v, err := strconv.ParseFloat(rest[i+1:], 64); err == nil {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// snapshot returns the backend list in stable (address) order.
+func (p *Pool) snapshot() []*Backend {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]*Backend, 0, len(p.backends))
+	for _, addr := range p.ring.Members() {
+		if b, ok := p.backends[addr]; ok {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// backend looks up one backend by address.
+func (p *Pool) backend(addr string) (*Backend, bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	b, ok := p.backends[addr]
+	return b, ok
+}
+
+// preference maps the ring's member order for key onto live Backend
+// structs: element 0 is the sticky owner.
+func (p *Pool) preference(key string, n int) []*Backend {
+	addrs := p.ring.Preference(key, n)
+	out := make([]*Backend, 0, len(addrs))
+	for _, a := range addrs {
+		if b, ok := p.backend(a); ok {
+			out = append(out, b)
+		}
+	}
+	return out
+}

@@ -8,12 +8,17 @@ import (
 	"net"
 	"strconv"
 	"sync"
+	"syscall"
 )
 
 // Client is a RESP client for the kvstore server (or a real Redis).
 // It is safe for concurrent use; commands are serialized on one
-// connection.
+// connection. A broken connection (the server restarted, an idle
+// connection was reaped) is re-dialed once per command, so a
+// multi-process deployment survives a kvstored restart without every
+// dependent process having to rebuild its client.
 type Client struct {
+	addr string
 	mu   sync.Mutex
 	conn net.Conn
 	r    *bufio.Reader
@@ -27,6 +32,7 @@ func Dial(addr string) (*Client, error) {
 		return nil, fmt.Errorf("kvstore: dial %s: %w", addr, err)
 	}
 	return &Client{
+		addr: addr,
 		conn: conn,
 		r:    bufio.NewReader(conn),
 		w:    bufio.NewWriter(conn),
@@ -35,6 +41,36 @@ func Dial(addr string) (*Client, error) {
 
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }
+
+// reconnectable reports whether err means the connection is dead (and
+// a fresh dial may succeed) rather than a protocol-level failure. A
+// server reply the client could parse — including RESP errors — never
+// lands here.
+func reconnectable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, net.ErrClosed) ||
+		errors.Is(err, syscall.EPIPE) || errors.Is(err, syscall.ECONNRESET) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne)
+}
+
+// redial replaces the broken connection. Caller holds c.mu.
+func (c *Client) redial() error {
+	conn, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return err
+	}
+	_ = c.conn.Close()
+	c.conn = conn
+	c.r = bufio.NewReader(conn)
+	c.w = bufio.NewWriter(conn)
+	return nil
+}
 
 // ErrNil is returned by Get for missing keys.
 var ErrNil = errors.New("kvstore: nil reply")
@@ -52,6 +88,21 @@ type reply struct {
 func (c *Client) cmd(args ...[]byte) (reply, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	r, err := c.send(args)
+	if err == nil || !reconnectable(err) {
+		return r, err
+	}
+	// The connection died under us. Commands here are idempotent
+	// key-value operations, so one re-dial plus one replay is safe; if
+	// the dial fails the original error surfaces.
+	if derr := c.redial(); derr != nil {
+		return r, err
+	}
+	return c.send(args)
+}
+
+// send writes one command and reads its reply. Caller holds c.mu.
+func (c *Client) send(args [][]byte) (reply, error) {
 	fmt.Fprintf(c.w, "*%d\r\n", len(args))
 	for _, a := range args {
 		fmt.Fprintf(c.w, "$%d\r\n", len(a))

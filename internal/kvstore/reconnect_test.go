@@ -1,0 +1,110 @@
+package kvstore
+
+// Regression tests for client reconnect-on-error: a daemon (or any
+// long-lived process) holding a kvstore client must survive a kvstored
+// restart without rebuilding the client.
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// startServerOn brings a server up on a specific address, retrying
+// briefly in case the OS is slow releasing the port after a restart.
+func startServerOn(t *testing.T, addr string) *Server {
+	t.Helper()
+	var err error
+	for i := 0; i < 50; i++ {
+		next := NewServer()
+		if _, err = next.Listen(addr); err == nil {
+			return next
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("rebind %s: %v", addr, err)
+	return nil
+}
+
+func TestClientSurvivesServerRestart(t *testing.T) {
+	srv := NewServer()
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Set("k", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the server (force-closing the client's connection) and
+	// restart it on the same address: the next command must re-dial and
+	// succeed instead of failing forever on the dead connection.
+	srv.Close()
+	srv = startServerOn(t, addr)
+	defer srv.Close()
+
+	if err := c.Set("k", []byte("v2")); err != nil {
+		t.Fatalf("Set after restart: %v", err)
+	}
+	got, err := c.Get("k")
+	if err != nil {
+		t.Fatalf("Get after restart: %v", err)
+	}
+	if string(got) != "v2" {
+		t.Fatalf("Get = %q, want v2 (fresh store state)", got)
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatalf("Ping after restart: %v", err)
+	}
+}
+
+func TestClientReportsErrorWhileServerDown(t *testing.T) {
+	srv := NewServer()
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	srv.Close()
+	// No server to re-dial: the command must fail, not hang or panic.
+	if err := c.Set("k", []byte("v")); err == nil {
+		t.Fatal("Set succeeded with the server down")
+	}
+	// And once a server is back, the same client recovers.
+	srv = startServerOn(t, addr)
+	defer srv.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatalf("Ping after server returned: %v", err)
+	}
+}
+
+func TestReconnectableClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{io.EOF, true},
+		{io.ErrUnexpectedEOF, true},
+		{net.ErrClosed, true},
+		{&net.OpError{Op: "write", Err: errors.New("broken pipe")}, true},
+		{errProtocol, false},
+		{errors.New("ERR unknown command"), false},
+	}
+	for _, tc := range cases {
+		if got := reconnectable(tc.err); got != tc.want {
+			t.Errorf("reconnectable(%v) = %v, want %v", tc.err, got, tc.want)
+		}
+	}
+}
