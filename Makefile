@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-short test-race chaos gateway-e2e bench experiments figures fuzz clean
+.PHONY: all check build vet test test-short test-race chaos gateway-e2e bench bench-smoke experiments figures fuzz clean
 
 all: build vet test
 
@@ -46,6 +46,15 @@ gateway-e2e:
 
 bench:
 	$(GO) test -bench=. -benchmem -timeout 1500s
+
+# A short seeded open-loop burst against a real 3-daemon cluster behind
+# the gateway (EXPERIMENTS.md, load section). Writes
+# BENCH_open_loop.json; CI uploads it as an artifact so every PR has a
+# comparable serving-tier latency/goodput digest.
+bench-smoke:
+	$(GO) run ./cmd/faasnap-load -cluster 3 -functions 24 -tenants 8 \
+		-rps 50 -duration 5s -seed 1 -max-inflight 16 \
+		-out BENCH_open_loop.json
 
 # Regenerate every paper table/figure (writes bench_results.txt).
 experiments:

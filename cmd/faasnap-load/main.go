@@ -1,0 +1,233 @@
+// Command faasnap-load is the open-loop load harness: it synthesizes
+// (or replays) a seeded Poisson/Zipf arrival schedule over a fleet of
+// registered functions, fires it at a daemon or gateway without ever
+// waiting for responses, and writes the machine-readable
+// BENCH_open_loop.json digest (p50/p99/p999, goodput under SLO, shed
+// and degraded rates) that later PRs regress against.
+//
+// Fire at an already-running tier:
+//
+//	faasnap-load -target http://127.0.0.1:8710 -functions 100 -rps 500 -duration 30s
+//
+// Or let the harness stand up its own cluster — N in-process daemons
+// on real TCP listeners behind a faasnap-gw routing tier (N=1 skips
+// the gateway) — register the fleet, fire, and report:
+//
+//	faasnap-load -cluster 3 -functions 60 -tenants 16 -rps 1000 -duration 20s -out BENCH_open_loop.json
+//
+// -mutexprofile captures the in-process mutex contention profile of
+// the whole run (daemons included in -cluster mode), which is how the
+// sharded-registry work is verified: at ≥1k rps the registry must not
+// appear in the top contended mutexes — only the admission limiter
+// path should be left.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
+
+	"faasnap/internal/core"
+	"faasnap/internal/daemon"
+	"faasnap/internal/gateway"
+	"faasnap/internal/loadgen"
+)
+
+func main() {
+	logger := log.New(os.Stderr, "faasnap-load: ", log.LstdFlags)
+	if err := run(logger); err != nil {
+		logger.Fatal(err)
+	}
+}
+
+func run(logger *log.Logger) error {
+	var (
+		target    = flag.String("target", "", "base URL of a running daemon or gateway (mutually exclusive with -cluster)")
+		cluster   = flag.Int("cluster", 0, "start N in-process daemons (behind a gateway when N>1) and fire at them")
+		functions = flag.Int("functions", 24, "registered synthetic functions the trace draws from")
+		tenants   = flag.Int("tenants", 8, "tenants sharing the platform (Zipf-skewed load split)")
+		skew      = flag.Float64("skew", 1.2, "Zipf s parameter for tenant and function popularity (>1)")
+		rps       = flag.Float64("rps", 200, "mean Poisson arrival rate")
+		duration  = flag.Duration("duration", 10*time.Second, "open-loop firing window")
+		seed      = flag.Int64("seed", 1, "schedule seed; same seed + config replays the same schedule")
+		mode      = flag.String("mode", "faasnap", "invocation mode each arrival requests")
+		input     = flag.String("input", "A", "invocation input name")
+		slo       = flag.Duration("slo", 500*time.Millisecond, "latency SLO for goodput accounting")
+		timeout   = flag.Duration("timeout", 10*time.Second, "per-request client deadline")
+		maxOut    = flag.Int("max-outstanding", 4096, "outstanding-request window; arrivals beyond it are dropped, not queued")
+		out       = flag.String("out", "BENCH_open_loop.json", "report path (empty = stdout only)")
+		tracePath = flag.String("trace", "", "replay this trace file instead of synthesizing")
+		saveTrace = flag.String("save-trace", "", "save the synthesized trace here for later replay")
+		noSetup   = flag.Bool("no-setup", false, "skip fleet registration/recording (functions already exist)")
+		maxInFl   = flag.Int64("max-inflight", 0, "-cluster daemons' admission window (0 = daemon default)")
+		mutexProf = flag.String("mutexprofile", "", "write a mutex contention profile (debug=1 text) of the whole run")
+	)
+	flag.Parse()
+
+	if (*target == "") == (*cluster == 0) {
+		return fmt.Errorf("exactly one of -target or -cluster is required")
+	}
+
+	if *mutexProf != "" {
+		runtime.SetMutexProfileFraction(5)
+	}
+
+	ctx := context.Background()
+
+	base := *target
+	if *cluster > 0 {
+		addr, cleanup, err := startCluster(*cluster, *maxInFl, logger)
+		if err != nil {
+			return err
+		}
+		defer cleanup()
+		base = addr
+	}
+
+	// Build the schedule first: replay beats synthesis, and synthesis is
+	// deterministic in (seed, config).
+	var tr *loadgen.Trace
+	if *tracePath != "" {
+		var err error
+		if tr, err = loadgen.Load(*tracePath); err != nil {
+			return err
+		}
+		logger.Printf("replaying %s: %d arrivals over %v", *tracePath, len(tr.Arrivals), tr.Config.Duration)
+	} else {
+		tr = loadgen.Synthesize(loadgen.TraceConfig{
+			Seed: *seed, Duration: *duration, RPS: *rps,
+			Tenants: *tenants, Functions: *functions, Skew: *skew,
+			Mode: *mode, Input: *input,
+		})
+		logger.Printf("synthesized schedule: %d arrivals, %d functions, %d tenants, skew %.2f, seed %d",
+			len(tr.Arrivals), tr.Config.Functions, tr.Config.Tenants, tr.Config.Skew, tr.Config.Seed)
+	}
+	if *saveTrace != "" {
+		if err := tr.Save(*saveTrace); err != nil {
+			return err
+		}
+		logger.Printf("trace saved to %s", *saveTrace)
+	}
+
+	if !*noSetup {
+		setupStart := time.Now()
+		if err := loadgen.Setup(ctx, base, tr.Config.Functions, tr.Config.Input, 8); err != nil {
+			return fmt.Errorf("fleet setup: %w", err)
+		}
+		logger.Printf("fleet ready: %d functions registered and recorded in %v",
+			tr.Config.Functions, time.Since(setupStart).Round(time.Millisecond))
+	}
+
+	logger.Printf("firing open-loop at %s: %.0f rps for %v (SLO %v)", base, tr.Config.RPS, tr.Config.Duration, *slo)
+	rep, err := loadgen.Run(ctx, loadgen.RunConfig{
+		Target: base, SLO: *slo, Timeout: *timeout, MaxOutstanding: *maxOut,
+	}, tr)
+	if err != nil {
+		return err
+	}
+
+	if *mutexProf != "" {
+		f, err := os.Create(*mutexProf)
+		if err != nil {
+			return err
+		}
+		if err := pprof.Lookup("mutex").WriteTo(f, 1); err != nil {
+			f.Close()
+			return err
+		}
+		f.Close()
+		logger.Printf("mutex profile written to %s", *mutexProf)
+	}
+
+	raw, _ := json.MarshalIndent(rep, "", "  ")
+	fmt.Println(string(raw))
+	if *out != "" {
+		if err := rep.Save(*out); err != nil {
+			return err
+		}
+		logger.Printf("report written to %s", *out)
+	}
+	logger.Printf("p50=%.2fms p99=%.2fms p999=%.2fms goodput=%.1f rps (%.1f%% of offered) shed=%d degraded=%d",
+		rep.Latency.P50Ms, rep.Latency.P99Ms, rep.Latency.P999Ms,
+		rep.GoodputRPS, 100*rep.GoodputRatio, rep.Shed, rep.Degraded)
+	return nil
+}
+
+// startCluster brings up n in-process daemons on real TCP listeners;
+// with n>1 a gateway tier fronts them and its address is returned.
+// Everything runs with HTTP request logging off — at open-loop rates
+// the log write is itself a contention point.
+func startCluster(n int, maxInFlight int64, logger *log.Logger) (string, func(), error) {
+	quiet := log.New(io.Discard, "", 0)
+	var cleanups []func()
+	cleanup := func() {
+		for i := len(cleanups) - 1; i >= 0; i-- {
+			cleanups[i]()
+		}
+	}
+
+	var addrs []string
+	for i := 0; i < n; i++ {
+		d, err := daemon.New(daemon.Config{
+			Host:      core.DefaultHostConfig(),
+			Logger:    quiet,
+			QuietHTTP: true,
+			Resilience: daemon.ResilienceConfig{
+				MaxInFlight: maxInFlight,
+			},
+		})
+		if err != nil {
+			cleanup()
+			return "", nil, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			d.Close()
+			cleanup()
+			return "", nil, err
+		}
+		srv := &http.Server{Handler: d.Handler()}
+		go srv.Serve(ln)
+		addrs = append(addrs, ln.Addr().String())
+		cleanups = append(cleanups, func() { srv.Close(); d.Close() })
+	}
+	logger.Printf("cluster: %d daemons on %v", n, addrs)
+	if n == 1 {
+		return "http://" + addrs[0], cleanup, nil
+	}
+
+	// The gateway here is a router, not the admission point: the
+	// daemons' limiters are what the open-loop baseline is probing, so
+	// the per-backend spillover cap is lifted out of the way and 429s
+	// come back from the daemons with occupancy-scaled Retry-After.
+	gw, err := gateway.New(gateway.Config{
+		Backends:       addrs,
+		Logger:         quiet,
+		HealthInterval: 500 * time.Millisecond,
+		MaxPerBackend:  1 << 20,
+	})
+	if err != nil {
+		cleanup()
+		return "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		gw.Close()
+		cleanup()
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: gw.Handler()}
+	go srv.Serve(ln)
+	cleanups = append(cleanups, func() { srv.Close(); gw.Close() })
+	logger.Printf("cluster: gateway on %s", ln.Addr().String())
+	return "http://" + ln.Addr().String(), cleanup, nil
+}

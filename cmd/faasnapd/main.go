@@ -53,6 +53,7 @@ func run(logger *log.Logger) error {
 		invokeTimeout = flag.Duration("invoke-timeout", 0, "per-request deadline for /invoke and /burst (0 = default 30s)")
 		maxInFlight   = flag.Int64("max-inflight", 0, "admission-control bound on in-flight invocations (0 = default 256)")
 		maxBurst      = flag.Int("max-burst", 0, "largest accepted burst parallelism (0 = default 256)")
+		quietHTTP     = flag.Bool("quiet-http", false, "drop the per-request access log line (for load benchmarks; telemetry still counts every request)")
 	)
 	flag.Parse()
 
@@ -107,11 +108,12 @@ func run(logger *log.Logger) error {
 	}
 
 	d, err := daemon.New(daemon.Config{
-		StateDir: *state,
-		Host:     host,
-		KVAddr:   *kvAddr,
-		Logger:   logger,
-		Chaos:    chaosCfg,
+		StateDir:  *state,
+		Host:      host,
+		KVAddr:    *kvAddr,
+		Logger:    logger,
+		Chaos:     chaosCfg,
+		QuietHTTP: *quietHTTP,
 		Resilience: daemon.ResilienceConfig{
 			InvokeTimeout:    *invokeTimeout,
 			MaxInFlight:      *maxInFlight,

@@ -1,0 +1,64 @@
+package daemon
+
+// Opt-in contention driver behind the mutex-profile comparison quoted
+// in EXPERIMENTS.md. It hammers the registry's read path (the invoke
+// hot path's lookup) from many goroutines with a trickle of
+// register/delete churn — the mix an open-loop run pushes through the
+// daemon — so `go test -mutexprofile` shows where lookups serialize:
+//
+//	MUTEX_BENCH=1 GOMAXPROCS=8 go test -run TestRegistryContentionProfile \
+//	    -mutexprofile mutex.out ./internal/daemon/
+//
+// Under the pre-shard design (one sync.RWMutex around the function
+// map) the churn writers stall every concurrent lookup and the daemon
+// mutex tops the profile; with the striped registry the same mix leaves
+// no daemon lock in the top entries.
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"sync"
+	"testing"
+
+	"faasnap/internal/workload"
+)
+
+func TestRegistryContentionProfile(t *testing.T) {
+	if os.Getenv("MUTEX_BENCH") == "" {
+		t.Skip("contention driver; set MUTEX_BENCH=1 and -mutexprofile to use")
+	}
+	d, err := New(Config{Logger: log.New(io.Discard, "", 0), QuietHTTP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	const fns = 256
+	names := make([]string, fns)
+	for i := range names {
+		names[i] = fmt.Sprintf("bench-%04d", i)
+		d.reg.set(names[i], &fnState{spec: &workload.Spec{Name: names[i]}})
+	}
+
+	const workers, iters = 32, 200_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				name := names[(w*7+i)%fns]
+				if i%1024 == 0 {
+					// The churn trickle: a writer per ~1k lookups, as a
+					// deploy or delete lands mid-traffic.
+					d.reg.set(name, &fnState{spec: &workload.Spec{Name: name}})
+				} else {
+					d.fn(name)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -12,6 +12,7 @@
 package daemon
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -24,6 +25,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"faasnap/internal/chaos"
@@ -59,6 +61,10 @@ type Config struct {
 	// Chaos optionally arms fault injection from daemon start; the
 	// injector is always present and reconfigurable via PUT /chaos.
 	Chaos *chaos.Config
+	// QuietHTTP drops the per-request log line. Under open-loop load the
+	// logger's mutex and stderr write serialize the request path; the
+	// load harness and benchmarked deployments turn it off.
+	QuietHTTP bool
 }
 
 // fnState is one managed function.
@@ -80,8 +86,8 @@ type Daemon struct {
 	log *log.Logger
 	kv  *kvstore.Client
 
-	mu  sync.RWMutex
-	fns map[string]*fnState
+	// reg is the lock-striped function registry; see registry.go.
+	reg *registry
 
 	traces    *trace.Store
 	telemetry *telemetry.Registry
@@ -91,17 +97,31 @@ type Daemon struct {
 	chaos   *chaos.Injector
 	limiter *resilience.Limiter
 
-	breakers struct {
-		sync.Mutex
-		m map[string]*resilience.Breaker
-	}
+	// admInFlight/admCapacity mirror the admission limiter into the
+	// scrape surface; cached here so the hot path never takes the
+	// registry's family lock to find them.
+	admInFlight *telemetry.Gauge
+	admCapacity *telemetry.Gauge
+
+	// breakers maps function -> *resilience.Breaker. A sync.Map because
+	// the access pattern is read-dominated: every invoke loads, only the
+	// first invoke of a function stores.
+	breakers sync.Map
 
 	stats struct {
-		sync.Mutex
-		Records     int64
-		Invocations int64
-		ByMode      map[string]int64
+		records     atomic.Int64
+		invocations atomic.Int64
+		byMode      sync.Map // mode string -> *atomic.Int64
 	}
+}
+
+// bumpMode adds n invocations to one mode's counter.
+func (d *Daemon) bumpMode(mode string, n int64) {
+	v, ok := d.stats.byMode.Load(mode)
+	if !ok {
+		v, _ = d.stats.byMode.LoadOrStore(mode, new(atomic.Int64))
+	}
+	v.(*atomic.Int64).Add(n)
 }
 
 // New builds a daemon, reloading persisted snapshots from StateDir.
@@ -118,16 +138,21 @@ func New(cfg Config) (*Daemon, error) {
 	d := &Daemon{
 		cfg:       cfg,
 		log:       cfg.Logger,
-		fns:       make(map[string]*fnState),
+		reg:       newRegistry(),
 		traces:    trace.NewStore(512),
 		telemetry: cfg.Registry,
 		faults:    newFaultHub(),
 		res:       cfg.Resilience.withDefaults(),
 		chaos:     chaos.New(),
 	}
-	d.stats.ByMode = make(map[string]int64)
-	d.breakers.m = make(map[string]*resilience.Breaker)
 	d.limiter = resilience.NewLimiter(d.res.MaxInFlight)
+	d.admInFlight = d.telemetry.Gauge("faasnap_admission_inflight",
+		"Weight currently admitted by the invocation limiter.", nil)
+	d.admCapacity = d.telemetry.Gauge("faasnap_admission_capacity",
+		"The invocation limiter's total weight capacity.", nil)
+	d.admCapacity.Set(float64(d.limiter.Max()))
+	d.faults.onDrop = d.telemetry.Counter("faasnap_fault_watch_dropped_total",
+		"Fault-timeline lines dropped because a watcher was too slow.", nil)
 	d.chaos.SetTelemetry(d.telemetry)
 	if cfg.Chaos != nil {
 		if err := d.chaos.Configure(*cfg.Chaos); err != nil {
@@ -165,15 +190,15 @@ func (d *Daemon) DrainStreams() {
 
 func (d *Daemon) Close() {
 	d.DrainStreams()
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	for _, fs := range d.fns {
+	for _, fs := range d.reg.snapshot() {
+		fs.mu.Lock()
 		if fs.machine != nil {
 			fs.machine.Close()
 		}
 		if fs.agent != nil {
 			fs.agent.Close()
 		}
+		fs.mu.Unlock()
 	}
 	if d.kv != nil {
 		_ = d.kv.Close()
@@ -207,17 +232,14 @@ func (d *Daemon) reload() error {
 			d.quarantine(path, err)
 			continue
 		}
-		d.fns[arts.Fn.Name] = &fnState{spec: arts.Fn, arts: arts}
+		d.reg.set(arts.Fn.Name, &fnState{spec: arts.Fn, arts: arts})
 		d.log.Printf("reloaded snapshot for %s (%d WS pages)", arts.Fn.Name, arts.WS.Pages())
 	}
 	return nil
 }
 
 func (d *Daemon) fn(name string) (*fnState, bool) {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	fs, ok := d.fns[name]
-	return fs, ok
+	return d.reg.get(name)
 }
 
 // Handler returns the daemon's REST API handler.
@@ -363,10 +385,33 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
+// encBufPool recycles response-encoding buffers across invocations.
+// Encoding into a pooled buffer instead of straight to the socket both
+// removes a per-request allocation from the hot path and turns the
+// response into a single Write.
+var encBufPool = sync.Pool{New: func() interface{} { return new(bytes.Buffer) }}
+
+// maxPooledBuf caps what goes back in the pool, so one giant burst
+// response doesn't pin megabytes behind every pool slot.
+const maxPooledBuf = 1 << 18
+
 func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	buf := encBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		// Encoding our own response types cannot fail; fall back to the
+		// direct path just in case a handler passes something exotic.
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		_ = json.NewEncoder(w).Encode(v)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(buf.Bytes())
+	if buf.Cap() <= maxPooledBuf {
+		encBufPool.Put(buf)
+	}
 }
 
 func writeErr(w http.ResponseWriter, code int, format string, args ...interface{}) {
@@ -397,12 +442,7 @@ func (d *Daemon) info(fs *fnState) FunctionInfo {
 }
 
 func (d *Daemon) handleList(w http.ResponseWriter, r *http.Request) {
-	d.mu.RLock()
-	fns := make([]*fnState, 0, len(d.fns))
-	for _, fs := range d.fns {
-		fns = append(fns, fs)
-	}
-	d.mu.RUnlock()
+	fns := d.reg.snapshot()
 	out := make([]FunctionInfo, 0, len(fns))
 	for _, fs := range fns {
 		out = append(out, d.info(fs))
@@ -434,13 +474,7 @@ func (d *Daemon) handleCreate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	d.mu.Lock()
-	fs, exists := d.fns[name]
-	if !exists {
-		fs = &fnState{spec: spec}
-		d.fns[name] = fs
-	}
-	d.mu.Unlock()
+	fs, exists := d.reg.getOrCreate(name, func() *fnState { return &fnState{spec: spec} })
 
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
@@ -458,11 +492,7 @@ func (d *Daemon) handleCreate(w http.ResponseWriter, r *http.Request) {
 			}
 			fs.machine, fs.agent = nil, nil
 			if !exists {
-				d.mu.Lock()
-				if cur, ok := d.fns[name]; ok && cur == fs {
-					delete(d.fns, name)
-				}
-				d.mu.Unlock()
+				d.reg.removeIf(name, fs)
 			}
 			writeErr(w, code, format, args...)
 		}
@@ -542,10 +572,7 @@ func (d *Daemon) handleGet(w http.ResponseWriter, r *http.Request) {
 
 func (d *Daemon) handleDelete(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	d.mu.Lock()
-	fs, ok := d.fns[name]
-	delete(d.fns, name)
-	d.mu.Unlock()
+	fs, ok := d.reg.remove(name)
 	if !ok {
 		writeErr(w, http.StatusNotFound, "%v", errNotRegistered)
 		return
@@ -586,7 +613,6 @@ func regionMaps(arts *core.Artifacts, name string) []vmm.RegionMap {
 	}
 	return out
 }
-
 
 // inputDescriptor is what the daemon stores in the kvstore per input.
 type inputDescriptor struct {
@@ -722,9 +748,7 @@ func (d *Daemon) handleRecord(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	d.stats.Lock()
-	d.stats.Records++
-	d.stats.Unlock()
+	d.stats.records.Add(1)
 	core.ObserveRecord(d.telemetry, fs.spec.Name, res)
 	d.log.Printf("recorded %s input %s: ws=%d ls=%d regions=%d", fs.spec.Name, in.Name, res.WSPages, res.LSPages, res.LSRegions)
 	writeJSON(w, http.StatusOK, RecordResponse{
@@ -822,11 +846,11 @@ func (d *Daemon) invokeArgs(r *http.Request) (*fnState, core.Mode, workload.Inpu
 func (d *Daemon) handleInvoke(w http.ResponseWriter, r *http.Request) {
 	// Admission control first: a saturated host sheds load before doing
 	// any work for the request.
-	if !d.limiter.Acquire(1) {
-		d.shed(w, "invoke")
+	if !d.admit(1) {
+		d.shed(w, "invoke", 1)
 		return
 	}
-	defer d.limiter.Release(1)
+	defer d.release(1)
 	fs, mode, in, err := d.invokeArgs(r)
 	if err != nil {
 		code := http.StatusBadRequest
@@ -902,10 +926,8 @@ func (d *Daemon) handleInvoke(w http.ResponseWriter, r *http.Request) {
 		}
 		remote = append(remote, ac.TraceSpans()...)
 	}
-	d.stats.Lock()
-	d.stats.Invocations++
-	d.stats.ByMode[degraded.mode.String()]++
-	d.stats.Unlock()
+	d.stats.invocations.Add(1)
+	d.bumpMode(degraded.mode.String(), 1)
 	core.ObserveInvoke(d.telemetry, res)
 	out := toResponse(fs.spec.Name, res)
 	if degraded.mode != mode {
@@ -992,11 +1014,11 @@ func (d *Daemon) handleBurst(w http.ResponseWriter, r *http.Request) {
 	// all of it or the whole burst is shed — admitting half a burst
 	// would skew the concurrency the caller asked to measure.
 	weight := int64(req.Parallel)
-	if !d.limiter.Acquire(weight) {
-		d.shed(w, "burst")
+	if !d.admit(weight) {
+		d.shed(w, "burst", weight)
 		return
 	}
-	defer d.limiter.Release(weight)
+	defer d.release(weight)
 	ctx, cancel := context.WithTimeout(r.Context(), d.res.InvokeTimeout)
 	defer cancel()
 	// One control-plane restore guards the whole burst (invocations of
@@ -1039,10 +1061,8 @@ func (d *Daemon) handleBurst(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Results = append(resp.Results, ir)
 	}
-	d.stats.Lock()
-	d.stats.Invocations += int64(req.Parallel)
-	d.stats.ByMode[degraded.mode.String()] += int64(req.Parallel)
-	d.stats.Unlock()
+	d.stats.invocations.Add(int64(req.Parallel))
+	d.bumpMode(degraded.mode.String(), int64(req.Parallel))
 	core.ObserveBurst(d.telemetry, br)
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -1057,19 +1077,16 @@ func (d *Daemon) handleMetricsProm(w http.ResponseWriter, r *http.Request) {
 // handleMetricsJSON serves the legacy JSON counters (the pre-telemetry
 // GET /metrics payload, kept for existing consumers).
 func (d *Daemon) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
-	d.stats.Lock()
-	// Copy ByMode under the lock: writeJSON serializes after unlock,
-	// and the live map is mutated by concurrent invokes.
-	byMode := make(map[string]int64, len(d.stats.ByMode))
-	for k, v := range d.stats.ByMode {
-		byMode[k] = v
-	}
+	byMode := make(map[string]int64)
+	d.stats.byMode.Range(func(k, v interface{}) bool {
+		byMode[k.(string)] = v.(*atomic.Int64).Load()
+		return true
+	})
 	out := map[string]interface{}{
-		"records":     d.stats.Records,
-		"invocations": d.stats.Invocations,
+		"records":     d.stats.records.Load(),
+		"invocations": d.stats.invocations.Load(),
 		"by_mode":     byMode,
 	}
-	d.stats.Unlock()
 	writeJSON(w, http.StatusOK, out)
 }
 

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"faasnap/internal/core"
+	"faasnap/internal/telemetry"
 	"faasnap/internal/trace"
 )
 
@@ -17,8 +18,12 @@ type faultHub struct {
 	mu      sync.Mutex
 	subs    map[chan []byte]string // channel -> function filter
 	dropped int64
-	done    chan struct{} // closed on daemon drain; releases watchers
-	once    sync.Once
+	// onDrop, when set, mirrors every dropped line into telemetry so
+	// watch-stream loss is visible (faasnap_fault_watch_dropped_total);
+	// the raw count alone was invisible outside the process.
+	onDrop *telemetry.Counter
+	done   chan struct{} // closed on daemon drain; releases watchers
+	once   sync.Once
 }
 
 func newFaultHub() *faultHub {
@@ -59,6 +64,9 @@ func (h *faultHub) publish(fn string, line []byte) {
 		case ch <- line:
 		default:
 			h.dropped++
+			if h.onDrop != nil {
+				h.onDrop.Inc()
+			}
 		}
 	}
 }

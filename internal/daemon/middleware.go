@@ -51,6 +51,15 @@ func (d *Daemon) instrument(route string, next http.HandlerFunc) http.HandlerFun
 		"Requests currently being served, by route.", labels)
 	latency := d.telemetry.Histogram("faasnap_http_request_seconds",
 		"HTTP request latency, by route.", labels)
+	// Pre-resolve the per-class request counters: statusClass has only
+	// six values, and resolving the series at wrap time keeps the
+	// registry's family lock off the per-request path.
+	byClass := make(map[string]*telemetry.Counter)
+	for _, class := range []string{"1xx", "2xx", "3xx", "4xx", "5xx", "other"} {
+		byClass[class] = d.telemetry.Counter("faasnap_http_requests_total",
+			"HTTP requests served, by route and status class.",
+			telemetry.L("route", route, "class", class))
+	}
 	return func(w http.ResponseWriter, r *http.Request) {
 		inFlight.Inc()
 		defer inFlight.Dec()
@@ -58,15 +67,17 @@ func (d *Daemon) instrument(route string, next http.HandlerFunc) http.HandlerFun
 		start := time.Now()
 		next(sw, r)
 		latency.Observe(time.Since(start))
-		d.telemetry.Counter("faasnap_http_requests_total",
-			"HTTP requests served, by route and status class.",
-			telemetry.L("route", route, "class", statusClass(sw.status))).Inc()
+		byClass[statusClass(sw.status)].Inc()
 	}
 }
 
 // logRequests is the outermost middleware: one log line per request
-// with method, path, status, and wall time.
+// with method, path, status, and wall time. QuietHTTP removes it
+// entirely — request accounting still happens in instrument.
 func (d *Daemon) logRequests(next http.Handler) http.Handler {
+	if d.cfg.QuietHTTP {
+		return next
+	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()

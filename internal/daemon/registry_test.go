@@ -1,0 +1,168 @@
+package daemon
+
+// Tests for the lock-striped function registry: single-threaded
+// semantics first, then the concurrent register/invoke/delete/list mix
+// the stripes exist for (run with -race).
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+
+	"faasnap/internal/workload"
+)
+
+func regState(name string) *fnState {
+	return &fnState{spec: &workload.Spec{Name: name}}
+}
+
+func TestRegistrySemantics(t *testing.T) {
+	r := newRegistry()
+	if _, ok := r.get("a"); ok {
+		t.Fatal("empty registry returned a state")
+	}
+
+	fs, existed := r.getOrCreate("a", func() *fnState { return regState("a") })
+	if existed || fs == nil {
+		t.Fatalf("first getOrCreate: existed=%v fs=%v", existed, fs)
+	}
+	again, existed := r.getOrCreate("a", func() *fnState { t.Fatal("mk ran for existing entry"); return nil })
+	if !existed || again != fs {
+		t.Fatal("second getOrCreate did not return the original state")
+	}
+
+	// removeIf only removes the exact state it was handed: a concurrent
+	// re-register must survive the loser's cleanup.
+	replacement := regState("a")
+	r.set("a", replacement)
+	r.removeIf("a", fs) // stale pointer: no-op
+	if cur, ok := r.get("a"); !ok || cur != replacement {
+		t.Fatal("removeIf with a stale pointer removed the replacement")
+	}
+	r.removeIf("a", replacement)
+	if _, ok := r.get("a"); ok {
+		t.Fatal("removeIf with the current pointer did not remove")
+	}
+
+	// snapshot is sorted by name regardless of stripe layout.
+	names := []string{"zeta", "alpha", "mid", "beta"}
+	for _, n := range names {
+		r.set(n, regState(n))
+	}
+	snap := r.snapshot()
+	if len(snap) != len(names) || r.size() != len(names) {
+		t.Fatalf("snapshot len=%d size=%d, want %d", len(snap), r.size(), len(names))
+	}
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1].spec.Name >= snap[i].spec.Name {
+			t.Fatalf("snapshot unsorted: %q before %q", snap[i-1].spec.Name, snap[i].spec.Name)
+		}
+	}
+	if fs, ok := r.remove("mid"); !ok || fs.spec.Name != "mid" {
+		t.Fatal("remove did not return the removed state")
+	}
+	if r.size() != len(names)-1 {
+		t.Fatalf("size after remove = %d", r.size())
+	}
+}
+
+// TestRegistryConcurrentChurn drives every registry operation from many
+// goroutines over a key set spanning all stripes. The invariant under
+// -race is simply no race and no lost update: after the churn each key
+// either resolves to its last-written state or is absent.
+func TestRegistryConcurrentChurn(t *testing.T) {
+	r := newRegistry()
+	const workers, keys, rounds = 16, 128, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				name := fmt.Sprintf("fn-%03d", (w*31+i)%keys)
+				switch i % 5 {
+				case 0:
+					r.getOrCreate(name, func() *fnState { return regState(name) })
+				case 1:
+					r.get(name)
+				case 2:
+					r.set(name, regState(name))
+				case 3:
+					if fs, ok := r.get(name); ok {
+						r.removeIf(name, fs)
+					}
+				case 4:
+					r.snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// The registry must still be internally consistent: every snapshot
+	// entry is reachable by get, and size agrees with snapshot.
+	snap := r.snapshot()
+	if len(snap) != r.size() {
+		t.Fatalf("size %d != snapshot %d", r.size(), len(snap))
+	}
+	for _, fs := range snap {
+		if got, ok := r.get(fs.spec.Name); !ok || got != fs {
+			t.Fatalf("snapshot entry %q not reachable via get", fs.spec.Name)
+		}
+	}
+}
+
+// TestConcurrentRegisterInvokeDeleteList is the HTTP-level version: the
+// full register/record/invoke/delete/list mix hammering one daemon
+// across shards, under -race. Handlers must never 5xx, and the final
+// list must reflect exactly the functions left registered.
+func TestConcurrentRegisterInvokeDeleteList(t *testing.T) {
+	_, srv := newTestDaemon(t, Config{QuietHTTP: true})
+	recordedFn(t, srv.URL) // hello-world, the invoke target
+
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := fmt.Sprintf("churn-%02d", w)
+			spec := map[string]interface{}{
+				"name": name, "boot_mb": 4, "stable_pages": 64,
+				"base_ms": 1, "input_a": map[string]int64{"bytes": 1024, "data_pages": 2},
+			}
+			for i := 0; i < 6; i++ {
+				resp := doJSON(t, "PUT", srv.URL+"/functions/"+name, spec, nil)
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("register %s = %d", name, resp.StatusCode)
+				}
+				resp = doJSON(t, "GET", srv.URL+"/functions", nil, nil)
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("list = %d", resp.StatusCode)
+				}
+				resp = doJSON(t, "POST", srv.URL+"/functions/hello-world/invoke",
+					map[string]string{"mode": "warm", "input": "A"}, nil)
+				if resp.StatusCode >= 500 {
+					t.Errorf("invoke = %d", resp.StatusCode)
+				}
+				resp = doJSON(t, "DELETE", srv.URL+"/functions/"+name, nil, nil)
+				if resp.StatusCode >= 500 {
+					t.Errorf("delete %s = %d", name, resp.StatusCode)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var list []struct {
+		Name string `json:"name"`
+	}
+	resp := doJSON(t, "GET", srv.URL+"/functions", nil, &list)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("final list = %d", resp.StatusCode)
+	}
+	// Every churn worker deleted last, so only hello-world remains.
+	if len(list) != 1 || list[0].Name != "hello-world" {
+		t.Fatalf("final list = %+v, want just hello-world", list)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
 	"time"
 
 	"faasnap/internal/chaos"
@@ -80,29 +81,65 @@ var (
 )
 
 // breaker returns (creating on first use) the named function's circuit
-// breaker, with its state mirrored into the telemetry gauge.
+// breaker, with its state mirrored into the telemetry gauge. The map is
+// read-dominated — every invoke loads, only a function's first invoke
+// stores — so it lives in a sync.Map instead of behind a global mutex.
 func (d *Daemon) breaker(fn string) *resilience.Breaker {
-	d.breakers.Lock()
-	defer d.breakers.Unlock()
-	b, ok := d.breakers.m[fn]
-	if !ok {
-		gauge := d.telemetry.Gauge("faasnap_breaker_state",
-			"Restore circuit-breaker state per function (0 closed, 1 open, 2 half-open).",
-			telemetry.L("function", fn))
-		b = resilience.NewBreaker(d.res.BreakerThreshold, d.res.BreakerCooldown,
-			func(s resilience.BreakerState) { gauge.Set(float64(s)) })
-		d.breakers.m[fn] = b
+	if b, ok := d.breakers.Load(fn); ok {
+		return b.(*resilience.Breaker)
 	}
-	return b
+	gauge := d.telemetry.Gauge("faasnap_breaker_state",
+		"Restore circuit-breaker state per function (0 closed, 1 open, 2 half-open).",
+		telemetry.L("function", fn))
+	b := resilience.NewBreaker(d.res.BreakerThreshold, d.res.BreakerCooldown,
+		func(s resilience.BreakerState) { gauge.Set(float64(s)) })
+	actual, _ := d.breakers.LoadOrStore(fn, b)
+	return actual.(*resilience.Breaker)
 }
 
-// shed rejects a request at admission, with Retry-After so well-behaved
-// clients back off instead of hammering a saturated host.
-func (d *Daemon) shed(w http.ResponseWriter, route string) {
+// admit acquires weight w from the admission limiter, mirroring the new
+// occupancy into the scrape surface the gateway's health sweep reads.
+func (d *Daemon) admit(w int64) bool {
+	if !d.limiter.Acquire(w) {
+		return false
+	}
+	d.admInFlight.Set(float64(d.limiter.InFlight()))
+	return true
+}
+
+// release returns weight admitted by admit.
+func (d *Daemon) release(w int64) {
+	d.limiter.Release(w)
+	d.admInFlight.Set(float64(d.limiter.InFlight()))
+}
+
+// retryAfter computes the Retry-After hint for a shed request of the
+// given weight: the number of full limiter drain cycles the admitted
+// weight plus this request represents. A barely-saturated host answers
+// 1; a host asked for a burst several times its admission window — or
+// one already far over capacity — answers proportionally more, so the
+// gateway's max-aggregation across backends sees real load, not a
+// constant.
+func (d *Daemon) retryAfter(weight int64) int {
+	in, max := d.limiter.InFlight(), d.limiter.Max()
+	if max <= 0 {
+		return 1
+	}
+	ra := int((in + weight + max - 1) / max)
+	if ra < 1 {
+		ra = 1
+	}
+	return ra
+}
+
+// shed rejects a request at admission, with a load-scaled Retry-After
+// so well-behaved clients back off instead of hammering a saturated
+// host.
+func (d *Daemon) shed(w http.ResponseWriter, route string, weight int64) {
 	d.telemetry.Counter("faasnap_invoke_shed_total",
 		"Requests shed by admission control, by route.",
 		telemetry.L("route", route)).Inc()
-	w.Header().Set("Retry-After", "1")
+	w.Header().Set("Retry-After", strconv.Itoa(d.retryAfter(weight)))
 	writeErr(w, http.StatusTooManyRequests,
 		"server saturated (%d/%d in flight); retry later", d.limiter.InFlight(), d.limiter.Max())
 }

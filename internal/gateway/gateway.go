@@ -264,8 +264,17 @@ func (g *Gateway) candidates(fn string) []*Backend {
 	prefs := g.pool.preference(fn, 0)
 	if len(prefs) <= 1 || g.cfg.Policy == PolicySticky {
 		if len(prefs) > 1 {
+			// Spillover order: a standby whose admission window was full
+			// at the last scrape will certainly shed, so unsaturated
+			// backends go first; within each group, least-loaded wins.
 			rest := append([]*Backend(nil), prefs[1:]...)
-			sort.SliceStable(rest, func(i, j int) bool { return rest[i].load() < rest[j].load() })
+			sort.SliceStable(rest, func(i, j int) bool {
+				si, sj := rest[i].saturation() >= 1, rest[j].saturation() >= 1
+				if si != sj {
+					return !si
+				}
+				return rest[i].load() < rest[j].load()
+			})
 			prefs = append(prefs[:1:1], rest...)
 		}
 		return prefs

@@ -400,16 +400,26 @@ func TestClusterEndpoint(t *testing.T) {
 	}
 }
 
-func TestSumPromGauge(t *testing.T) {
+func TestSumPromGauges(t *testing.T) {
 	text := `# HELP faasnap_http_in_flight Requests currently being served.
 # TYPE faasnap_http_in_flight gauge
 faasnap_http_in_flight{route="POST /functions/{name}/invoke"} 3
 faasnap_http_in_flight{route="POST /functions/{name}/burst"} 2
 faasnap_http_in_flight_other{route="x"} 100
 faasnap_http_requests_total{route="y"} 50
+faasnap_admission_inflight 17
+faasnap_admission_capacity 256
 `
-	if got := sumPromGauge(strings.NewReader(text), "faasnap_http_in_flight"); got != 5 {
-		t.Fatalf("sum = %v, want 5", got)
+	sums := sumPromGauges(strings.NewReader(text),
+		"faasnap_http_in_flight", "faasnap_admission_inflight", "faasnap_admission_capacity")
+	if got := sums["faasnap_http_in_flight"]; got != 5 {
+		t.Fatalf("http_in_flight sum = %v, want 5", got)
+	}
+	if got := sums["faasnap_admission_inflight"]; got != 17 {
+		t.Fatalf("admission_inflight sum = %v, want 17", got)
+	}
+	if got := sums["faasnap_admission_capacity"]; got != 256 {
+		t.Fatalf("admission_capacity sum = %v, want 256", got)
 	}
 }
 

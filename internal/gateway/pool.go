@@ -37,6 +37,8 @@ type Backend struct {
 	lastErr   string
 	lastCheck time.Time
 	scraped   float64 // daemon-reported in-flight from the last scrape
+	admitted  float64 // daemon admission-limiter occupancy
+	capacity  float64 // daemon admission-limiter window
 }
 
 // Ready reports the last health sweep's verdict.
@@ -54,10 +56,23 @@ func (b *Backend) setReady(ready bool, reason string) {
 	b.mu.Unlock()
 }
 
-func (b *Backend) setScraped(v float64) {
+func (b *Backend) setScraped(inflight, admitted, capacity float64) {
 	b.mu.Lock()
-	b.scraped = v
+	b.scraped = inflight
+	b.admitted = admitted
+	b.capacity = capacity
 	b.mu.Unlock()
+}
+
+// saturation is the backend's admission-window occupancy in [0, 1] from
+// the last scrape (0 when the daemon predates the admission gauges).
+func (b *Backend) saturation() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.capacity <= 0 {
+		return 0
+	}
+	return b.admitted / b.capacity
 }
 
 // load is the placement load signal: the gateway's own open requests
@@ -72,13 +87,16 @@ func (b *Backend) load() int64 {
 
 // BackendStatus is a backend's row in GET /cluster.
 type BackendStatus struct {
-	Addr            string `json:"addr"`
-	Ready           bool   `json:"ready"`
-	Breaker         string `json:"breaker"`
-	InFlightGateway int64  `json:"inflight_gateway"`
-	InFlightDaemon  int64  `json:"inflight_daemon"`
-	LastError       string `json:"last_error,omitempty"`
-	LastCheck       string `json:"last_check,omitempty"`
+	Addr            string  `json:"addr"`
+	Ready           bool    `json:"ready"`
+	Breaker         string  `json:"breaker"`
+	InFlightGateway int64   `json:"inflight_gateway"`
+	InFlightDaemon  int64   `json:"inflight_daemon"`
+	AdmissionUsed   int64   `json:"admission_used"`
+	AdmissionMax    int64   `json:"admission_max"`
+	Saturation      float64 `json:"saturation"`
+	LastError       string  `json:"last_error,omitempty"`
+	LastCheck       string  `json:"last_check,omitempty"`
 }
 
 func (b *Backend) status() BackendStatus {
@@ -90,7 +108,12 @@ func (b *Backend) status() BackendStatus {
 		Breaker:         b.breaker.State().String(),
 		InFlightGateway: b.inflight.Load(),
 		InFlightDaemon:  int64(b.scraped),
+		AdmissionUsed:   int64(b.admitted),
+		AdmissionMax:    int64(b.capacity),
 		LastError:       b.lastErr,
+	}
+	if b.capacity > 0 {
+		st.Saturation = b.admitted / b.capacity
 	}
 	if !b.lastCheck.IsZero() {
 		st.LastCheck = b.lastCheck.Format(time.RFC3339Nano)
@@ -200,42 +223,61 @@ func (p *Pool) check(b *Backend) {
 	up.Set(1)
 
 	if mresp, err := p.client.Get("http://" + b.Addr + "/metrics"); err == nil {
-		v := sumPromGauge(io.LimitReader(mresp.Body, 1<<20), "faasnap_http_in_flight")
+		sums := sumPromGauges(io.LimitReader(mresp.Body, 1<<20),
+			"faasnap_http_in_flight", "faasnap_admission_inflight", "faasnap_admission_capacity")
 		mresp.Body.Close()
-		b.setScraped(v)
+		inflight := sums["faasnap_http_in_flight"]
+		admitted := sums["faasnap_admission_inflight"]
+		capacity := sums["faasnap_admission_capacity"]
+		b.setScraped(inflight, admitted, capacity)
 		p.reg.Gauge("faasnap_gw_backend_inflight",
 			"Daemon-reported in-flight requests from the last /metrics scrape.",
-			telemetry.L("backend", b.Addr)).Set(v)
+			telemetry.L("backend", b.Addr)).Set(inflight)
+		p.reg.Gauge("faasnap_gw_backend_admission_inflight",
+			"Daemon admission-limiter occupancy from the last /metrics scrape.",
+			telemetry.L("backend", b.Addr)).Set(admitted)
+		if capacity > 0 {
+			p.reg.Gauge("faasnap_gw_backend_saturation",
+				"Backend admission-window occupancy in [0,1] from the last scrape.",
+				telemetry.L("backend", b.Addr)).Set(admitted / capacity)
+		}
 	}
 }
 
-// sumPromGauge sums every series of one metric family in a Prometheus
-// text exposition stream. Parsing is deliberately minimal: the gateway
-// only needs the daemon's in-flight gauge, not a full scrape model.
-func sumPromGauge(r io.Reader, name string) float64 {
-	var sum float64
+// sumPromGauges sums every series of each named metric family in one
+// pass over a Prometheus text exposition stream. Parsing is
+// deliberately minimal: the gateway only needs a few daemon gauges, not
+// a full scrape model.
+func sumPromGauges(r io.Reader, names ...string) map[string]float64 {
+	sums := make(map[string]float64, len(names))
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 64*1024), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
-		if !strings.HasPrefix(line, name) || strings.HasPrefix(line, "#") {
+		if strings.HasPrefix(line, "#") {
 			continue
 		}
-		rest := line[len(name):]
-		// Series are "name{labels} value" or "name value"; skip other
-		// families sharing the prefix (e.g. name_total).
-		if len(rest) > 0 && rest[0] != '{' && rest[0] != ' ' {
-			continue
-		}
-		i := strings.LastIndexByte(rest, ' ')
-		if i < 0 {
-			continue
-		}
-		if v, err := strconv.ParseFloat(rest[i+1:], 64); err == nil {
-			sum += v
+		for _, name := range names {
+			if !strings.HasPrefix(line, name) {
+				continue
+			}
+			rest := line[len(name):]
+			// Series are "name{labels} value" or "name value"; skip
+			// other families sharing the prefix (e.g. name_total).
+			if len(rest) > 0 && rest[0] != '{' && rest[0] != ' ' {
+				continue
+			}
+			i := strings.LastIndexByte(rest, ' ')
+			if i < 0 {
+				continue
+			}
+			if v, err := strconv.ParseFloat(rest[i+1:], 64); err == nil {
+				sums[name] += v
+			}
+			break
 		}
 	}
-	return sum
+	return sums
 }
 
 // snapshot returns the backend list in stable (address) order.

@@ -1,0 +1,198 @@
+// Package loadgen is the open-loop, trace-driven load harness that
+// turns the "millions of users" north star into a tracked number.
+//
+// Closed-loop drivers (every earlier experiment in this repo) wait for
+// each response before sending the next request, so a slowing server
+// quietly throttles its own load and latency percentiles flatter the
+// system. An open-loop generator fires arrivals on a schedule that does
+// not care how the server is doing — exactly how real multi-tenant
+// traffic behaves — which is the methodology the serverless-snapshot
+// benchmarking literature (Ustiugov et al.; see PAPERS.md) prescribes.
+//
+// The schedule is synthesized, not improvised: Poisson arrivals at a
+// configured mean rate, a heavy-tailed (Zipf) split across tenants, and
+// per-tenant heavy-tailed function mixes over hundreds or thousands of
+// registered functions, mirroring the Azure-trace-shaped skew where a
+// few functions dominate and a long tail is nearly idle. Synthesis is
+// seeded and fully deterministic (like internal/chaos): the same seed
+// and config replay the same arrival schedule bit-for-bit, and a
+// schedule can be saved to disk and replayed later as a trace file.
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+)
+
+// TraceConfig parameterizes schedule synthesis.
+type TraceConfig struct {
+	// Seed makes the schedule replayable; equal seeds and configs give
+	// identical schedules.
+	Seed int64 `json:"seed"`
+	// Duration is the open-loop firing window.
+	Duration time.Duration `json:"duration_ns"`
+	// RPS is the mean Poisson arrival rate.
+	RPS float64 `json:"rps"`
+	// Tenants is how many tenants share the platform; tenant load is
+	// Zipf-distributed so a few tenants dominate.
+	Tenants int `json:"tenants"`
+	// Functions is the registered-function count arrivals draw from.
+	Functions int `json:"functions"`
+	// Skew is the Zipf s parameter for both the tenant and the
+	// per-tenant function popularity distributions (>1; larger = more
+	// skewed). Values ≤ 1 take the Azure-like default 1.2.
+	Skew float64 `json:"skew"`
+	// Mode is the invocation mode each arrival requests.
+	Mode string `json:"mode"`
+	// Input is the invocation input name.
+	Input string `json:"input"`
+}
+
+func (c TraceConfig) withDefaults() TraceConfig {
+	if c.Duration <= 0 {
+		c.Duration = 10 * time.Second
+	}
+	if c.RPS <= 0 {
+		c.RPS = 100
+	}
+	if c.Tenants <= 0 {
+		c.Tenants = 8
+	}
+	if c.Functions <= 0 {
+		c.Functions = 24
+	}
+	if c.Skew <= 1 {
+		c.Skew = 1.2
+	}
+	if c.Mode == "" {
+		c.Mode = "faasnap"
+	}
+	if c.Input == "" {
+		c.Input = "A"
+	}
+	return c
+}
+
+// Arrival is one scheduled invocation.
+type Arrival struct {
+	// AtUs is the offset from run start, in microseconds.
+	AtUs     int64  `json:"at_us"`
+	Function string `json:"function"`
+	Tenant   int    `json:"tenant"`
+}
+
+// Trace is a replayable arrival schedule.
+type Trace struct {
+	Config   TraceConfig `json:"config"`
+	Arrivals []Arrival   `json:"arrivals"`
+}
+
+// FunctionName names the i'th synthetic function. Registration
+// (loadgen.Setup) and synthesis agree on this naming, so a trace can be
+// fired at any target that ran Setup with at least Config.Functions
+// functions.
+func FunctionName(i int) string { return fmt.Sprintf("lg-%04d", i) }
+
+// Synthesize builds the deterministic open-loop schedule for cfg.
+func Synthesize(cfg TraceConfig) *Trace {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Tenant popularity and per-tenant function popularity are both
+	// Zipf; each tenant's ranking is rotated by a per-tenant offset so
+	// different tenants hammer different head functions, as in the
+	// Azure traces where per-app workloads are skewed but uncorrelated.
+	tenantZipf := rand.NewZipf(rng, cfg.Skew, 1, uint64(cfg.Tenants-1))
+	fnZipf := rand.NewZipf(rng, cfg.Skew, 1, uint64(cfg.Functions-1))
+	offsets := make([]int, cfg.Tenants)
+	for i := range offsets {
+		offsets[i] = rng.Intn(cfg.Functions)
+	}
+
+	var arrivals []Arrival
+	// Poisson process: exponential inter-arrival gaps at rate RPS.
+	horizon := cfg.Duration.Seconds()
+	for t := rng.ExpFloat64() / cfg.RPS; t < horizon; t += rng.ExpFloat64() / cfg.RPS {
+		tenant := int(tenantZipf.Uint64())
+		rank := int(fnZipf.Uint64())
+		fn := (rank + offsets[tenant]) % cfg.Functions
+		arrivals = append(arrivals, Arrival{
+			AtUs:     int64(t * 1e6),
+			Function: FunctionName(fn),
+			Tenant:   tenant,
+		})
+	}
+	return &Trace{Config: cfg, Arrivals: arrivals}
+}
+
+// Save writes the trace as JSON.
+func (tr *Trace) Save(path string) error {
+	raw, err := json.Marshal(tr)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, raw, 0o644)
+}
+
+// Load reads a trace saved by Save (or authored by hand — arrivals are
+// sorted by offset on load, so authored order does not matter).
+func Load(path string) (*Trace, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var tr Trace
+	if err := json.Unmarshal(raw, &tr); err != nil {
+		return nil, fmt.Errorf("loadgen: bad trace %s: %w", path, err)
+	}
+	tr.Config = tr.Config.withDefaults()
+	sort.Slice(tr.Arrivals, func(i, j int) bool { return tr.Arrivals[i].AtUs < tr.Arrivals[j].AtUs })
+	return &tr, nil
+}
+
+// LatencySummary is the latency digest of one run, in milliseconds.
+type LatencySummary struct {
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P90Ms  float64 `json:"p90_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	P999Ms float64 `json:"p999_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+// summarize digests a latency sample set; the input slice is sorted in
+// place.
+func summarize(lat []time.Duration) LatencySummary {
+	if len(lat) == 0 {
+		return LatencySummary{}
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	var sum time.Duration
+	for _, d := range lat {
+		sum += d
+	}
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	q := func(p float64) time.Duration {
+		i := int(math.Ceil(p*float64(len(lat)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(lat) {
+			i = len(lat) - 1
+		}
+		return lat[i]
+	}
+	return LatencySummary{
+		MeanMs: ms(sum) / float64(len(lat)),
+		P50Ms:  ms(q(0.50)),
+		P90Ms:  ms(q(0.90)),
+		P99Ms:  ms(q(0.99)),
+		P999Ms: ms(q(0.999)),
+		MaxMs:  ms(lat[len(lat)-1]),
+	}
+}

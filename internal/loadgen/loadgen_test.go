@@ -1,0 +1,181 @@
+package loadgen
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	cfg := TraceConfig{Seed: 42, Duration: 2 * time.Second, RPS: 300, Tenants: 6, Functions: 40, Skew: 1.3}
+	a := Synthesize(cfg)
+	b := Synthesize(cfg)
+	if len(a.Arrivals) == 0 {
+		t.Fatal("empty schedule")
+	}
+	if !reflect.DeepEqual(a.Arrivals, b.Arrivals) {
+		t.Fatal("same seed and config produced different schedules")
+	}
+	c := Synthesize(TraceConfig{Seed: 43, Duration: 2 * time.Second, RPS: 300, Tenants: 6, Functions: 40, Skew: 1.3})
+	if reflect.DeepEqual(a.Arrivals, c.Arrivals) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestSynthesizeShape(t *testing.T) {
+	tr := Synthesize(TraceConfig{Seed: 7, Duration: 5 * time.Second, RPS: 400, Tenants: 8, Functions: 50, Skew: 1.2})
+	n := len(tr.Arrivals)
+	// Poisson at 400 rps over 5s: mean 2000 arrivals, sd ~45. A 5-sigma
+	// band cannot flake.
+	if n < 1750 || n > 2250 {
+		t.Fatalf("arrival count %d far from 2000", n)
+	}
+	counts := make(map[string]int)
+	last := int64(-1)
+	for _, a := range tr.Arrivals {
+		if a.AtUs < last {
+			t.Fatal("arrivals not sorted by offset")
+		}
+		last = a.AtUs
+		if a.AtUs < 0 || a.AtUs >= int64(5*time.Second/time.Microsecond) {
+			t.Fatalf("arrival offset %dus outside the window", a.AtUs)
+		}
+		if a.Tenant < 0 || a.Tenant >= 8 {
+			t.Fatalf("tenant %d out of range", a.Tenant)
+		}
+		counts[a.Function]++
+	}
+	// Zipf skew: the most popular function must dominate the mean.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 3*n/50 {
+		t.Fatalf("head function got %d of %d arrivals; load looks uniform, not Zipf", max, n)
+	}
+}
+
+func TestTraceSaveLoadRoundtrip(t *testing.T) {
+	tr := Synthesize(TraceConfig{Seed: 3, Duration: time.Second, RPS: 100})
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := tr.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr.Config, back.Config) {
+		t.Fatalf("config changed over roundtrip: %+v vs %+v", tr.Config, back.Config)
+	}
+	if !reflect.DeepEqual(tr.Arrivals, back.Arrivals) {
+		t.Fatal("arrivals changed over roundtrip")
+	}
+}
+
+func TestSummarizeQuantiles(t *testing.T) {
+	var lat []time.Duration
+	for i := 1; i <= 1000; i++ {
+		lat = append(lat, time.Duration(i)*time.Millisecond)
+	}
+	s := summarize(lat)
+	if s.P50Ms != 500 || s.P99Ms != 990 || s.P999Ms != 999 || s.MaxMs != 1000 {
+		t.Fatalf("quantiles = %+v", s)
+	}
+	if s.MeanMs != 500.5 {
+		t.Fatalf("mean = %v, want 500.5", s.MeanMs)
+	}
+	if z := summarize(nil); z != (LatencySummary{}) {
+		t.Fatalf("empty summary = %+v", z)
+	}
+}
+
+// TestRunClassifiesOutcomes fires a tiny schedule at a stub that answers
+// a fixed status per function and checks the report's accounting.
+func TestRunClassifiesOutcomes(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/functions/ok/invoke":
+			w.Write([]byte(`{"duration_ms": 1}`))
+		case "/functions/degraded/invoke":
+			w.Write([]byte(`{"degraded": true}`))
+		case "/functions/shed/invoke":
+			w.Header().Set("Retry-After", "2")
+			w.WriteHeader(http.StatusTooManyRequests)
+		case "/functions/slow/invoke":
+			w.WriteHeader(http.StatusGatewayTimeout)
+		default:
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+	}))
+	defer srv.Close()
+
+	tr := &Trace{Config: TraceConfig{Duration: 100 * time.Millisecond, RPS: 100, Mode: "faasnap", Input: "A"}}
+	for i, fn := range []string{"ok", "degraded", "shed", "slow", "missing", "ok"} {
+		tr.Arrivals = append(tr.Arrivals, Arrival{AtUs: int64(i * 1000), Function: fn})
+	}
+	rep, err := Run(context.Background(), RunConfig{Target: srv.URL, SLO: time.Second}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Fired != 6 || rep.ClientDropped != 0 {
+		t.Fatalf("fired=%d dropped=%d", rep.Fired, rep.ClientDropped)
+	}
+	if rep.OK != 3 || rep.Degraded != 1 || rep.Shed != 1 || rep.DeadlineExceeded != 1 || rep.Unroutable != 1 {
+		t.Fatalf("classification: %+v", rep)
+	}
+	if rep.StatusCounts["200"] != 3 || rep.StatusCounts["429"] != 1 {
+		t.Fatalf("status counts: %+v", rep.StatusCounts)
+	}
+	if rep.Latency.P50Ms <= 0 || rep.GoodputRPS <= 0 {
+		t.Fatalf("latency/goodput not recorded: %+v", rep)
+	}
+}
+
+// TestRunStaysOpenLoop saturates a tiny outstanding window with a stalled
+// backend: later arrivals must be dropped client-side, never queued
+// behind the stall.
+func TestRunStaysOpenLoop(t *testing.T) {
+	release := make(chan struct{})
+	var stalled atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		stalled.Add(1)
+		<-release
+		w.Write([]byte(`{}`))
+	}))
+	defer srv.Close()
+	defer close(release)
+
+	tr := &Trace{Config: TraceConfig{Duration: 50 * time.Millisecond, RPS: 100}}
+	for i := 0; i < 10; i++ {
+		tr.Arrivals = append(tr.Arrivals, Arrival{AtUs: int64(i), Function: "f"})
+	}
+	done := make(chan *Report, 1)
+	go func() {
+		rep, err := Run(context.Background(), RunConfig{
+			Target: srv.URL, MaxOutstanding: 2, Timeout: 300 * time.Millisecond,
+		}, tr)
+		if err != nil {
+			t.Error(err)
+		}
+		done <- rep
+	}()
+	select {
+	case rep := <-done:
+		if rep == nil {
+			t.Fatal("no report")
+		}
+		if rep.Fired != 2 || rep.ClientDropped != 8 {
+			t.Fatalf("fired=%d dropped=%d, want 2 fired and 8 dropped", rep.Fired, rep.ClientDropped)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("open-loop run blocked behind a stalled backend")
+	}
+}

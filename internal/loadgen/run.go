@@ -1,0 +1,263 @@
+package loadgen
+
+// The open-loop runner: fires a Trace's arrivals at their scheduled
+// offsets against a daemon or gateway, never waiting for responses to
+// send the next request. Outcomes are classified the way the serving
+// tier reports them (200 clean, 200 degraded, 429 shed, 504 deadline,
+// 503 unroutable) and digested into the BENCH_*.json regression format.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RunConfig parameterizes one open-loop run.
+type RunConfig struct {
+	// Target is the base URL of a daemon or gateway.
+	Target string
+	// SLO is the latency bound under which a successful invocation
+	// counts toward goodput (default 500ms).
+	SLO time.Duration
+	// Timeout is the per-request client deadline (default 10s).
+	Timeout time.Duration
+	// MaxOutstanding bounds concurrently outstanding requests; an
+	// arrival that finds the window full is dropped and counted, never
+	// queued — queuing would close the loop (default 4096).
+	MaxOutstanding int
+	// Client overrides the HTTP client (tests); nil builds one sized
+	// for MaxOutstanding connections.
+	Client *http.Client
+}
+
+func (c RunConfig) withDefaults() RunConfig {
+	if c.SLO <= 0 {
+		c.SLO = 500 * time.Millisecond
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 10 * time.Second
+	}
+	if c.MaxOutstanding <= 0 {
+		c.MaxOutstanding = 4096
+	}
+	return c
+}
+
+// Report is the machine-readable result of one open-loop run — the
+// BENCH_open_loop.json schema (see EXPERIMENTS.md).
+type Report struct {
+	Bench  string      `json:"bench"` // always "open_loop"
+	Target string      `json:"target"`
+	Trace  TraceConfig `json:"trace"`
+
+	// Offered is the schedule size; Fired is how many arrivals were
+	// actually sent (Offered minus client-side drops).
+	Offered       int   `json:"offered"`
+	Fired         int64 `json:"fired"`
+	ClientDropped int64 `json:"client_dropped"`
+
+	// Outcome classes, as the serving tier reported them.
+	OK               int64 `json:"ok"`
+	Degraded         int64 `json:"degraded"`
+	Shed             int64 `json:"shed"`
+	DeadlineExceeded int64 `json:"deadline_exceeded"`
+	Unroutable       int64 `json:"unroutable"`
+	OtherErrors      int64 `json:"other_errors"`
+	TransportErrors  int64 `json:"transport_errors"`
+
+	// Rates. Throughput counts every 200; goodput only 200s within SLO.
+	WallSeconds   float64 `json:"wall_seconds"`
+	OfferedRPS    float64 `json:"offered_rps"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	GoodputRPS    float64 `json:"goodput_rps"`
+	// GoodputRatio is goodput over offered load: 1.0 means every
+	// scheduled arrival was served within SLO.
+	GoodputRatio float64 `json:"goodput_ratio"`
+	SLOMs        float64 `json:"slo_ms"`
+	ShedRatio    float64 `json:"shed_ratio"`
+	DegradedRate float64 `json:"degraded_ratio"`
+
+	// Latency digests successful (200) invocations end to end.
+	Latency LatencySummary `json:"latency"`
+
+	StatusCounts map[string]int64 `json:"status_counts"`
+}
+
+// Save writes the report as indented JSON (the BENCH_*.json artifact).
+func (r *Report) Save(path string) error {
+	raw, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// invokeReply is the subset of the daemon's response the runner reads.
+type invokeReply struct {
+	Degraded bool `json:"degraded"`
+}
+
+// Run fires tr at cfg.Target open-loop and digests the outcome.
+func Run(ctx context.Context, cfg RunConfig, tr *Trace) (*Report, error) {
+	cfg = cfg.withDefaults()
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        cfg.MaxOutstanding,
+			MaxIdleConnsPerHost: cfg.MaxOutstanding,
+			MaxConnsPerHost:     0,
+			IdleConnTimeout:     30 * time.Second,
+		}}
+	}
+
+	rep := &Report{
+		Bench:        "open_loop",
+		Target:       cfg.Target,
+		Trace:        tr.Config,
+		Offered:      len(tr.Arrivals),
+		SLOMs:        float64(cfg.SLO) / float64(time.Millisecond),
+		StatusCounts: make(map[string]int64),
+	}
+
+	// The invoke body depends only on mode+input, so encode it once.
+	body, err := json.Marshal(map[string]string{"mode": tr.Config.Mode, "input": tr.Config.Input})
+	if err != nil {
+		return nil, err
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		goodOK    int64
+		statusMu  sync.Mutex
+		wg        sync.WaitGroup
+		fired     atomic.Int64
+		dropped   atomic.Int64
+		ok        atomic.Int64
+		degraded  atomic.Int64
+		shed      atomic.Int64
+		deadline  atomic.Int64
+		unroute   atomic.Int64
+		otherErr  atomic.Int64
+		transport atomic.Int64
+	)
+	sem := make(chan struct{}, cfg.MaxOutstanding)
+
+	fire := func(a Arrival) {
+		defer wg.Done()
+		defer func() { <-sem }()
+		reqCtx, cancel := context.WithTimeout(ctx, cfg.Timeout)
+		defer cancel()
+		url := cfg.Target + "/functions/" + a.Function + "/invoke"
+		req, err := http.NewRequestWithContext(reqCtx, http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			transport.Add(1)
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		start := time.Now()
+		resp, err := client.Do(req)
+		lat := time.Since(start)
+		if err != nil {
+			if reqCtx.Err() != nil {
+				deadline.Add(1)
+			} else {
+				transport.Add(1)
+			}
+			return
+		}
+		var reply invokeReply
+		_ = json.NewDecoder(resp.Body).Decode(&reply)
+		resp.Body.Close()
+		statusMu.Lock()
+		rep.StatusCounts[fmt.Sprintf("%d", resp.StatusCode)]++
+		statusMu.Unlock()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			ok.Add(1)
+			if reply.Degraded {
+				degraded.Add(1)
+			}
+			mu.Lock()
+			latencies = append(latencies, lat)
+			mu.Unlock()
+			if lat <= cfg.SLO {
+				atomic.AddInt64(&goodOK, 1)
+			}
+		case http.StatusTooManyRequests:
+			shed.Add(1)
+		case http.StatusGatewayTimeout:
+			deadline.Add(1)
+		case http.StatusServiceUnavailable:
+			unroute.Add(1)
+		default:
+			otherErr.Add(1)
+		}
+	}
+
+	startAt := time.Now()
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+	for _, a := range tr.Arrivals {
+		// Open loop: sleep until the arrival's scheduled offset, then
+		// fire regardless of how many requests are still outstanding.
+		wait := time.Until(startAt.Add(time.Duration(a.AtUs) * time.Microsecond))
+		if wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+				return nil, ctx.Err()
+			case <-timer.C:
+			}
+		}
+		select {
+		case sem <- struct{}{}:
+			fired.Add(1)
+			wg.Add(1)
+			go fire(a)
+		default:
+			// The outstanding window is full. Dropping (and counting)
+			// preserves the open loop; blocking here would turn the
+			// generator closed-loop exactly when the system under test
+			// is struggling.
+			dropped.Add(1)
+		}
+	}
+	wg.Wait()
+	wall := time.Since(startAt)
+
+	rep.Fired = fired.Load()
+	rep.ClientDropped = dropped.Load()
+	rep.OK = ok.Load()
+	rep.Degraded = degraded.Load()
+	rep.Shed = shed.Load()
+	rep.DeadlineExceeded = deadline.Load()
+	rep.Unroutable = unroute.Load()
+	rep.OtherErrors = otherErr.Load()
+	rep.TransportErrors = transport.Load()
+	rep.WallSeconds = wall.Seconds()
+	if rep.WallSeconds > 0 {
+		rep.ThroughputRPS = float64(rep.OK) / rep.WallSeconds
+		rep.GoodputRPS = float64(goodOK) / rep.WallSeconds
+	}
+	if rep.Offered > 0 {
+		rep.OfferedRPS = float64(rep.Offered) / tr.Config.Duration.Seconds()
+		rep.GoodputRatio = float64(goodOK) / float64(rep.Offered)
+		rep.ShedRatio = float64(rep.Shed) / float64(rep.Offered)
+	}
+	if rep.OK > 0 {
+		rep.DegradedRate = float64(rep.Degraded) / float64(rep.OK)
+	}
+	rep.Latency = summarize(latencies)
+	return rep, nil
+}

@@ -1,0 +1,113 @@
+package loadgen
+
+// Fleet setup: registering and recording the synthetic function
+// population a trace invokes. Specs are generated deterministically
+// from the function index, sized small enough that a single host can
+// hold hundreds of them, and varied (boot image, working set, compute)
+// so the mix is not one function copied N times.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+)
+
+// SynthSpec returns the JSON custom-spec body for the i'th synthetic
+// function (the PUT /functions/{name} payload).
+func SynthSpec(i int) []byte {
+	spec := map[string]interface{}{
+		"name":         FunctionName(i),
+		"description":  fmt.Sprintf("loadgen synthetic function %d", i),
+		"boot_mb":      4 + (i%4)*2,
+		"stable_pages": 96 + (i%8)*32,
+		"chunk_mean":   3 + i%5,
+		"retain_frac":  0.5,
+		"base_ms":      1 + i%3,
+		"per_kb_us":    2,
+		"init_ms":      5 + (i%4)*5,
+		"input_a":      map[string]int64{"bytes": 4096, "data_pages": 8},
+		"input_b":      map[string]int64{"bytes": 16384, "data_pages": 24},
+	}
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		panic(err) // static shape; cannot fail
+	}
+	return raw
+}
+
+// Setup registers and records functions 0..n-1 at target (a daemon or
+// gateway base URL), with `parallel` concurrent workers. Against a
+// gateway, registration fans out to the owner and its standbys, so the
+// fleet is placed exactly as production traffic would find it.
+func Setup(ctx context.Context, target string, n int, input string, parallel int) error {
+	if parallel <= 0 {
+		parallel = 8
+	}
+	if parallel > n {
+		parallel = n
+	}
+	client := &http.Client{}
+	do := func(method, url string, body []byte) error {
+		req, err := http.NewRequestWithContext(ctx, method, url, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode/100 != 2 {
+			raw, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			return fmt.Errorf("%s %s: %d %s", method, url, resp.StatusCode, raw)
+		}
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+
+	recordBody, _ := json.Marshal(map[string]string{"input": input})
+	idx := make(chan int)
+	errs := make(chan error, parallel)
+	var wg sync.WaitGroup
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				name := FunctionName(i)
+				if err := do(http.MethodPut, target+"/functions/"+name, SynthSpec(i)); err != nil {
+					errs <- fmt.Errorf("register %s: %w", name, err)
+					return
+				}
+				if err := do(http.MethodPost, target+"/functions/"+name+"/record", recordBody); err != nil {
+					errs <- fmt.Errorf("record %s: %w", name, err)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case err := <-errs:
+			close(idx)
+			wg.Wait()
+			return err
+		case idx <- i:
+		}
+	}
+	close(idx)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+		return nil
+	}
+}

@@ -7,22 +7,35 @@ package resilience
 
 import (
 	"context"
-	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
 )
 
-// jitter is the backoff jitter source. Retry timing does not need to be
-// reproducible, only bounded, so a private seeded source (guarded by a
-// mutex — math/rand.Rand is not concurrency-safe) is enough.
-var jitter = struct {
-	sync.Mutex
-	rng *rand.Rand
-}{rng: rand.New(rand.NewSource(1))}
+// jitterSeq drives the backoff jitter source. Retry timing does not
+// need to be reproducible, only bounded — but it must not serialize:
+// the previous implementation guarded one math/rand.Rand with a
+// package-global mutex, which every backing-off goroutine in the
+// process contended on. Instead each call takes one atomic Add on this
+// counter and whitens it with SplitMix64, which is lock-free, cheap,
+// and passes through the full 64-bit state space (the Weyl increment
+// is odd, so the sequence has period 2⁶⁴).
+var jitterSeq atomic.Uint64
+
+// jitterFrac returns a uniform float in [0, 1) from the lock-free
+// sequence.
+func jitterFrac() float64 {
+	z := jitterSeq.Add(0x9e3779b97f4a7c15) // golden-ratio Weyl step
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}
 
 // BackoffDelay returns the sleep before retry attempt n (0-based):
-// base·2ⁿ plus up to 50% jitter, capped at max (0 means no cap).
+// base·2ⁿ plus up to 50% jitter, capped at max (0 means no cap). The
+// result is deterministically bounded: always in [d, 1.5·d) for the
+// capped exponential d.
 func BackoffDelay(n int, base, max time.Duration) time.Duration {
 	if base <= 0 {
 		base = time.Millisecond
@@ -34,10 +47,7 @@ func BackoffDelay(n int, base, max time.Duration) time.Duration {
 			d = base
 		}
 	}
-	jitter.Lock()
-	f := jitter.rng.Float64()
-	jitter.Unlock()
-	return d + time.Duration(f*0.5*float64(d))
+	return d + time.Duration(jitterFrac()*0.5*float64(d))
 }
 
 // Retry runs fn up to attempts times, backing off between failures and

@@ -228,3 +228,36 @@ func TestLimiterConcurrentNeverOversubscribes(t *testing.T) {
 		t.Fatalf("leaked weight: %d", l.InFlight())
 	}
 }
+
+// TestBackoffDelayConcurrent hammers the lock-free jitter source from
+// many goroutines: every delay must stay inside the documented
+// [d, 1.5·d) bound, and the jitter must actually vary — a stuck or
+// zeroed source would collapse every delay onto the lower bound and
+// re-synchronize all backers-off into retry storms.
+func TestBackoffDelayConcurrent(t *testing.T) {
+	const workers, per = 16, 500
+	base := 8 * time.Millisecond
+	delays := make(chan time.Duration, workers*per)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				delays <- BackoffDelay(0, base, 0)
+			}
+		}()
+	}
+	wg.Wait()
+	close(delays)
+	distinct := make(map[time.Duration]struct{})
+	for d := range delays {
+		if d < base || d >= base+base/2 {
+			t.Fatalf("delay %v outside [%v, %v)", d, base, base+base/2)
+		}
+		distinct[d] = struct{}{}
+	}
+	if len(distinct) < workers*per/10 {
+		t.Fatalf("jitter collapsed: only %d distinct delays in %d draws", len(distinct), workers*per)
+	}
+}
