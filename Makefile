@@ -49,12 +49,16 @@ bench:
 
 # A short seeded open-loop burst against a real 3-daemon cluster behind
 # the gateway (EXPERIMENTS.md, load section). Writes
-# BENCH_open_loop.json; CI uploads it as an artifact so every PR has a
-# comparable serving-tier latency/goodput digest.
+# BENCH_open_loop.json plus the cluster's own SLO view
+# (BENCH_cluster_slo.json); CI uploads both so every PR has a
+# comparable serving-tier latency/goodput digest. -slo-check fails the
+# run if the SLO engine's attainment and the client's goodput-under-SLO
+# disagree by more than a point — the two measurement planes must agree.
 bench-smoke:
 	$(GO) run ./cmd/faasnap-load -cluster 3 -functions 24 -tenants 8 \
 		-rps 50 -duration 5s -seed 1 -max-inflight 16 \
-		-out BENCH_open_loop.json
+		-out BENCH_open_loop.json \
+		-slo-report BENCH_cluster_slo.json -slo-check
 
 # Regenerate every paper table/figure (writes bench_results.txt).
 experiments:

@@ -47,6 +47,7 @@ func run(logger *log.Logger) error {
 		requestTimeout = flag.Duration("request-timeout", 0, "per-request deadline across all backend attempts (0 = default 30s)")
 		retries        = flag.Int("retries", 0, "max backends tried per request (0 = default 3)")
 		maxPerBackend  = flag.Int64("max-per-backend", 0, "in-flight load per backend before spillover (0 = default 256)")
+		quietHTTP      = flag.Bool("quiet-http", false, "drop the per-request access log line (for load benchmarks; telemetry still counts every request)")
 	)
 	flag.Parse()
 
@@ -69,6 +70,7 @@ func run(logger *log.Logger) error {
 		RequestTimeout: *requestTimeout,
 		RetryAttempts:  *retries,
 		MaxPerBackend:  *maxPerBackend,
+		QuietHTTP:      *quietHTTP,
 	})
 	if err != nil {
 		return err

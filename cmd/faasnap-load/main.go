@@ -40,6 +40,7 @@ import (
 	"faasnap/internal/daemon"
 	"faasnap/internal/gateway"
 	"faasnap/internal/loadgen"
+	"faasnap/internal/slo"
 )
 
 func main() {
@@ -70,6 +71,8 @@ func run(logger *log.Logger) error {
 		noSetup   = flag.Bool("no-setup", false, "skip fleet registration/recording (functions already exist)")
 		maxInFl   = flag.Int64("max-inflight", 0, "-cluster daemons' admission window (0 = daemon default)")
 		mutexProf = flag.String("mutexprofile", "", "write a mutex contention profile (debug=1 text) of the whole run")
+		sloReport = flag.String("slo-report", "", "after the run, fetch the serving tier's SLO report (/cluster/slo or /slo) and write it here")
+		sloCheck  = flag.Bool("slo-check", false, "fail if the SLO engine's attainment disagrees with client-side goodput-under-SLO by more than 1 point")
 	)
 	flag.Parse()
 
@@ -84,13 +87,15 @@ func run(logger *log.Logger) error {
 	ctx := context.Background()
 
 	base := *target
+	var syncSweep func()
 	if *cluster > 0 {
-		addr, cleanup, err := startCluster(*cluster, *maxInFl, logger)
+		addr, sweep, cleanup, err := startCluster(*cluster, *maxInFl, *slo, logger)
 		if err != nil {
 			return err
 		}
 		defer cleanup()
 		base = addr
+		syncSweep = sweep
 	}
 
 	// Build the schedule first: replay beats synthesis, and synthesis is
@@ -159,14 +164,112 @@ func run(logger *log.Logger) error {
 	logger.Printf("p50=%.2fms p99=%.2fms p999=%.2fms goodput=%.1f rps (%.1f%% of offered) shed=%d degraded=%d",
 		rep.Latency.P50Ms, rep.Latency.P99Ms, rep.Latency.P999Ms,
 		rep.GoodputRPS, 100*rep.GoodputRatio, rep.Shed, rep.Degraded)
+
+	if *sloReport != "" || *sloCheck {
+		if syncSweep != nil {
+			// Force one final health sweep so the gateway's /cluster/slo
+			// reflects the run that just ended, not the last periodic scrape.
+			syncSweep()
+		}
+		if err := sloArtifact(base, *sloReport, *sloCheck, rep, logger); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// sloArtifact fetches the serving tier's SLO report, optionally writes
+// it as the second bench artifact, and — with check — cross-validates
+// the engine's attainment against the client's own goodput-under-SLO.
+// The two measure the same thing from opposite ends of the wire (the
+// engine judges server wall time, the client judges response time), so
+// more than a point of disagreement means one of them is lying.
+func sloArtifact(base, path string, check bool, rep *loadgen.Report, logger *log.Logger) error {
+	raw, report, err := fetchSLO(base)
+	if err != nil {
+		return fmt.Errorf("slo report: %w", err)
+	}
+	if path != "" {
+		if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+			return err
+		}
+		logger.Printf("SLO report written to %s", path)
+	}
+	if !check {
+		return nil
+	}
+	var good, bad int64
+	for _, f := range report.Functions {
+		good += f.Good
+		bad += f.Bad
+	}
+	if good+bad == 0 {
+		return fmt.Errorf("slo-check: engine counted no requests")
+	}
+	engine := float64(good) / float64(good+bad)
+	// The client-side equivalent: good (200-within-SLO) over the
+	// requests the server actually answered. Client-dropped arrivals,
+	// transport errors, and other 4xx never reach (or are excluded by)
+	// the engine, so they stay out of the denominator here too.
+	clientGood := rep.GoodputRatio * float64(rep.Offered)
+	clientCounted := float64(rep.OK + rep.Shed + rep.DeadlineExceeded + rep.Unroutable)
+	if clientCounted == 0 {
+		return fmt.Errorf("slo-check: client counted no requests")
+	}
+	client := clientGood / clientCounted
+	diff := engine - client
+	if diff < 0 {
+		diff = -diff
+	}
+	logger.Printf("slo-check: engine attainment %.4f (good=%d bad=%d), client goodput-under-SLO %.4f, diff %.4f",
+		engine, good, bad, client, diff)
+	if diff > 0.01 {
+		return fmt.Errorf("slo-check failed: engine attainment %.4f vs client goodput %.4f differ by %.4f (> 0.01)",
+			engine, client, diff)
+	}
+	return nil
+}
+
+// fetchSLO GETs the tier's SLO report: /cluster/slo on a gateway
+// (using its merged "cluster" view), falling back to /slo on a daemon.
+func fetchSLO(base string) ([]byte, *slo.Report, error) {
+	for _, p := range []string{"/cluster/slo", "/slo"} {
+		resp, err := http.Get(base + p)
+		if err != nil {
+			return nil, nil, err
+		}
+		raw, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+		resp.Body.Close()
+		if err != nil {
+			return nil, nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			continue
+		}
+		var doc struct {
+			Cluster   *slo.Report          `json:"cluster"`
+			Functions []slo.FunctionReport `json:"functions"`
+		}
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			return nil, nil, fmt.Errorf("parse %s: %w", p, err)
+		}
+		if doc.Cluster != nil {
+			return raw, doc.Cluster, nil
+		}
+		return raw, &slo.Report{Functions: doc.Functions}, nil
+	}
+	return nil, nil, fmt.Errorf("no SLO endpoint (/cluster/slo or /slo) at %s", base)
 }
 
 // startCluster brings up n in-process daemons on real TCP listeners;
 // with n>1 a gateway tier fronts them and its address is returned.
-// Everything runs with HTTP request logging off — at open-loop rates
-// the log write is itself a contention point.
-func startCluster(n int, maxInFlight int64, logger *log.Logger) (string, func(), error) {
+// The daemons' SLO engines judge against sloLat — the same objective
+// the client's goodput accounting uses, so -slo-check compares like
+// with like. Everything runs with HTTP request logging off — at
+// open-loop rates the log write is itself a contention point.
+// The returned sweep func forces one gateway health sweep (nil for a
+// single daemon, whose /slo is always current).
+func startCluster(n int, maxInFlight int64, sloLat time.Duration, logger *log.Logger) (string, func(), func(), error) {
 	quiet := log.New(io.Discard, "", 0)
 	var cleanups []func()
 	cleanup := func() {
@@ -181,19 +284,20 @@ func startCluster(n int, maxInFlight int64, logger *log.Logger) (string, func(),
 			Host:      core.DefaultHostConfig(),
 			Logger:    quiet,
 			QuietHTTP: true,
+			SLO:       slo.Config{Default: slo.Objective{Latency: sloLat}},
 			Resilience: daemon.ResilienceConfig{
 				MaxInFlight: maxInFlight,
 			},
 		})
 		if err != nil {
 			cleanup()
-			return "", nil, err
+			return "", nil, nil, err
 		}
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			d.Close()
 			cleanup()
-			return "", nil, err
+			return "", nil, nil, err
 		}
 		srv := &http.Server{Handler: d.Handler()}
 		go srv.Serve(ln)
@@ -202,7 +306,7 @@ func startCluster(n int, maxInFlight int64, logger *log.Logger) (string, func(),
 	}
 	logger.Printf("cluster: %d daemons on %v", n, addrs)
 	if n == 1 {
-		return "http://" + addrs[0], cleanup, nil
+		return "http://" + addrs[0], nil, cleanup, nil
 	}
 
 	// The gateway here is a router, not the admission point: the
@@ -217,17 +321,17 @@ func startCluster(n int, maxInFlight int64, logger *log.Logger) (string, func(),
 	})
 	if err != nil {
 		cleanup()
-		return "", nil, err
+		return "", nil, nil, err
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		gw.Close()
 		cleanup()
-		return "", nil, err
+		return "", nil, nil, err
 	}
 	srv := &http.Server{Handler: gw.Handler()}
 	go srv.Serve(ln)
 	cleanups = append(cleanups, func() { srv.Close(); gw.Close() })
 	logger.Printf("cluster: gateway on %s", ln.Addr().String())
-	return "http://" + ln.Addr().String(), cleanup, nil
+	return "http://" + ln.Addr().String(), func() { gw.Pool().CheckNow() }, cleanup, nil
 }

@@ -41,6 +41,9 @@ commands:
   traces [id]                               list invocation traces, or fetch one (Zipkin v2 JSON)
   metrics                                   daemon counters
   cluster [fn]                              gateway topology (and fn's placement preference)
+  slo                                       SLO burn-rate report (/cluster/slo on a gateway, /slo on a daemon)
+  profiles [fn]                             flight-recorder summary (/cluster/profiles or /profiles?summary=1)
+  profiles slowest <n> [fn]                 slowest n invocations with trace-id exemplars (daemon only)
 
 429 responses are retried up to -retries times, sleeping at least the
 server's Retry-After hint with jittered exponential backoff.
@@ -121,6 +124,32 @@ func call(method, path string, body interface{}) {
 	}
 }
 
+// callFallback GETs paths in order, printing the first non-404
+// response — how one command works against both tiers (the gateway
+// serves /cluster/slo, the daemon /slo).
+func callFallback(paths ...string) {
+	for i, p := range paths {
+		resp, raw, err := doOnce("GET", p, nil)
+		if err != nil {
+			fatal(err)
+		}
+		if resp.StatusCode == http.StatusNotFound && i < len(paths)-1 {
+			continue
+		}
+		if resp.StatusCode/100 != 2 {
+			fmt.Fprintf(os.Stderr, "error (%d): %s\n", resp.StatusCode, bytes.TrimSpace(raw))
+			os.Exit(1)
+		}
+		var pretty bytes.Buffer
+		if len(raw) > 0 && json.Indent(&pretty, raw, "", "  ") == nil {
+			fmt.Println(pretty.String())
+		} else {
+			fmt.Println(string(bytes.TrimSpace(raw)))
+		}
+		return
+	}
+}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "faasnapctl:", err)
 	os.Exit(1)
@@ -148,6 +177,34 @@ func main() {
 			path += "?fn=" + rest[0]
 		}
 		call("GET", path, nil)
+	case "slo":
+		if len(rest) != 0 {
+			usage()
+		}
+		callFallback("/cluster/slo", "/slo")
+	case "profiles":
+		if len(rest) > 0 && rest[0] == "slowest" {
+			if len(rest) < 2 || len(rest) > 3 {
+				usage()
+			}
+			if _, err := strconv.Atoi(rest[1]); err != nil {
+				fatal(fmt.Errorf("bad slowest count %q", rest[1]))
+			}
+			path := "/profiles?slowest=" + rest[1]
+			if len(rest) == 3 {
+				path += "&fn=" + rest[2]
+			}
+			call("GET", path, nil)
+			break
+		}
+		if len(rest) > 1 {
+			usage()
+		}
+		if len(rest) == 1 {
+			call("GET", "/profiles?summary=1&fn="+rest[0], nil)
+			break
+		}
+		callFallback("/cluster/profiles", "/profiles?summary=1")
 	case "traces":
 		if len(rest) == 0 {
 			call("GET", "/traces", nil)

@@ -29,6 +29,8 @@ import (
 	"faasnap/internal/core"
 	"faasnap/internal/daemon"
 	"faasnap/internal/kvstore"
+	"faasnap/internal/obs"
+	"faasnap/internal/slo"
 )
 
 func main() {
@@ -54,8 +56,21 @@ func run(logger *log.Logger) error {
 		maxInFlight   = flag.Int64("max-inflight", 0, "admission-control bound on in-flight invocations (0 = default 256)")
 		maxBurst      = flag.Int("max-burst", 0, "largest accepted burst parallelism (0 = default 256)")
 		quietHTTP     = flag.Bool("quiet-http", false, "drop the per-request access log line (for load benchmarks; telemetry still counts every request)")
+		traceRing     = flag.Int("trace-ring", obs.DefaultRing, "trace store capacity (must be > 0)")
+		profileRing   = flag.Int("profile-ring", obs.DefaultRing, "flight-recorder profile ring capacity (must be > 0)")
+		sloLatency    = flag.Duration("slo-latency", 0, "per-request latency objective for GET /slo (0 = default 500ms)")
+		sloTarget     = flag.Float64("slo-target", 0, "SLO attainment target in (0,1) (0 = default 0.99)")
 	)
 	flag.Parse()
+	if *traceRing <= 0 {
+		return fmt.Errorf("-trace-ring must be > 0, got %d", *traceRing)
+	}
+	if *profileRing <= 0 {
+		return fmt.Errorf("-profile-ring must be > 0, got %d", *profileRing)
+	}
+	if *sloTarget < 0 || *sloTarget >= 1 {
+		return fmt.Errorf("-slo-target must be in [0,1), got %g", *sloTarget)
+	}
 
 	var chaosCfg *chaos.Config
 	if *chaosPath != "" {
@@ -108,12 +123,17 @@ func run(logger *log.Logger) error {
 	}
 
 	d, err := daemon.New(daemon.Config{
-		StateDir:  *state,
-		Host:      host,
-		KVAddr:    *kvAddr,
-		Logger:    logger,
-		Chaos:     chaosCfg,
-		QuietHTTP: *quietHTTP,
+		StateDir:    *state,
+		Host:        host,
+		KVAddr:      *kvAddr,
+		Logger:      logger,
+		Chaos:       chaosCfg,
+		QuietHTTP:   *quietHTTP,
+		TraceRing:   *traceRing,
+		ProfileRing: *profileRing,
+		SLO: slo.Config{
+			Default: slo.Objective{Latency: *sloLatency, Target: *sloTarget},
+		},
 		Resilience: daemon.ResilienceConfig{
 			InvokeTimeout:    *invokeTimeout,
 			MaxInFlight:      *maxInFlight,

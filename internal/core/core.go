@@ -345,4 +345,9 @@ type InvokeResult struct {
 	// memory file alone with the per-region load plan — correct, just
 	// slower, the graceful-degradation half of the §4.7 design.
 	LSDegraded bool
+
+	// Prefetch measures how well the mode's prefetch plan matched the
+	// invocation's page demand (precision/recall); set only on traced
+	// runs of prefetching modes — see ComputePrefetch.
+	Prefetch *PrefetchStats
 }

@@ -406,7 +406,8 @@ func RunSingle(cfg HostConfig, arts *Artifacts, mode Mode, in workload.Input) *I
 	return r
 }
 
-// RunSingleTraced is RunSingle with the per-fault timeline recorded.
+// RunSingleTraced is RunSingle with the per-fault timeline recorded
+// and the prefetch-effectiveness join computed from it.
 func RunSingleTraced(cfg HostConfig, arts *Artifacts, mode Mode, in workload.Input) *InvokeResult {
 	h := NewHost(cfg)
 	d := h.Deploy(arts, "")
@@ -416,5 +417,6 @@ func RunSingleTraced(cfg HostConfig, arts *Artifacts, mode Mode, in workload.Inp
 		r = d.Invoke(p, mode, in)
 	})
 	h.Env.Run()
+	r.Prefetch = ComputePrefetch(arts, r)
 	return r
 }

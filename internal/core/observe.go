@@ -36,6 +36,21 @@ func ObserveInvoke(reg *telemetry.Registry, r *InvokeResult) {
 		hostmm.ObserveFaults(reg, r.Faults)
 	}
 	pagecache.ObserveStats(reg, r.CacheStats)
+	if r.Prefetch != nil {
+		fn := telemetry.L("function", r.Fn)
+		reg.RatioHistogram("faasnap_prefetch_precision",
+			"Per-invocation prefetch precision: fraction of prefetched pages the invocation used.", fn).
+			Observe(r.Prefetch.Precision)
+		reg.RatioHistogram("faasnap_prefetch_recall",
+			"Per-invocation prefetch recall: fraction of demanded pages the prefetch covered.", fn).
+			Observe(r.Prefetch.Recall)
+		reg.Counter("faasnap_prefetch_wasted_bytes_total",
+			"Prefetched-but-unused bytes (the precision gap, priced in disk and cache volume).", fn).
+			Add(float64(r.Prefetch.WastedBytes))
+		reg.Counter("faasnap_prefetch_missed_major_seconds_total",
+			"Guest time blocked on major faults outside the prefetch set (the recall gap).", fn).
+			Add(r.Prefetch.MissedMajorTime.Seconds())
+	}
 }
 
 // ObserveRecord adds one record phase's measurements to the registry.

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"time"
+
+	"faasnap/internal/metrics"
+	"faasnap/internal/snapshot"
+)
+
+// PrefetchStats quantifies how well a restore's prefetch set matched
+// the invocation's actual page demand — the first direct measurement
+// of the FaaSnap mechanism itself. Joining the prefetch plan (the
+// loading set, working set, or REAP file, depending on mode) against
+// the pages the guest actually faulted gives:
+//
+//   - precision = hit / prefetched: the fraction of prefetched pages
+//     the invocation used. Low precision is wasted disk bandwidth and
+//     page cache — the loading set is too broad.
+//   - recall = hit / used: the fraction of demanded pages the prefetch
+//     covered. Low recall means the guest paid major faults the
+//     loading set should have absorbed — the set is too narrow or
+//     mis-ordered relative to this input.
+//
+// WastedBytes prices the precision gap (prefetched-but-unused bytes);
+// MissedMajorTime prices the recall gap (time the guest spent blocked
+// on major faults for pages outside the prefetch set).
+type PrefetchStats struct {
+	// PrefetchedPages is the size of the prefetch plan in guest pages.
+	PrefetchedPages int64
+	// UsedPages is the number of distinct guest pages the invocation
+	// faulted with host-visible file work (minor/major/uffd; anonymous
+	// zero-fills move no snapshot data and are excluded).
+	UsedPages int64
+	// HitPages is the intersection: prefetched pages that were used.
+	HitPages int64
+
+	Precision float64
+	Recall    float64
+
+	// WastedBytes is the prefetched-but-unused volume.
+	WastedBytes int64
+	// MissedMajorTime is the summed device-blocked time of major faults
+	// on pages outside the prefetch set.
+	MissedMajorTime time.Duration
+}
+
+// pageSet is a guest-page bitmap.
+type pageSet struct {
+	bits []uint64
+	n    int64
+}
+
+func newPageSet(pages int64) *pageSet {
+	return &pageSet{bits: make([]uint64, (pages+63)/64)}
+}
+
+func (s *pageSet) add(p int64) {
+	if p < 0 || p >= int64(len(s.bits))*64 {
+		return
+	}
+	w, b := p/64, uint(p%64)
+	if s.bits[w]&(1<<b) == 0 {
+		s.bits[w] |= 1 << b
+		s.n++
+	}
+}
+
+func (s *pageSet) has(p int64) bool {
+	if p < 0 || p >= int64(len(s.bits))*64 {
+		return false
+	}
+	return s.bits[p/64]&(1<<uint(p%64)) != 0
+}
+
+// prefetchSet returns the guest pages the given restore mode
+// prefetches for arts, or nil when the mode has no prefetch plan
+// (warm, plain Firecracker, Cached, cold).
+func prefetchSet(arts *Artifacts, mode Mode, lsDegraded bool) *pageSet {
+	pages := arts.Fn.GuestConfig().Pages
+	switch mode {
+	case ModeFaaSnap:
+		set := newPageSet(pages)
+		if lsDegraded {
+			// Degraded restores fall back to the per-region plan over the
+			// unmerged regions.
+			for _, reg := range arts.LSUnmerged.Regions {
+				for p := reg.Start; p < reg.End(); p++ {
+					set.add(p)
+				}
+			}
+			return set
+		}
+		// The loading-set regions include merge-gap filler pages; those
+		// are genuinely read from disk, so they count as prefetched.
+		for _, reg := range arts.LS.Regions {
+			for p := reg.Start; p < reg.End(); p++ {
+				set.add(p)
+			}
+		}
+		return set
+	case ModePerRegion:
+		set := newPageSet(pages)
+		for _, reg := range arts.LSUnmerged.Regions {
+			for p := reg.Start; p < reg.End(); p++ {
+				set.add(p)
+			}
+		}
+		return set
+	case ModeConcurrentPaging:
+		set := newPageSet(pages)
+		for _, g := range arts.WS.Groups {
+			for _, p := range g {
+				set.add(p)
+			}
+		}
+		return set
+	case ModeREAP:
+		set := newPageSet(pages)
+		for _, p := range arts.ReapWS.Pages {
+			set.add(p)
+		}
+		return set
+	}
+	return nil
+}
+
+// ComputePrefetch joins the mode's prefetch plan against the result's
+// fault trace and returns the effectiveness measurement, or nil when
+// the mode prefetches nothing or the result carries no fault trace
+// (tracing disabled). Call it on a completed result (after the
+// simulation run has finished).
+func ComputePrefetch(arts *Artifacts, r *InvokeResult) *PrefetchStats {
+	if r == nil || r.FaultTrace == nil {
+		return nil
+	}
+	pre := prefetchSet(arts, r.Mode, r.LSDegraded)
+	if pre == nil {
+		return nil
+	}
+	used := newPageSet(arts.Fn.GuestConfig().Pages)
+	ps := &PrefetchStats{PrefetchedPages: pre.n}
+	for _, ev := range r.FaultTrace {
+		switch ev.Kind {
+		case metrics.FaultMinor, metrics.FaultMajor, metrics.FaultUffd:
+		default: // anonymous zero-fill / PTE fixup: no snapshot data moved
+			continue
+		}
+		used.add(ev.Page)
+		if ev.Kind == metrics.FaultMajor && !pre.has(ev.Page) {
+			ps.MissedMajorTime += ev.Duration
+		}
+	}
+	ps.UsedPages = used.n
+	for w := range pre.bits {
+		var both uint64
+		if w < len(used.bits) {
+			both = pre.bits[w] & used.bits[w]
+		}
+		for ; both != 0; both &= both - 1 {
+			ps.HitPages++
+		}
+	}
+	if ps.PrefetchedPages > 0 {
+		ps.Precision = float64(ps.HitPages) / float64(ps.PrefetchedPages)
+	}
+	if ps.UsedPages > 0 {
+		ps.Recall = float64(ps.HitPages) / float64(ps.UsedPages)
+	}
+	ps.WastedBytes = (ps.PrefetchedPages - ps.HitPages) * snapshot.PageSize
+	return ps
+}

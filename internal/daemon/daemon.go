@@ -32,7 +32,9 @@ import (
 	"faasnap/internal/core"
 	"faasnap/internal/guestagent"
 	"faasnap/internal/kvstore"
+	"faasnap/internal/obs"
 	"faasnap/internal/resilience"
+	"faasnap/internal/slo"
 	"faasnap/internal/snapfile"
 	"faasnap/internal/telemetry"
 	"faasnap/internal/trace"
@@ -65,6 +67,15 @@ type Config struct {
 	// logger's mutex and stderr write serialize the request path; the
 	// load harness and benchmarked deployments turn it off.
 	QuietHTTP bool
+	// TraceRing caps the trace store; <= 0 takes obs.DefaultRing. It
+	// shares its default with ProfileRing so a profile's exemplar trace
+	// usually still resolves while the profile is retained.
+	TraceRing int
+	// ProfileRing caps the flight recorder; <= 0 takes obs.DefaultRing.
+	ProfileRing int
+	// SLO configures per-function objectives and burn-rate windows for
+	// the GET /slo engine; the zero value takes the package defaults.
+	SLO slo.Config
 }
 
 // fnState is one managed function.
@@ -90,6 +101,8 @@ type Daemon struct {
 	reg *registry
 
 	traces    *trace.Store
+	profiles  *obs.Ring
+	slo       *slo.Engine
 	telemetry *telemetry.Registry
 	faults    *faultHub
 
@@ -135,11 +148,21 @@ func New(cfg Config) (*Daemon, error) {
 	if cfg.Registry == nil {
 		cfg.Registry = telemetry.NewRegistry()
 	}
+	traceRing := cfg.TraceRing
+	if traceRing <= 0 {
+		traceRing = obs.DefaultRing
+	}
+	sloCfg := cfg.SLO
+	if sloCfg.Gauges == nil {
+		sloCfg.Gauges = sloGauges{reg: cfg.Registry}
+	}
 	d := &Daemon{
 		cfg:       cfg,
 		log:       cfg.Logger,
 		reg:       newRegistry(),
-		traces:    trace.NewStore(512),
+		traces:    trace.NewStore(traceRing),
+		profiles:  obs.NewRing(cfg.ProfileRing),
+		slo:       slo.New(sloCfg),
 		telemetry: cfg.Registry,
 		faults:    newFaultHub(),
 		res:       cfg.Resilience.withDefaults(),
@@ -266,6 +289,8 @@ func (d *Daemon) Handler() http.Handler {
 	handle("GET /functions/{name}/faults", d.handleFaults)
 	handle("GET /traces", d.handleTraceList)
 	handle("GET /traces/{id}", d.handleTraceGet)
+	handle("GET /profiles", d.handleProfiles)
+	handle("GET /slo", d.handleSLO)
 	handle("GET /chaos", d.handleChaosGet)
 	handle("PUT /chaos", d.handleChaosPut)
 	return d.logRequests(mux)
@@ -844,12 +869,25 @@ func (d *Daemon) invokeArgs(r *http.Request) (*fnState, core.Mode, workload.Inpu
 }
 
 func (d *Daemon) handleInvoke(w http.ResponseWriter, r *http.Request) {
+	// The flight recorder sees every exit path: the profile is finalized
+	// (status, real wall time) and appended on the way out, and the SLO
+	// engine judges the same wall time the client observes.
+	prof := &obs.Profile{
+		Function: r.PathValue("name"),
+		Tenant:   r.Header.Get("X-Faasnap-Tenant"),
+		Route:    "invoke",
+	}
+	sw := &statusWriter{ResponseWriter: w}
+	w = sw
+	wallStart := time.Now()
+	defer func() { d.recordProfile(prof, sw.status, time.Since(wallStart)) }()
 	// Admission control first: a saturated host sheds load before doing
 	// any work for the request.
 	if !d.admit(1) {
 		d.shed(w, "invoke", 1)
 		return
 	}
+	prof.AdmissionMs = ms(time.Since(wallStart))
 	defer d.release(1)
 	fs, mode, in, err := d.invokeArgs(r)
 	if err != nil {
@@ -860,6 +898,7 @@ func (d *Daemon) handleInvoke(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, code, "%v", err)
 		return
 	}
+	prof.Mode = mode.String()
 	fs.mu.Lock()
 	arts := fs.arts
 	fs.mu.Unlock()
@@ -895,6 +934,7 @@ func (d *Daemon) handleInvoke(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		degraded = out
+		prof.Retries = out.retries
 		remote = append(remote, out.spans...)
 		if len(out.spans) > 0 {
 			agentParent.SpanID = out.spans[0].SpanID
@@ -905,6 +945,7 @@ func (d *Daemon) handleInvoke(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	res := core.RunSingleTraced(d.cfg.Host, arts, degraded.mode, in)
+	fillProfile(prof, res)
 	// Forward the request to the in-guest server, as the daemon does
 	// for a live VM ("it uses the guest IP address to connect to the
 	// Flask server for invoking functions", §5). Agent failures must
@@ -937,6 +978,9 @@ func (d *Daemon) handleInvoke(w http.ResponseWriter, r *http.Request) {
 		out.Degraded = true
 		out.FallbackMode = degraded.mode.String()
 		out.DegradedReason = degraded.reason
+		prof.Degraded = true
+		prof.FallbackMode = degraded.mode.String()
+		prof.DegradedReason = degraded.reason
 	}
 	if res.LSDegraded {
 		d.telemetry.Counter("faasnap_ls_degraded_total",
@@ -946,8 +990,13 @@ func (d *Daemon) handleInvoke(w http.ResponseWriter, r *http.Request) {
 	if agentErr != nil {
 		out.Degraded = true
 		out.AgentError = agentErr.Error()
+		prof.Degraded = true
+		if prof.DegradedReason == "" {
+			prof.DegradedReason = "agent-error"
+		}
 	}
 	out.TraceID = string(d.recordTrace(fs.spec.Name, res, traceID, remote))
+	prof.TraceID = out.TraceID
 	d.publishFaults(fs, traceID, res)
 	writeJSON(w, http.StatusOK, out)
 }
@@ -976,6 +1025,18 @@ type BurstResponse struct {
 }
 
 func (d *Daemon) handleBurst(w http.ResponseWriter, r *http.Request) {
+	// One flight record per burst request (the burst is the unit the
+	// client asked for and the SLO judges); its exec/total timings are
+	// the burst mean.
+	prof := &obs.Profile{
+		Function: r.PathValue("name"),
+		Tenant:   r.Header.Get("X-Faasnap-Tenant"),
+		Route:    "burst",
+	}
+	sw := &statusWriter{ResponseWriter: w}
+	w = sw
+	wallStart := time.Now()
+	defer func() { d.recordProfile(prof, sw.status, time.Since(wallStart)) }()
 	fs, ok := d.fn(r.PathValue("name"))
 	if !ok {
 		writeErr(w, http.StatusNotFound, "%v", errNotRegistered)
@@ -1013,11 +1074,13 @@ func (d *Daemon) handleBurst(w http.ResponseWriter, r *http.Request) {
 	// A burst admits at its full width: either the host has room for
 	// all of it or the whole burst is shed — admitting half a burst
 	// would skew the concurrency the caller asked to measure.
+	prof.Mode = mode.String()
 	weight := int64(req.Parallel)
 	if !d.admit(weight) {
 		d.shed(w, "burst", weight)
 		return
 	}
+	prof.AdmissionMs = ms(time.Since(wallStart))
 	defer d.release(weight)
 	ctx, cancel := context.WithTimeout(r.Context(), d.res.InvokeTimeout)
 	defer cancel()
@@ -1046,10 +1109,17 @@ func (d *Daemon) handleBurst(w http.ResponseWriter, r *http.Request) {
 		MeanMs:   float64(br.Mean) / float64(time.Millisecond),
 		StdMs:    float64(br.Std) / float64(time.Millisecond),
 	}
+	prof.ServedMode = degraded.mode.String()
+	prof.Retries = degraded.retries
+	prof.ExecMs = ms(br.Mean)
+	prof.TotalMs = ms(br.Mean)
 	if degraded.mode != mode {
 		resp.Degraded = true
 		resp.FallbackMode = degraded.mode.String()
 		resp.DegradedReason = degraded.reason
+		prof.Degraded = true
+		prof.FallbackMode = degraded.mode.String()
+		prof.DegradedReason = degraded.reason
 	}
 	for _, res := range br.Results {
 		ir := toResponse(fs.spec.Name, res)

@@ -79,6 +79,12 @@ func (d *Daemon) logRequests(next http.Handler) http.Handler {
 		return next
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Scrape and liveness probes arrive every sweep interval from
+		// every monitor; logging them would drown real traffic.
+		if r.URL.Path == "/metrics" || r.URL.Path == "/healthz" {
+			next.ServeHTTP(w, r)
+			return
+		}
 		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
 		next.ServeHTTP(sw, r)

@@ -1,0 +1,315 @@
+package daemon
+
+// Tests for the daemon half of the observability plane: the flight
+// recorder endpoints, the SLO engine wiring, the new Prometheus
+// families, and a lint pass over the whole scrape surface.
+
+import (
+	"bufio"
+	"net/http"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"faasnap/internal/obs"
+	"faasnap/internal/slo"
+)
+
+// provisionAndInvoke registers, records, and invokes fn n times in the
+// given mode, returning the last invoke response body.
+func provisionAndInvoke(t *testing.T, srv string, fn, mode string, n int) map[string]interface{} {
+	t.Helper()
+	if resp := doJSON(t, "PUT", srv+"/functions/"+fn, nil, nil); resp.StatusCode != 200 {
+		t.Fatalf("create = %d", resp.StatusCode)
+	}
+	if resp := doJSON(t, "POST", srv+"/functions/"+fn+"/record", map[string]string{"input": "A"}, nil); resp.StatusCode != 200 {
+		t.Fatalf("record = %d", resp.StatusCode)
+	}
+	var out map[string]interface{}
+	for i := 0; i < n; i++ {
+		out = map[string]interface{}{}
+		if resp := doJSON(t, "POST", srv+"/functions/"+fn+"/invoke",
+			map[string]string{"mode": mode, "input": "A"}, &out); resp.StatusCode != 200 {
+			t.Fatalf("invoke %d = %d", i, resp.StatusCode)
+		}
+	}
+	return out
+}
+
+func scrape(t *testing.T, srv string) string {
+	t.Helper()
+	resp, err := http.Get(srv + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64*1024), 1<<22)
+	for sc.Scan() {
+		sb.WriteString(sc.Text())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// TestMetricsLint parses the full scrape after real traffic and checks
+// every family is faasnap_-prefixed snake_case with a HELP line — the
+// naming contract dashboards and recording rules rely on.
+func TestMetricsLint(t *testing.T) {
+	_, srv := newTestDaemon(t, Config{StateDir: t.TempDir()})
+	provisionAndInvoke(t, srv.URL, "hello-world", "faasnap", 3)
+
+	out := scrape(t, srv.URL)
+	nameRe := regexp.MustCompile(`^faasnap_[a-z0-9_]+$`)
+	helped := map[string]bool{}
+	typed := map[string]bool{}
+	var families []string
+	for _, line := range strings.Split(out, "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			parts := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			if len(parts) != 2 || strings.TrimSpace(parts[1]) == "" {
+				t.Errorf("HELP line without text: %q", line)
+			}
+			helped[parts[0]] = true
+			families = append(families, parts[0])
+		case strings.HasPrefix(line, "# TYPE "):
+			parts := strings.SplitN(strings.TrimPrefix(line, "# TYPE "), " ", 2)
+			typed[parts[0]] = true
+		case line == "" || strings.HasPrefix(line, "#"):
+		default:
+			// A series line: name{labels} value or name value.
+			name := line
+			if i := strings.IndexAny(name, "{ "); i >= 0 {
+				name = name[:i]
+			}
+			base := name
+			for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+				if fam := strings.TrimSuffix(name, suffix); fam != name && helped[fam] {
+					base = fam
+					break
+				}
+			}
+			if !helped[base] {
+				t.Errorf("series %q has no HELP for family %q", name, base)
+			}
+		}
+	}
+	if len(families) == 0 {
+		t.Fatal("scrape exposed no families")
+	}
+	for _, fam := range families {
+		if !nameRe.MatchString(fam) {
+			t.Errorf("family %q is not faasnap_-prefixed snake_case", fam)
+		}
+		if !typed[fam] {
+			t.Errorf("family %q has HELP but no TYPE", fam)
+		}
+	}
+}
+
+// TestGoldenScrapeObservabilityFamilies is the golden-scrape check for
+// the families this plane added: SLO gauges and prefetch-effectiveness
+// ratio histograms must appear after one faasnap-mode invocation.
+func TestGoldenScrapeObservabilityFamilies(t *testing.T) {
+	_, srv := newTestDaemon(t, Config{StateDir: t.TempDir()})
+	provisionAndInvoke(t, srv.URL, "hello-world", "faasnap", 2)
+
+	out := scrape(t, srv.URL)
+	for _, want := range []string{
+		"# TYPE faasnap_slo_burn_rate gauge",
+		"# TYPE faasnap_slo_attainment gauge",
+		`faasnap_slo_burn_rate{function="hello-world",window="5m0s"}`,
+		`faasnap_slo_burn_rate{function="hello-world",window="6h0m0s"}`,
+		`faasnap_slo_attainment{function="hello-world"} 1`,
+		"# TYPE faasnap_prefetch_precision histogram",
+		"# TYPE faasnap_prefetch_recall histogram",
+		`faasnap_prefetch_precision_bucket{function="hello-world",le="+Inf"}`,
+		`faasnap_prefetch_recall_count{function="hello-world"} 2`,
+		`faasnap_prefetch_wasted_bytes_total{function="hello-world"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+}
+
+// TestProfilesEndpoint drives real invocations and walks the flight
+// recorder's three query shapes, then resolves a slowest-entry
+// exemplar through GET /traces/{id}.
+func TestProfilesEndpoint(t *testing.T) {
+	_, srv := newTestDaemon(t, Config{StateDir: t.TempDir()})
+	provisionAndInvoke(t, srv.URL, "hello-world", "faasnap", 3)
+	provisionAndInvoke(t, srv.URL, "json", "cached", 2)
+
+	var raw struct {
+		Profiles []*obs.Profile `json:"profiles"`
+	}
+	doJSON(t, "GET", srv.URL+"/profiles", nil, &raw)
+	if len(raw.Profiles) != 5 {
+		t.Fatalf("profiles = %d, want 5", len(raw.Profiles))
+	}
+	p := raw.Profiles[0] // newest first
+	if p.Function != "json" || p.Mode != "cached" || p.Status != 200 {
+		t.Fatalf("newest profile = %+v", p)
+	}
+	if p.WallMs <= 0 || p.TotalMs <= 0 || p.TraceID == "" {
+		t.Fatalf("profile missing measurements: wall=%g total=%g trace=%q", p.WallMs, p.TotalMs, p.TraceID)
+	}
+	if p.Prefetch == nil && raw.Profiles[2].Prefetch == nil {
+		t.Fatal("no profile carries prefetch-effectiveness data")
+	}
+
+	// Filtered query.
+	var filt struct {
+		Profiles []*obs.Profile `json:"profiles"`
+	}
+	doJSON(t, "GET", srv.URL+"/profiles?fn=hello-world&mode=faasnap", nil, &filt)
+	if len(filt.Profiles) != 3 {
+		t.Fatalf("filtered profiles = %d, want 3", len(filt.Profiles))
+	}
+
+	// Summary aggregation.
+	var sum obs.Summary
+	doJSON(t, "GET", srv.URL+"/profiles?summary=1", nil, &sum)
+	if sum.Count != 5 || len(sum.Functions) != 2 {
+		t.Fatalf("summary = count %d functions %d, want 5/2", sum.Count, len(sum.Functions))
+	}
+	for _, fs := range sum.Functions {
+		if fs.Count == 0 || fs.P99WallMs <= 0 {
+			t.Errorf("summary for %s = %+v", fs.Function, fs)
+		}
+	}
+
+	// Slowest-N exemplars resolve through the trace store.
+	var slow struct {
+		Profiles []*obs.Profile `json:"profiles"`
+	}
+	doJSON(t, "GET", srv.URL+"/profiles?slowest=2", nil, &slow)
+	if len(slow.Profiles) != 2 {
+		t.Fatalf("slowest = %d, want 2", len(slow.Profiles))
+	}
+	if slow.Profiles[0].WallMs < slow.Profiles[1].WallMs {
+		t.Fatal("slowest not sorted desc by wall time")
+	}
+	for _, sp := range slow.Profiles {
+		if sp.TraceID == "" {
+			t.Fatal("slowest entry without trace exemplar")
+		}
+		if resp := doJSON(t, "GET", srv.URL+"/traces/"+sp.TraceID, nil, nil); resp.StatusCode != 200 {
+			t.Fatalf("trace %s = %d, want 200", sp.TraceID, resp.StatusCode)
+		}
+	}
+
+	// Bad query params are rejected.
+	if resp := doJSON(t, "GET", srv.URL+"/profiles?slowest=0", nil, nil); resp.StatusCode != 400 {
+		t.Fatalf("slowest=0 = %d, want 400", resp.StatusCode)
+	}
+	if resp := doJSON(t, "GET", srv.URL+"/profiles?limit=x", nil, nil); resp.StatusCode != 400 {
+		t.Fatalf("limit=x = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestProfileRingBound proves the recorder's memory stays bounded: a
+// tiny ring retains only the newest records.
+func TestProfileRingBound(t *testing.T) {
+	_, srv := newTestDaemon(t, Config{StateDir: t.TempDir(), ProfileRing: 2, TraceRing: 2})
+	provisionAndInvoke(t, srv.URL, "hello-world", "faasnap", 4)
+	var raw struct {
+		Profiles []*obs.Profile `json:"profiles"`
+	}
+	doJSON(t, "GET", srv.URL+"/profiles", nil, &raw)
+	if len(raw.Profiles) != 2 {
+		t.Fatalf("profiles = %d, want ring-bounded 2", len(raw.Profiles))
+	}
+	// Sequence numbers keep counting across overwrites.
+	if raw.Profiles[0].Seq <= 2 {
+		t.Fatalf("newest seq = %d, want > 2", raw.Profiles[0].Seq)
+	}
+}
+
+// TestSLOEndpoint checks /slo over real traffic: all-good invocations
+// attain 1.0 with zero burn, and the engine's lifetime counts match
+// the traffic sent.
+func TestSLOEndpoint(t *testing.T) {
+	_, srv := newTestDaemon(t, Config{StateDir: t.TempDir()})
+	provisionAndInvoke(t, srv.URL, "hello-world", "faasnap", 3)
+
+	var rep slo.Report
+	doJSON(t, "GET", srv.URL+"/slo", nil, &rep)
+	if len(rep.Functions) != 1 {
+		t.Fatalf("slo functions = %d, want 1", len(rep.Functions))
+	}
+	f := rep.Functions[0]
+	if f.Function != "hello-world" || f.Good != 3 || f.Bad != 0 {
+		t.Fatalf("slo report = %+v, want 3 good", f)
+	}
+	if f.Attainment != 1 || f.Burning {
+		t.Fatalf("healthy function reported att=%g burning=%v", f.Attainment, f.Burning)
+	}
+	if len(f.Windows) != 4 {
+		t.Fatalf("windows = %d, want 4", len(f.Windows))
+	}
+}
+
+// TestSLOJudgesWallTime pins the engine to real wall time: an invoke
+// that exceeds a sub-millisecond objective must burn budget even
+// though it succeeds.
+func TestSLOJudgesWallTime(t *testing.T) {
+	_, srv := newTestDaemon(t, Config{
+		StateDir: t.TempDir(),
+		SLO:      slo.Config{Default: slo.Objective{Latency: time.Nanosecond, Target: 0.99}},
+	})
+	provisionAndInvoke(t, srv.URL, "hello-world", "faasnap", 2)
+
+	var rep slo.Report
+	doJSON(t, "GET", srv.URL+"/slo", nil, &rep)
+	f := rep.Functions[0]
+	if f.Bad != 2 || f.Good != 0 {
+		t.Fatalf("1ns objective: good=%d bad=%d, want all bad", f.Good, f.Bad)
+	}
+	if !f.Burning {
+		t.Fatal("100%% bad traffic must trip the page condition")
+	}
+	// And the tenant header lands in the profile.
+	req, _ := http.NewRequest("POST", srv.URL+"/functions/hello-world/invoke",
+		strings.NewReader(`{"mode":"faasnap","input":"A"}`))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Faasnap-Tenant", "tenant-7")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	var raw struct {
+		Profiles []*obs.Profile `json:"profiles"`
+	}
+	doJSON(t, "GET", srv.URL+"/profiles?limit=1", nil, &raw)
+	if len(raw.Profiles) != 1 || raw.Profiles[0].Tenant != "tenant-7" {
+		t.Fatalf("tenant attribution missing: %+v", raw.Profiles)
+	}
+}
+
+// TestProfilesRecordShedOutcomes: even a request rejected at admission
+// leaves a flight record and counts against the SLO.
+func TestProfilesRecordShedOutcomes(t *testing.T) {
+	d, srv := newTestDaemon(t, Config{StateDir: t.TempDir()})
+	// Invoking an unregistered function 404s; 4xx is excluded from the
+	// SLO but still recorded by the flight recorder.
+	if resp := doJSON(t, "POST", srv.URL+"/functions/ghost/invoke",
+		map[string]string{"mode": "faasnap", "input": "A"}, nil); resp.StatusCode != 404 {
+		t.Fatalf("ghost invoke = %d, want 404", resp.StatusCode)
+	}
+	var raw struct {
+		Profiles []*obs.Profile `json:"profiles"`
+	}
+	doJSON(t, "GET", srv.URL+"/profiles", nil, &raw)
+	if len(raw.Profiles) != 1 || raw.Profiles[0].Status != 404 {
+		t.Fatalf("404 left no flight record: %+v", raw.Profiles)
+	}
+	if rep := d.SLOEngine().Report(); len(rep.Functions) != 0 {
+		t.Fatalf("excluded 4xx still reached the SLO engine: %+v", rep.Functions)
+	}
+}

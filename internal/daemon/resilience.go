@@ -170,16 +170,17 @@ func fallbackChain(mode core.Mode) []core.Mode {
 
 // restoreOutcome is how the restore phase of one invocation ended.
 type restoreOutcome struct {
-	mode   core.Mode // the mode actually served
-	spans  []telemetry.RemoteSpan
-	reason string // non-empty when mode differs from the request
+	mode    core.Mode // the mode actually served
+	spans   []telemetry.RemoteSpan
+	reason  string // non-empty when mode differs from the request
+	retries int    // restore attempts beyond the first, across the chain
 }
 
 // restoreVMM drives one snapshot restore through the Firecracker-style
 // API with bounded retries: each attempt gets a fresh VMM (a failed
 // load leaves the instance unusable, as with real Firecracker), and
 // only transient errors (transport, 5xx, injected faults) re-try.
-func (d *Daemon) restoreVMM(ctx context.Context, name string, arts *core.Artifacts, mode core.Mode, sc telemetry.SpanContext) ([]telemetry.RemoteSpan, error) {
+func (d *Daemon) restoreVMM(ctx context.Context, name string, arts *core.Artifacts, mode core.Mode, sc telemetry.SpanContext) ([]telemetry.RemoteSpan, int, error) {
 	var spans []telemetry.RemoteSpan
 	attempt := 0
 	err := resilience.Retry(ctx, d.res.RetryAttempts, d.res.RetryBase, vmm.Retryable, func() error {
@@ -213,7 +214,11 @@ func (d *Daemon) restoreVMM(ctx context.Context, name string, arts *core.Artifac
 		spans = c.TraceSpans()
 		return nil
 	})
-	return spans, err
+	retries := attempt - 1
+	if retries < 0 {
+		retries = 0
+	}
+	return spans, retries, err
 }
 
 // resilientRestore walks the fallback chain until a restore succeeds or
@@ -236,7 +241,9 @@ func (d *Daemon) resilientRestore(ctx context.Context, fn string, arts *core.Art
 			err = errCircuitOpen
 		} else {
 			var spans []telemetry.RemoteSpan
-			spans, err = d.restoreVMM(ctx, fn, arts, m, sc)
+			var retries int
+			spans, retries, err = d.restoreVMM(ctx, fn, arts, m, sc)
+			out.retries += retries
 			if err == nil {
 				br.Success()
 				out.mode = m

@@ -84,6 +84,10 @@ type Config struct {
 	Seed int64
 	// VNodes is the ring's virtual-node count per backend (default 64).
 	VNodes int
+	// QuietHTTP drops the per-request access log line entirely (for load
+	// benchmarks; telemetry still counts every request). Scrape noise
+	// (/metrics, /healthz) is never logged regardless.
+	QuietHTTP bool
 }
 
 func (c Config) withDefaults() Config {
@@ -180,6 +184,8 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", g.handleHealthz)
 	mux.HandleFunc("GET /readyz", g.handleReadyz)
 	mux.HandleFunc("GET /cluster", g.handleCluster)
+	mux.HandleFunc("GET /cluster/slo", g.handleClusterSLO)
+	mux.HandleFunc("GET /cluster/profiles", g.handleClusterProfiles)
 	mux.HandleFunc("GET /functions", g.handleListAll)
 	mux.HandleFunc("PUT /functions/{name}", g.handleFanout)
 	mux.HandleFunc("POST /functions/{name}/record", g.handleFanout)
@@ -194,6 +200,12 @@ func (g *Gateway) Handler() http.Handler {
 
 func (g *Gateway) logRequests(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Scrape and liveness probes arrive every sweep interval from
+		// every monitor; logging them would drown real traffic.
+		if g.cfg.QuietHTTP || r.URL.Path == "/metrics" || r.URL.Path == "/healthz" {
+			next.ServeHTTP(w, r)
+			return
+		}
 		start := time.Now()
 		next.ServeHTTP(w, r)
 		g.log.Printf("%s %s (%v)", r.Method, r.URL.Path, time.Since(start).Round(time.Microsecond))
@@ -232,10 +244,16 @@ func (g *Gateway) handleCluster(w http.ResponseWriter, r *http.Request) {
 	for _, b := range g.pool.snapshot() {
 		backends = append(backends, b.status())
 	}
+	merged, _ := g.clusterSLO()
+	burning := merged.Burning()
+	if burning == nil {
+		burning = []string{}
+	}
 	out := map[string]interface{}{
-		"policy":   g.cfg.Policy,
-		"replicas": g.cfg.Replicas,
-		"backends": backends,
+		"policy":            g.cfg.Policy,
+		"replicas":          g.cfg.Replicas,
+		"backends":          backends,
+		"burning_functions": burning,
 	}
 	if fn := r.URL.Query().Get("fn"); fn != "" {
 		prefs := g.pool.ring.Preference(fn, 0)
@@ -294,8 +312,10 @@ type proxyResult struct {
 }
 
 // do forwards one request to one backend, tracking per-backend
-// in-flight load and latency.
-func (g *Gateway) do(ctx context.Context, b *Backend, method, path string, query string, body []byte, sc telemetry.SpanContext) (proxyResult, error) {
+// in-flight load and latency. extra headers (e.g. the tenant id the
+// daemon's flight recorder attributes profiles to) are copied onto the
+// outgoing request.
+func (g *Gateway) do(ctx context.Context, b *Backend, method, path string, query string, body []byte, sc telemetry.SpanContext, extra ...http.Header) (proxyResult, error) {
 	url := "http://" + b.Addr + path
 	if query != "" {
 		url += "?" + query
@@ -310,6 +330,13 @@ func (g *Gateway) do(ctx context.Context, b *Backend, method, path string, query
 	}
 	if len(body) > 0 {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	for _, h := range extra {
+		for k, vs := range h {
+			for _, v := range vs {
+				req.Header.Add(k, v)
+			}
+		}
 	}
 	telemetry.Inject(req.Header, sc)
 	b.inflight.Add(1)
@@ -373,6 +400,10 @@ func (g *Gateway) handleForward(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		sc = g.nextTraceSC()
 	}
+	var fwd http.Header
+	if t := r.Header.Get("X-Faasnap-Tenant"); t != "" {
+		fwd = http.Header{"X-Faasnap-Tenant": []string{t}}
+	}
 
 	cands := g.candidates(fn)
 	if len(cands) == 0 {
@@ -403,7 +434,7 @@ func (g *Gateway) handleForward(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		attempts++
-		res, err := g.do(ctx, b, r.Method, r.URL.Path, r.URL.RawQuery, body, sc)
+		res, err := g.do(ctx, b, r.Method, r.URL.Path, r.URL.RawQuery, body, sc, fwd)
 		if err != nil {
 			if ctx.Err() != nil {
 				g.deadlineExceeded(w, ctx.Err())
@@ -672,24 +703,6 @@ func (g *Gateway) handleDeleteAll(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
-}
-
-// handleTraceFind looks a trace id up across backends: the gateway
-// minted the id, but the owning daemon stored the stitched trace.
-func (g *Gateway) handleTraceFind(w http.ResponseWriter, r *http.Request) {
-	ctx, cancel := context.WithTimeout(r.Context(), g.cfg.RequestTimeout)
-	defer cancel()
-	for _, b := range g.pool.snapshot() {
-		if !b.Ready() {
-			continue
-		}
-		res, err := g.do(ctx, b, http.MethodGet, r.URL.Path, "", nil, telemetry.SpanContext{})
-		if err == nil && res.status == http.StatusOK {
-			g.writeRaw(w, res)
-			return
-		}
-	}
-	writeErr(w, http.StatusNotFound, "trace %q not found on any backend", r.PathValue("id"))
 }
 
 type errorBody struct {

@@ -28,6 +28,23 @@ type fakeBackend struct {
 	ready  atomic.Bool
 	// creates records PUT /functions bodies seen (fan-out tests).
 	creates atomic.Int64
+	// sloJSON / profJSON script GET /slo and GET /profiles for the
+	// observability roll-up tests; unset means 404 (an old daemon).
+	sloJSON  atomic.Value // string
+	profJSON atomic.Value // string
+	// traces is the handler for GET /traces/{id}; unset means 404.
+	traces atomic.Value // func(w http.ResponseWriter, r *http.Request)
+}
+
+// serveScripted writes a scripted JSON body, or 404 when unset.
+func serveScripted(w http.ResponseWriter, v *atomic.Value) {
+	s, ok := v.Load().(string)
+	if !ok || s == "" {
+		w.WriteHeader(http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	io.WriteString(w, s)
 }
 
 func newFakeBackend(t *testing.T) *fakeBackend {
@@ -52,6 +69,19 @@ func newFakeBackend(t *testing.T) *fakeBackend {
 	mux.HandleFunc("POST /functions/{name}/invoke", func(w http.ResponseWriter, r *http.Request) {
 		f.invokes.Add(1)
 		f.invoke.Load().(func(http.ResponseWriter, *http.Request))(w, r)
+	})
+	mux.HandleFunc("GET /slo", func(w http.ResponseWriter, r *http.Request) {
+		serveScripted(w, &f.sloJSON)
+	})
+	mux.HandleFunc("GET /profiles", func(w http.ResponseWriter, r *http.Request) {
+		serveScripted(w, &f.profJSON)
+	})
+	mux.HandleFunc("GET /traces/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if h, ok := f.traces.Load().(func(http.ResponseWriter, *http.Request)); ok {
+			h(w, r)
+			return
+		}
+		w.WriteHeader(http.StatusNotFound)
 	})
 	mux.HandleFunc("PUT /functions/{name}", func(w http.ResponseWriter, r *http.Request) {
 		f.creates.Add(1)

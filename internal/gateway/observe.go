@@ -1,0 +1,119 @@
+package gateway
+
+// The gateway half of the observability plane: cluster roll-ups over
+// the per-daemon SLO engines and flight recorders. The health sweep
+// (pool.check) already fetched every backend's GET /slo and
+// GET /profiles?summary=1; the handlers here merge those snapshots so
+// one request answers "is the cluster meeting its objectives, and
+// which functions/backends are burning budget" without fanning out on
+// the query path.
+
+import (
+	"context"
+	"net/http"
+	"time"
+
+	"faasnap/internal/obs"
+	"faasnap/internal/slo"
+	"faasnap/internal/telemetry"
+)
+
+// clusterSLO merges the last sweep's per-backend SLO reports. The
+// per-backend map keys are daemon addresses; backends whose sweep
+// found no report (down, or predating GET /slo) are absent.
+func (g *Gateway) clusterSLO() (*slo.Report, map[string]*slo.Report) {
+	per := make(map[string]*slo.Report)
+	var reports []*slo.Report
+	for _, b := range g.pool.snapshot() {
+		if rep := b.sloReport(); rep != nil {
+			per[b.Addr] = rep
+			reports = append(reports, rep)
+		}
+	}
+	return slo.Merge(reports), per
+}
+
+// handleClusterSLO serves GET /cluster/slo: the merged burn-rate view
+// (window counts summed across backends, burn rates recomputed from
+// the merged counts) plus each backend's own report.
+func (g *Gateway) handleClusterSLO(w http.ResponseWriter, r *http.Request) {
+	merged, per := g.clusterSLO()
+	burning := merged.Burning()
+	if burning == nil {
+		burning = []string{}
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"cluster":           merged,
+		"burning_functions": burning,
+		"backends":          per,
+	})
+}
+
+// handleClusterProfiles serves GET /cluster/profiles: the merged
+// flight-recorder aggregation (see obs.MergeSummaries for how counts
+// and quantiles combine) plus each backend's own summary.
+func (g *Gateway) handleClusterProfiles(w http.ResponseWriter, r *http.Request) {
+	per := make(map[string]*obs.Summary)
+	var sums []*obs.Summary
+	for _, b := range g.pool.snapshot() {
+		if s := b.profileSummary(); s != nil {
+			per[b.Addr] = s
+			sums = append(sums, s)
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"cluster":  obs.MergeSummaries(sums),
+		"backends": per,
+	})
+}
+
+// handleTraceFind looks a trace id up across backends: the gateway
+// minted the id, but only the daemon that served the invocation stored
+// the stitched trace. Probes fan out concurrently, each holding a
+// slice of the request budget rather than the whole of it, so one
+// wedged backend cannot starve the lookup; the first 200 wins.
+func (g *Gateway) handleTraceFind(w http.ResponseWriter, r *http.Request) {
+	var ready []*Backend
+	for _, b := range g.pool.snapshot() {
+		if b.Ready() {
+			ready = append(ready, b)
+		}
+	}
+	if len(ready) == 0 {
+		writeErr(w, http.StatusNotFound, "trace %q not found: no ready backends", r.PathValue("id"))
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), g.cfg.RequestTimeout)
+	defer cancel()
+	// Per-backend timeout slice: an even share of the budget, floored at
+	// 1s so a wide pool still gives each probe a usable window. Probes
+	// run concurrently, so the slice bounds one slow backend's cost
+	// without serializing the rest behind it.
+	per := g.cfg.RequestTimeout / time.Duration(len(ready))
+	if per < time.Second {
+		per = time.Second
+	}
+	if per > g.cfg.RequestTimeout {
+		per = g.cfg.RequestTimeout
+	}
+	results := make(chan *proxyResult, len(ready))
+	for _, b := range ready {
+		go func(b *Backend) {
+			bctx, bcancel := context.WithTimeout(ctx, per)
+			defer bcancel()
+			res, err := g.do(bctx, b, http.MethodGet, r.URL.Path, "", nil, telemetry.SpanContext{})
+			if err == nil && res.status == http.StatusOK {
+				results <- &res
+				return
+			}
+			results <- nil
+		}(b)
+	}
+	for range ready {
+		if res := <-results; res != nil {
+			g.writeRaw(w, *res)
+			return
+		}
+	}
+	writeErr(w, http.StatusNotFound, "trace %q not found on any backend", r.PathValue("id"))
+}

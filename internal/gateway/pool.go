@@ -10,6 +10,7 @@ package gateway
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -19,7 +20,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"faasnap/internal/obs"
 	"faasnap/internal/resilience"
+	"faasnap/internal/slo"
 	"faasnap/internal/telemetry"
 )
 
@@ -39,6 +42,12 @@ type Backend struct {
 	scraped   float64 // daemon-reported in-flight from the last scrape
 	admitted  float64 // daemon admission-limiter occupancy
 	capacity  float64 // daemon admission-limiter window
+
+	// Observability snapshots from the last sweep, feeding the gateway's
+	// /cluster/slo and /cluster/profiles roll-ups. Nil until a sweep has
+	// fetched them (or when the daemon predates the endpoints).
+	sloRep  *slo.Report
+	profSum *obs.Summary
 }
 
 // Ready reports the last health sweep's verdict.
@@ -62,6 +71,28 @@ func (b *Backend) setScraped(inflight, admitted, capacity float64) {
 	b.admitted = admitted
 	b.capacity = capacity
 	b.mu.Unlock()
+}
+
+func (b *Backend) setObserved(rep *slo.Report, sum *obs.Summary) {
+	b.mu.Lock()
+	b.sloRep = rep
+	b.profSum = sum
+	b.mu.Unlock()
+}
+
+// sloReport returns the backend's /slo report from the last sweep.
+func (b *Backend) sloReport() *slo.Report {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sloRep
+}
+
+// profileSummary returns the backend's /profiles?summary=1 aggregation
+// from the last sweep.
+func (b *Backend) profileSummary() *obs.Summary {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.profSum
 }
 
 // saturation is the backend's admission-window occupancy in [0, 1] from
@@ -242,6 +273,56 @@ func (p *Pool) check(b *Backend) {
 				telemetry.L("backend", b.Addr)).Set(admitted / capacity)
 		}
 	}
+
+	b.setObserved(p.fetchSLO(b), p.fetchProfiles(b))
+}
+
+// fetchSLO pulls one backend's GET /slo report and mirrors its burn
+// rates into per-backend gateway gauges, so one scrape of the gateway
+// shows which backend is burning which function's budget.
+func (p *Pool) fetchSLO(b *Backend) *slo.Report {
+	resp, err := p.client.Get("http://" + b.Addr + "/slo")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil
+	}
+	var rep slo.Report
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 4<<20)).Decode(&rep); err != nil {
+		return nil
+	}
+	for _, f := range rep.Functions {
+		p.reg.Gauge("faasnap_gw_backend_attainment",
+			"Per-backend SLO attainment from the last /slo sweep.",
+			telemetry.L("backend", b.Addr, "function", f.Function)).Set(f.Attainment)
+		for _, w := range f.Windows {
+			p.reg.Gauge("faasnap_gw_backend_burn_rate",
+				"Per-backend error-budget burn rate from the last /slo sweep.",
+				telemetry.L("backend", b.Addr, "function", f.Function, "window", w.Window)).Set(w.BurnRate)
+		}
+	}
+	return &rep
+}
+
+// fetchProfiles pulls one backend's flight-recorder aggregation.
+func (p *Pool) fetchProfiles(b *Backend) *obs.Summary {
+	resp, err := p.client.Get("http://" + b.Addr + "/profiles?summary=1")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil
+	}
+	var sum obs.Summary
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 4<<20)).Decode(&sum); err != nil {
+		return nil
+	}
+	return &sum
 }
 
 // sumPromGauges sums every series of each named metric family in one

@@ -161,6 +161,9 @@ func Run(ctx context.Context, cfg RunConfig, tr *Trace) (*Report, error) {
 			return
 		}
 		req.Header.Set("Content-Type", "application/json")
+		// Tenant attribution for the daemon's flight recorder: profiles
+		// carry the tenant the arrival schedule assigned this request.
+		req.Header.Set("X-Faasnap-Tenant", fmt.Sprintf("tenant-%d", a.Tenant))
 		start := time.Now()
 		resp, err := client.Do(req)
 		lat := time.Since(start)

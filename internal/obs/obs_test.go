@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"fmt"
+	"testing"
+)
+
+// near reports |a-b| within float rounding slack.
+func near(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}
+
+func TestRingBounded(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Append(&Profile{Function: fmt.Sprintf("f%d", i)})
+	}
+	if r.Len() != 4 || r.Cap() != 4 {
+		t.Fatalf("len/cap = %d/%d, want 4/4", r.Len(), r.Cap())
+	}
+	got := r.Query(Filter{}, 0)
+	if len(got) != 4 {
+		t.Fatalf("query returned %d, want 4", len(got))
+	}
+	// Newest first, oldest overwritten.
+	if got[0].Function != "f9" || got[3].Function != "f6" {
+		t.Fatalf("order = %s..%s, want f9..f6", got[0].Function, got[3].Function)
+	}
+	if got[0].Seq != 10 {
+		t.Fatalf("seq = %d, want 10 (monotone across overwrites)", got[0].Seq)
+	}
+}
+
+func TestRingDefaultCapacity(t *testing.T) {
+	if got := NewRing(0).Cap(); got != DefaultRing {
+		t.Fatalf("NewRing(0).Cap() = %d, want %d", got, DefaultRing)
+	}
+}
+
+func TestQueryFilterAndLimit(t *testing.T) {
+	r := NewRing(16)
+	for i := 0; i < 6; i++ {
+		mode := "faasnap"
+		if i%2 == 1 {
+			mode = "warm"
+		}
+		r.Append(&Profile{Function: fmt.Sprintf("f%d", i%2), Mode: mode})
+	}
+	if got := r.Query(Filter{Function: "f1"}, 0); len(got) != 3 {
+		t.Fatalf("function filter returned %d, want 3", len(got))
+	}
+	if got := r.Query(Filter{Mode: "warm"}, 2); len(got) != 2 {
+		t.Fatalf("mode filter with limit returned %d, want 2", len(got))
+	}
+	if got := r.Query(Filter{Function: "f0", Mode: "warm"}, 0); len(got) != 0 {
+		t.Fatalf("conjunctive filter returned %d, want 0", len(got))
+	}
+}
+
+func TestSlowestTopK(t *testing.T) {
+	r := NewRing(16)
+	for i, wall := range []float64{5, 40, 12, 99, 1, 63} {
+		r.Append(&Profile{Function: "f", WallMs: wall, TraceID: fmt.Sprintf("t%d", i)})
+	}
+	got := r.Slowest(Filter{}, 3)
+	if len(got) != 3 {
+		t.Fatalf("slowest returned %d, want 3", len(got))
+	}
+	if got[0].WallMs != 99 || got[1].WallMs != 63 || got[2].WallMs != 40 {
+		t.Fatalf("slowest order = %v %v %v, want 99 63 40", got[0].WallMs, got[1].WallMs, got[2].WallMs)
+	}
+	if got[0].TraceID != "t3" {
+		t.Fatalf("slowest exemplar = %q, want t3", got[0].TraceID)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	var ps []*Profile
+	for i := 0; i < 100; i++ {
+		p := &Profile{Function: "a", Status: 200, WallMs: float64(i + 1), TotalMs: float64(2 * (i + 1))}
+		if i < 10 {
+			p.Status = 500
+		}
+		if i < 5 {
+			p.Degraded = true
+		}
+		if i < 50 {
+			p.Prefetch = &PrefetchDelta{Precision: 0.8, Recall: 0.5, WastedBytes: 4096, MissedMajorMs: 2}
+		}
+		ps = append(ps, p)
+	}
+	ps = append(ps, &Profile{Function: "b", Status: 200, WallMs: 7})
+	sum := Summarize(ps)
+	if sum.Count != 101 || len(sum.Functions) != 2 {
+		t.Fatalf("count/functions = %d/%d, want 101/2", sum.Count, len(sum.Functions))
+	}
+	a := sum.Functions[0]
+	if a.Function != "a" || a.Count != 100 || a.Errors != 10 || a.Degraded != 5 {
+		t.Fatalf("a = %+v", a)
+	}
+	if a.P50WallMs < 49 || a.P50WallMs > 52 {
+		t.Errorf("p50 = %g, want ~50", a.P50WallMs)
+	}
+	if a.P99WallMs < 98 || a.P99WallMs > 100 {
+		t.Errorf("p99 = %g, want ~99", a.P99WallMs)
+	}
+	if a.PrefetchCount != 50 || !near(a.PrefetchPrec, 0.8) || !near(a.PrefetchRecall, 0.5) {
+		t.Errorf("prefetch aggregate = %+v", a)
+	}
+	if a.PrefetchWasteB != 50*4096 || a.PrefetchMissedMs != 100 {
+		t.Errorf("prefetch sums = %d / %g", a.PrefetchWasteB, a.PrefetchMissedMs)
+	}
+}
+
+func TestMergeSummaries(t *testing.T) {
+	s1 := &Summary{Count: 10, Functions: []FunctionSummary{{
+		Function: "f", Count: 10, Errors: 1, P50WallMs: 10, P99WallMs: 100,
+		PrefetchCount: 10, PrefetchPrec: 0.9, PrefetchRecall: 0.6, PrefetchWasteB: 100,
+	}}}
+	s2 := &Summary{Count: 30, Functions: []FunctionSummary{
+		{Function: "f", Count: 30, Errors: 3, P50WallMs: 30, P99WallMs: 50,
+			PrefetchCount: 30, PrefetchPrec: 0.5, PrefetchRecall: 0.2, PrefetchWasteB: 300},
+		{Function: "g", Count: 1},
+	}}
+	m := MergeSummaries([]*Summary{s1, nil, s2})
+	if m.Count != 40 || len(m.Functions) != 2 {
+		t.Fatalf("merged count/functions = %d/%d, want 40/2", m.Count, len(m.Functions))
+	}
+	f := m.Functions[0]
+	if f.Count != 40 || f.Errors != 4 {
+		t.Fatalf("merged f counts = %+v", f)
+	}
+	// p50: count-weighted mean (10*10 + 30*30)/40 = 25; p99: max.
+	if f.P50WallMs != 25 {
+		t.Errorf("merged p50 = %g, want 25", f.P50WallMs)
+	}
+	if f.P99WallMs != 100 {
+		t.Errorf("merged p99 = %g, want 100 (max)", f.P99WallMs)
+	}
+	// precision: (10*0.9 + 30*0.5)/40 = 0.6; waste sums.
+	if !near(f.PrefetchPrec, 0.6) || f.PrefetchWasteB != 400 {
+		t.Errorf("merged prefetch = prec %g waste %d", f.PrefetchPrec, f.PrefetchWasteB)
+	}
+}

@@ -1,0 +1,60 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRatioHistogramObserve(t *testing.T) {
+	var h RatioHistogram
+	for _, v := range []float64{0, 0.05, 0.1, 0.15, 0.95, 1.0} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d, want 6", h.Count())
+	}
+	if got, want := h.Sum(), 0.0+0.05+0.1+0.15+0.95+1.0; got != want {
+		t.Fatalf("sum = %g, want %g", got, want)
+	}
+}
+
+func TestRatioHistogramExposition(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.RatioHistogram("faasnap_test_ratio", "A ratio.", nil)
+	h.Observe(0.05) // -> le 0.1
+	h.Observe(0.25) // -> le 0.3
+	h.Observe(1.0)  // -> le 1
+	var sb strings.Builder
+	reg.WritePrometheus(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP faasnap_test_ratio A ratio.",
+		"# TYPE faasnap_test_ratio histogram",
+		`faasnap_test_ratio_bucket{le="0.1"} 1`,
+		`faasnap_test_ratio_bucket{le="0.3"} 2`,
+		`faasnap_test_ratio_bucket{le="1"} 3`,
+		`faasnap_test_ratio_bucket{le="+Inf"} 3`,
+		"faasnap_test_ratio_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+	// Buckets must be cumulative: le="0.2" sits between the observations.
+	if !strings.Contains(out, `faasnap_test_ratio_bucket{le="0.2"} 1`) {
+		t.Errorf("le=0.2 bucket not cumulative\n%s", out)
+	}
+}
+
+func TestRatioHistogramEdgeValues(t *testing.T) {
+	var h RatioHistogram
+	h.Observe(-0.5) // clamps into the first bucket
+	h.Observe(2.0)  // clamps into the last
+	if h.Count() != 2 {
+		t.Fatalf("count = %d, want 2", h.Count())
+	}
+	if h.counts[0].Load() != 1 || h.counts[ratioBuckets].Load() != 1 {
+		t.Fatalf("edge observations not clamped: first=%d last=%d",
+			h.counts[0].Load(), h.counts[ratioBuckets].Load())
+	}
+}

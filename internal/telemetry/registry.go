@@ -181,6 +181,49 @@ func (h *Histogram) Count() int64 { return h.n.Load() }
 // Sum returns the summed observed time.
 func (h *Histogram) Sum() time.Duration { return time.Duration(h.sumNs.Load()) }
 
+// ratioBuckets is the exposition resolution of a RatioHistogram:
+// fixed 0.1-wide buckets over [0,1] plus the +Inf catch-all.
+const ratioBuckets = 10
+
+// RatioHistogram is a histogram for dimensionless values in [0,1]
+// (precision, recall, hit ratios). The log₂ latency ladder of
+// Histogram is useless for ratios — every observation would land in
+// the top buckets — so this uses fixed linear 0.1-wide buckets
+// (le 0.1 … 1) plus +Inf.
+type RatioHistogram struct {
+	counts [ratioBuckets + 1]atomic.Int64
+	n      atomic.Int64
+	sum    atomic.Uint64 // float64 bits
+}
+
+// Observe records one ratio observation; values outside [0,1] land in
+// the first bucket (below) or the +Inf overflow (above) but are summed
+// as given.
+func (h *RatioHistogram) Observe(v float64) {
+	i := int(math.Ceil(v * ratioBuckets))
+	if i < 0 || math.IsNaN(v) {
+		i = 0
+	}
+	// i is the index of the first bucket whose upper bound >= v:
+	// v=0 -> bucket le=0.1 (index 0 after shift), v=1 -> le=1, and
+	// anything above 1 overflows into the +Inf bucket.
+	if i > 0 {
+		i--
+	}
+	if i > ratioBuckets {
+		i = ratioBuckets
+	}
+	h.counts[i].Add(1)
+	h.n.Add(1)
+	addFloat(&h.sum, v)
+}
+
+// Count returns the number of observations.
+func (h *RatioHistogram) Count() int64 { return h.n.Load() }
+
+// Sum returns the summed observed values.
+func (h *RatioHistogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
 // metric kinds for the registry's family table.
 const (
 	kindCounter   = "counter"
@@ -267,6 +310,22 @@ func (r *Registry) Histogram(name, help string, labels Labels) *Histogram {
 	return h
 }
 
+// RatioHistogram returns (creating if needed) the ratio-histogram
+// series name{labels}. It exposes as a Prometheus histogram with
+// linear [0,1] buckets.
+func (r *Registry) RatioHistogram(name, help string, labels Labels) *RatioHistogram {
+	f := r.family(name, help, kindHistogram)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	key := labels.render()
+	if m, ok := f.series[key]; ok {
+		return m.(*RatioHistogram)
+	}
+	h := &RatioHistogram{}
+	f.series[key] = h
+	return h
+}
+
 func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
@@ -305,6 +364,8 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 				fmt.Fprintf(w, "%s%s %s\n", f.name, k, formatFloat(m.Value()))
 			case *Histogram:
 				writeHistogram(w, f.name, k, m)
+			case *RatioHistogram:
+				writeRatioHistogram(w, f.name, k, m)
 			}
 		}
 		f.mu.Unlock()
@@ -325,5 +386,21 @@ func writeHistogram(w io.Writer, name, labels string, h *Histogram) {
 		fmt.Fprintf(w, "%s_bucket%s %d\n", name, withExtraLabel(labels, "le", le), cum)
 	}
 	fmt.Fprintf(w, "%s_sum%s %s\n", name, labels, formatFloat(h.Sum().Seconds()))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labels, h.Count())
+}
+
+// writeRatioHistogram renders one ratio-histogram series with linear
+// le bounds 0.1 … 1 plus +Inf.
+func writeRatioHistogram(w io.Writer, name, labels string, h *RatioHistogram) {
+	var cum int64
+	for i := 0; i <= ratioBuckets; i++ {
+		cum += h.counts[i].Load()
+		le := "+Inf"
+		if i < ratioBuckets {
+			le = formatFloat(float64(i+1) / ratioBuckets)
+		}
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, withExtraLabel(labels, "le", le), cum)
+	}
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, labels, formatFloat(h.Sum()))
 	fmt.Fprintf(w, "%s_count%s %d\n", name, labels, h.Count())
 }
