@@ -9,6 +9,13 @@
 // faasnapctl works unchanged with -addr pointed here, plus GET /cluster
 // for topology and GET /metrics for gateway telemetry.
 //
+// Each health sweep also runs the anti-entropy pass: backend manifests
+// (GET /manifest) are compared across every function's replica set,
+// and a rejoined-but-stale backend is repaired — missing registrations
+// and snapshots re-replicated, missed deletes propagated — before it
+// returns to full ring weight (see GATEWAY.md, "Anti-entropy
+// re-sync").
+//
 // SIGINT/SIGTERM drains in-flight requests before exiting.
 package main
 

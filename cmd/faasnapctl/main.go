@@ -38,6 +38,7 @@ commands:
   invoke <fn> [mode] [input]                invoke (mode: warm|firecracker|cached|reap|faasnap|...)
   burst <fn> <mode> <input> <parallel> [same|diff]
   delete <fn>                               remove a function
+  manifest                                  durable-state manifest (digest + per-function generations)
   traces [id]                               list invocation traces, or fetch one (Zipkin v2 JSON)
   metrics                                   daemon counters
   cluster [fn]                              gateway topology (and fn's placement preference)
@@ -166,6 +167,11 @@ func main() {
 	switch cmd {
 	case "list":
 		call("GET", "/functions", nil)
+	case "manifest":
+		if len(rest) != 0 {
+			usage()
+		}
+		call("GET", "/manifest", nil)
 	case "metrics":
 		call("GET", "/metrics.json", nil)
 	case "cluster":

@@ -1,0 +1,231 @@
+package crashtest
+
+// The crashpoint matrix: one scenario per named crashpoint in
+// internal/chaos. Each scenario arms the point in a fresh daemon,
+// drives the API until the process SIGKILLs itself there, restarts
+// over the same state directory, and asserts the documented recovery
+// contract for that boundary. Iterating chaos.Crashpoints() makes the
+// matrix self-extending: declaring a new crashpoint without a scenario
+// here fails the suite.
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"testing"
+	"time"
+
+	"faasnap/internal/chaos"
+)
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "crashtest-bin-*")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := buildDaemon(dir); err != nil {
+		os.RemoveAll(dir)
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+const fn = "hello-world"
+
+// crashScenario drives one armed daemon to its death and checks the
+// state a restarted daemon recovers.
+type crashScenario struct {
+	// prep runs acknowledged setup ops that must not hit the armed
+	// point (e.g. register before a record-path crash).
+	prep func(t *testing.T, n *node)
+	// trigger fires the op that dies at the crashpoint. Errors are
+	// expected — the reply socket dies with the process.
+	trigger func(n *node)
+	// verify asserts the recovery contract on the restarted daemon.
+	verify func(t *testing.T, n *node, state string)
+}
+
+func prepRegister(t *testing.T, n *node) {
+	t.Helper()
+	if st, err := n.put(fn); err != nil || st != http.StatusOK {
+		t.Fatalf("prep register = %d, %v", st, err)
+	}
+}
+
+func prepRegisterRecord(t *testing.T, n *node) {
+	t.Helper()
+	prepRegister(t, n)
+	if st, err := n.record(fn, "A"); err != nil || st != http.StatusOK {
+		t.Fatalf("prep record = %d, %v", st, err)
+	}
+}
+
+func triggerRecord(n *node) { _, _ = n.record(fn, "A") }
+func triggerPut(n *node)    { _, _ = n.put(fn) }
+
+// verifyRegisteredNoSnapshot: the registration is durable, the
+// snapshot commit is not — and the half-finished record must neither
+// serve nor leave droppings.
+func verifyRegisteredNoSnapshot(t *testing.T, n *node, state string) {
+	t.Helper()
+	info, st := n.getFn(t, fn)
+	if st != http.StatusOK || info.HasSnapshot {
+		t.Fatalf("after restart: get = %d, has_snapshot = %v; want 200 and false", st, info.HasSnapshot)
+	}
+	if st, err := n.invoke(fn, "B"); err != nil || st != http.StatusNotFound {
+		t.Fatalf("invoke without committed snapshot = %d, %v; want 404", st, err)
+	}
+}
+
+var crashScenarios = map[string]crashScenario{
+	// Temp file written, rename not reached: the commit never became
+	// visible; recovery sweeps the temp file.
+	chaos.CrashSnapfilePreRename: {
+		prep:    prepRegister,
+		trigger: triggerRecord,
+		verify: func(t *testing.T, n *node, state string) {
+			verifyRegisteredNoSnapshot(t, n, state)
+			if exists(snapPath(state, fn)) {
+				t.Fatal("uncommitted snapfile became visible")
+			}
+		},
+	},
+	// Renamed into place but the record op never journaled: the file is
+	// an orphan — complete, but unacknowledged — and must be
+	// quarantined, never served.
+	chaos.CrashSnapfilePostRename: {
+		prep:    prepRegister,
+		trigger: triggerRecord,
+		verify: func(t *testing.T, n *node, state string) {
+			verifyRegisteredNoSnapshot(t, n, state)
+			if exists(snapPath(state, fn)) {
+				t.Fatal("orphan snapfile still in deploy path")
+			}
+			if !exists(quarantinePath(state, fn)) {
+				t.Fatal("orphan snapfile not quarantined")
+			}
+		},
+	},
+	// Journal bytes written but not fsynced — the canonical torn tail.
+	// The op may or may not survive; either way the daemon must come
+	// back healthy and accept a full re-provision.
+	chaos.CrashManifestPreSync: {
+		trigger: triggerPut,
+		verify: func(t *testing.T, n *node, state string) {
+			if _, st := n.getFn(t, fn); st != http.StatusOK && st != http.StatusNotFound {
+				t.Fatalf("after torn tail: get = %d, want 200 or 404", st)
+			}
+			if st, err := n.put(fn); err != nil || st != http.StatusOK {
+				t.Fatalf("re-register after torn tail = %d, %v", st, err)
+			}
+			if st, err := n.record(fn, "A"); err != nil || st != http.StatusOK {
+				t.Fatalf("re-record after torn tail = %d, %v", st, err)
+			}
+			if st, err := n.invoke(fn, "B"); err != nil || st != http.StatusOK {
+				t.Fatalf("invoke after torn tail = %d, %v", st, err)
+			}
+		},
+	},
+	// Journal record fsynced: durable even though no reply was sent.
+	chaos.CrashManifestPostAppend: {
+		trigger: triggerPut,
+		verify: func(t *testing.T, n *node, state string) {
+			if _, st := n.getFn(t, fn); st != http.StatusOK {
+				t.Fatalf("fsynced registration lost: get = %d", st)
+			}
+		},
+	},
+	// Snapfile committed, record op not journaled: orphan, quarantined.
+	chaos.CrashRecordPreJournal: {
+		prep:    prepRegister,
+		trigger: triggerRecord,
+		verify: func(t *testing.T, n *node, state string) {
+			verifyRegisteredNoSnapshot(t, n, state)
+			if !exists(quarantinePath(state, fn)) {
+				t.Fatal("unjournaled snapshot not quarantined")
+			}
+		},
+	},
+	// Reply written: the record is acknowledged and must fully survive.
+	chaos.CrashRecordPostReply: {
+		prep:    prepRegister,
+		trigger: triggerRecord,
+		verify: func(t *testing.T, n *node, state string) {
+			info, st := n.getFn(t, fn)
+			if st != http.StatusOK || !info.HasSnapshot {
+				t.Fatalf("acked record lost: get = %d, has_snapshot = %v", st, info.HasSnapshot)
+			}
+			if st, err := n.invoke(fn, "B"); err != nil || st != http.StatusOK {
+				t.Fatalf("invoke of acked snapshot = %d, %v", st, err)
+			}
+		},
+	},
+	// Registration journaled, reply unsent: durable.
+	chaos.CrashRegisterPostJournal: {
+		trigger: triggerPut,
+		verify: func(t *testing.T, n *node, state string) {
+			if _, st := n.getFn(t, fn); st != http.StatusOK {
+				t.Fatalf("journaled registration lost: get = %d", st)
+			}
+		},
+	},
+	// Delete tombstone journaled, .snap file not yet unlinked: the
+	// function must stay deleted and the leftover file must not
+	// resurrect it.
+	chaos.CrashDeletePostJournal: {
+		prep: prepRegisterRecord,
+		trigger: func(n *node) {
+			_, _ = n.delete(fn)
+		},
+		verify: func(t *testing.T, n *node, state string) {
+			if _, st := n.getFn(t, fn); st != http.StatusNotFound {
+				t.Fatalf("deleted function resurrected: get = %d", st)
+			}
+			if st, err := n.invoke(fn, "B"); err != nil || st != http.StatusNotFound {
+				t.Fatalf("invoke of deleted function = %d, %v", st, err)
+			}
+			if exists(snapPath(state, fn)) {
+				t.Fatal("tombstoned snapfile still in deploy path")
+			}
+			// The name is reusable: a fresh registration starts clean.
+			if st, err := n.put(fn); err != nil || st != http.StatusOK {
+				t.Fatalf("re-register after delete = %d, %v", st, err)
+			}
+			if info, st := n.getFn(t, fn); st != http.StatusOK || info.HasSnapshot {
+				t.Fatalf("re-registration inherited old snapshot: get = %d, has_snapshot = %v",
+					st, info.HasSnapshot)
+			}
+		},
+	},
+}
+
+func TestCrashpointMatrix(t *testing.T) {
+	for _, point := range chaos.Crashpoints() {
+		sc, ok := crashScenarios[point]
+		if !ok {
+			t.Errorf("crashpoint %q has no scenario — add one to crashScenarios", point)
+			continue
+		}
+		t.Run(point, func(t *testing.T) {
+			t.Parallel()
+			state := t.TempDir()
+
+			armed := startNode(t, state, point)
+			armed.waitReady(t)
+			if sc.prep != nil {
+				sc.prep(t, armed)
+			}
+			sc.trigger(armed)
+			armed.waitExit(t, 10*time.Second)
+
+			restarted := startNode(t, state, "")
+			restarted.waitReady(t)
+			requireNoTempFiles(t, state)
+			sc.verify(t, restarted, state)
+		})
+	}
+}

@@ -1,0 +1,282 @@
+// Package crashtest is an end-to-end crash-consistency harness for the
+// FaaSnap daemon. Unlike the in-process daemon tests, it builds the
+// real faasnapd binary, runs it as a subprocess over a persistent
+// state directory, kills it — at armed crashpoints (internal/chaos),
+// at seeded random offsets, and with SIGTERM mid-write — restarts it,
+// and asserts the recovery contract from RESILIENCE.md:
+//
+//   - every acknowledged write survives the restart,
+//   - every unacknowledged write is absent or quarantined,
+//   - corrupt or orphaned state is never served.
+//
+// The harness lives in a non-test file so `go build ./...` keeps it
+// compiling; the scenarios themselves are in the _test files.
+package crashtest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"faasnap/internal/chaos"
+)
+
+// daemonBin is the faasnapd binary under test, built once by TestMain.
+var daemonBin string
+
+// httpClient is shared by every node. The timeout bounds how long a
+// driver op can hang on a daemon that died mid-reply.
+var httpClient = &http.Client{Timeout: 10 * time.Second}
+
+// logBuffer collects a subprocess's stderr. exec.Cmd writes to it from
+// an internal goroutine, so reads (on test failure) must lock too.
+type logBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *logBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *logBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// node is one faasnapd subprocess serving a state directory. done is
+// closed when the process exits (waitErr holds the Wait result), so
+// any number of readers can observe the exit.
+type node struct {
+	addr    string
+	state   string
+	cmd     *exec.Cmd
+	done    chan struct{}
+	waitErr error
+	logs    *logBuffer
+}
+
+// startNode spawns faasnapd over state. A non-empty crashpoint spec
+// ("point" or "point:N") is armed via FAASNAP_CRASHPOINT, so the
+// process SIGKILLs itself at that write-path boundary.
+func startNode(t *testing.T, state, crashpoint string) *node {
+	t.Helper()
+	if daemonBin == "" {
+		t.Fatal("daemonBin not built; is TestMain wired?")
+	}
+	n := &node{
+		addr:  freeAddr(t),
+		state: state,
+		done:  make(chan struct{}),
+		logs:  &logBuffer{},
+	}
+	n.cmd = exec.Command(daemonBin, "-listen", n.addr, "-state", state, "-quiet-http")
+	n.cmd.Stderr = n.logs
+	n.cmd.Stdout = n.logs
+	env := os.Environ()
+	if crashpoint != "" {
+		env = append(env, chaos.EnvCrashpoint+"="+crashpoint)
+	}
+	n.cmd.Env = env
+	if err := n.cmd.Start(); err != nil {
+		t.Fatalf("start faasnapd: %v", err)
+	}
+	go func() {
+		n.waitErr = n.cmd.Wait()
+		close(n.done)
+	}()
+	t.Cleanup(func() {
+		n.kill()
+		select {
+		case <-n.done:
+		case <-time.After(5 * time.Second):
+		}
+	})
+	return n
+}
+
+// kill delivers SIGKILL; safe to call on an already-dead process.
+func (n *node) kill() { _ = n.cmd.Process.Kill() }
+
+// terminate delivers SIGTERM, the graceful drain path.
+func (n *node) terminate() { _ = n.cmd.Process.Signal(syscall.SIGTERM) }
+
+// waitReady polls /readyz until it answers 200 — through the 503
+// "recovering" phase async recovery serves during manifest replay.
+func (n *node) waitReady(t *testing.T) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := httpClient.Get(n.url("/readyz"))
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		select {
+		case <-n.done:
+			t.Fatalf("faasnapd exited before ready: %v\nlogs:\n%s", n.waitErr, n.logs.String())
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	n.kill()
+	t.Fatalf("faasnapd not ready within deadline\nlogs:\n%s", n.logs.String())
+}
+
+// waitExit waits for the subprocess to die (crashpoint, kill, or
+// drain); the harness treats a still-alive daemon as a failed kill.
+func (n *node) waitExit(t *testing.T, timeout time.Duration) {
+	t.Helper()
+	select {
+	case <-n.done:
+	case <-time.After(timeout):
+		n.kill()
+		t.Fatalf("faasnapd still alive after %v (crashpoint never fired?)\nlogs:\n%s",
+			timeout, n.logs.String())
+	}
+}
+
+func (n *node) url(path string) string { return "http://" + n.addr + path }
+
+// do issues one API call. The error return means the call never got a
+// response — the process died under it, so its outcome is unknown.
+func (n *node) do(method, path string, body any) (int, error) {
+	var rd *bytes.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return 0, err
+		}
+		rd = bytes.NewReader(raw)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, n.url(path), rd)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := httpClient.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+func (n *node) put(fn string) (int, error) {
+	return n.do("PUT", "/functions/"+fn, nil)
+}
+
+func (n *node) record(fn, input string) (int, error) {
+	return n.do("POST", "/functions/"+fn+"/record", map[string]string{"input": input})
+}
+
+func (n *node) invoke(fn, input string) (int, error) {
+	return n.do("POST", "/functions/"+fn+"/invoke",
+		map[string]string{"mode": "faasnap", "input": input})
+}
+
+func (n *node) delete(fn string) (int, error) {
+	return n.do("DELETE", "/functions/"+fn, nil)
+}
+
+// fnInfo is the slice of the GET /functions/{name} response the
+// harness asserts on.
+type fnInfo struct {
+	HasSnapshot bool `json:"has_snapshot"`
+}
+
+// getFn fetches a function's info; status 0 means the call errored.
+func (n *node) getFn(t *testing.T, fn string) (fnInfo, int) {
+	t.Helper()
+	resp, err := httpClient.Get(n.url("/functions/" + fn))
+	if err != nil {
+		return fnInfo{}, 0
+	}
+	defer resp.Body.Close()
+	var info fnInfo
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+			t.Fatalf("decode %s info: %v", fn, err)
+		}
+	}
+	return info, resp.StatusCode
+}
+
+// freeAddr reserves a loopback port by binding and releasing it.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// requireNoTempFiles asserts no snapfile or journal temp files leaked
+// into the state tree — every crash or drain path must either commit
+// (rename) or be swept on recovery.
+func requireNoTempFiles(t *testing.T, state string) {
+	t.Helper()
+	var leaked []string
+	err := filepath.WalkDir(state, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(d.Name(), ".tmp") {
+			leaked = append(leaked, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walk state dir: %v", err)
+	}
+	if len(leaked) > 0 {
+		t.Fatalf("temp files leaked past recovery: %v", leaked)
+	}
+}
+
+// snapPath is the committed snapfile location for fn.
+func snapPath(state, fn string) string {
+	return filepath.Join(state, fn+".snap")
+}
+
+// quarantinePath is where the first quarantined copy of fn's snapfile
+// lands.
+func quarantinePath(state, fn string) string {
+	return filepath.Join(state, "quarantine", fn+".snap")
+}
+
+func exists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}
+
+// buildDaemon compiles faasnapd into dir and points daemonBin at it.
+// Called once from TestMain.
+func buildDaemon(dir string) error {
+	bin := filepath.Join(dir, "faasnapd")
+	cmd := exec.Command("go", "build", "-o", bin, "faasnap/cmd/faasnapd")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return fmt.Errorf("go build faasnapd: %v\n%s", err, out)
+	}
+	daemonBin = bin
+	return nil
+}

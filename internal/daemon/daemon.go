@@ -36,6 +36,7 @@ import (
 	"faasnap/internal/resilience"
 	"faasnap/internal/slo"
 	"faasnap/internal/snapfile"
+	"faasnap/internal/statedir"
 	"faasnap/internal/telemetry"
 	"faasnap/internal/trace"
 	"faasnap/internal/vmm"
@@ -76,6 +77,12 @@ type Config struct {
 	// SLO configures per-function objectives and burn-rate windows for
 	// the GET /slo engine; the zero value takes the package defaults.
 	SLO slo.Config
+	// AsyncRecovery runs manifest replay and snapshot re-deployment in
+	// the background after New returns; /readyz answers 503 with
+	// Retry-After until recovery completes. faasnapd sets it so a host
+	// with many snapshots starts listening immediately; tests leave it
+	// false for a fully-recovered daemon on return.
+	AsyncRecovery bool
 }
 
 // fnState is one managed function.
@@ -109,6 +116,13 @@ type Daemon struct {
 	res     ResilienceConfig
 	chaos   *chaos.Injector
 	limiter *resilience.Limiter
+
+	// manifest is the durable registration journal (nil without a state
+	// dir); recovering gates mutating routes until replay completes and
+	// recovered unblocks WaitRecovered.
+	manifest   *statedir.Manifest
+	recovering atomic.Bool
+	recovered  chan struct{}
 
 	// admInFlight/admCapacity mirror the admission limiter into the
 	// scrape surface; cached here so the hot path never takes the
@@ -193,13 +207,24 @@ func New(cfg Config) (*Daemon, error) {
 		}
 		d.kv = kv
 	}
+	d.recovered = make(chan struct{})
 	if cfg.StateDir != "" {
 		if err := os.MkdirAll(cfg.StateDir, 0o755); err != nil {
 			return nil, fmt.Errorf("daemon: state dir: %w", err)
 		}
-		if err := d.reload(); err != nil {
-			return nil, err
+		m, rec, err := statedir.Open(cfg.StateDir)
+		if err != nil {
+			return nil, fmt.Errorf("daemon: manifest: %w", err)
 		}
+		d.manifest = m
+		d.recovering.Store(true)
+		if cfg.AsyncRecovery {
+			go d.recoverState(rec)
+		} else {
+			d.recoverState(rec)
+		}
+	} else {
+		close(d.recovered)
 	}
 	return d, nil
 }
@@ -226,39 +251,12 @@ func (d *Daemon) Close() {
 	if d.kv != nil {
 		_ = d.kv.Close()
 	}
-}
-
-// reload restores functions whose snapfiles exist in the state dir.
-// Every file is checksum-verified as it deploys (snapfile.Read checks
-// the trailing CRC); files that fail — including ones the chaos layer
-// corrupts or truncates in transit — are quarantined rather than
-// served.
-func (d *Daemon) reload() error {
-	entries, err := os.ReadDir(d.cfg.StateDir)
-	if err != nil {
-		return err
+	if d.manifest != nil {
+		// Recovery may still be appending (invalidations); let it finish
+		// before closing the journal under it.
+		d.WaitRecovered()
+		_ = d.manifest.Close()
 	}
-	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".snap") {
-			continue
-		}
-		path := filepath.Join(d.cfg.StateDir, e.Name())
-		fault := snapfile.FaultNone
-		switch dec := d.chaos.Eval(chaos.PointSnapfile, e.Name()); {
-		case dec.Is(chaos.KindCorrupt):
-			fault = snapfile.FaultCorrupt
-		case dec.Is(chaos.KindTruncate):
-			fault = snapfile.FaultTruncate
-		}
-		arts, err := snapfile.LoadWithFault(path, fault)
-		if err != nil {
-			d.quarantine(path, err)
-			continue
-		}
-		d.reg.set(arts.Fn.Name, &fnState{spec: arts.Fn, arts: arts})
-		d.log.Printf("reloaded snapshot for %s (%d WS pages)", arts.Fn.Name, arts.WS.Pages())
-	}
-	return nil
 }
 
 func (d *Daemon) fn(name string) (*fnState, bool) {
@@ -279,6 +277,7 @@ func (d *Daemon) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 	})
 	handle("GET /readyz", d.handleReady)
+	handle("GET /manifest", d.handleManifest)
 	handle("GET /functions", d.handleList)
 	handle("PUT /functions/{name}", d.handleCreate)
 	handle("GET /functions/{name}", d.handleGet)
@@ -301,6 +300,18 @@ func (d *Daemon) Handler() http.Handler {
 // /healthz (the process is alive) but reports 503 here so a gateway
 // health checker drains it instead of black-holing requests.
 func (d *Daemon) handleReady(w http.ResponseWriter, r *http.Request) {
+	// A recovering daemon is alive but not yet authoritative: manifest
+	// replay or snapshot re-deployment is still in flight, so a gateway
+	// must keep routing elsewhere until the registry matches the journal.
+	if d.recovering.Load() {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]interface{}{
+			"ready":   false,
+			"state":   "recovering",
+			"reasons": []string{"manifest replay in progress"},
+		})
+		return
+	}
 	var reasons []string
 	if d.cfg.StateDir != "" {
 		probe, err := os.CreateTemp(d.cfg.StateDir, ".readyz-*")
@@ -476,6 +487,9 @@ func (d *Daemon) handleList(w http.ResponseWriter, r *http.Request) {
 }
 
 func (d *Daemon) handleCreate(w http.ResponseWriter, r *http.Request) {
+	if d.gateRecovering(w) {
+		return
+	}
 	name := r.PathValue("name")
 	spec, err := workload.ByName(name)
 	if err != nil {
@@ -551,6 +565,27 @@ func (d *Daemon) handleCreate(w http.ResponseWriter, r *http.Request) {
 		fs.agent = agent
 		d.log.Printf("booted VM for %s (guest agent up)", name)
 	}
+	// Journal the registration before acknowledging it: a crash after
+	// the append (CrashRegisterPostJournal) must still recover this
+	// function — spec-only registrations included. Register is
+	// idempotent, so a repeated PUT with an unchanged spec appends
+	// nothing and keeps its generation.
+	if d.manifest != nil {
+		specJSON := ""
+		if fs.spec.Origin != nil {
+			if raw, merr := json.Marshal(fs.spec.Origin); merr == nil {
+				specJSON = string(raw)
+			}
+		}
+		if _, err := d.manifest.Register(name, specJSON); err != nil {
+			if !exists {
+				d.reg.removeIf(name, fs)
+			}
+			writeErr(w, http.StatusInternalServerError, "journal registration: %v", err)
+			return
+		}
+		chaos.MaybeCrash(chaos.CrashRegisterPostJournal)
+	}
 	writeJSON(w, http.StatusOK, d.infoLocked(fs))
 }
 
@@ -596,9 +631,29 @@ func (d *Daemon) handleGet(w http.ResponseWriter, r *http.Request) {
 }
 
 func (d *Daemon) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if d.gateRecovering(w) {
+		return
+	}
 	name := r.PathValue("name")
-	fs, ok := d.reg.remove(name)
+	fs, ok := d.fn(name)
 	if !ok {
+		writeErr(w, http.StatusNotFound, "%v", errNotRegistered)
+		return
+	}
+	// Journal the tombstone before tearing anything down: once the
+	// delete is acknowledged a restart must not resurrect the function,
+	// and generations keep climbing across the tombstone so re-registers
+	// are ordered after it. A crash right after the append
+	// (CrashDeletePostJournal) leaves the snapfile behind — recovery
+	// sweeps it into quarantine off the tombstone.
+	if d.manifest != nil {
+		if _, err := d.manifest.Delete(name); err != nil {
+			writeErr(w, http.StatusInternalServerError, "journal delete: %v", err)
+			return
+		}
+		chaos.MaybeCrash(chaos.CrashDeletePostJournal)
+	}
+	if fs, ok = d.reg.remove(name); !ok {
 		writeErr(w, http.StatusNotFound, "%v", errNotRegistered)
 		return
 	}
@@ -701,6 +756,9 @@ type RecordResponse struct {
 }
 
 func (d *Daemon) handleRecord(w http.ResponseWriter, r *http.Request) {
+	if d.gateRecovering(w) {
+		return
+	}
 	fs, ok := d.fn(r.PathValue("name"))
 	if !ok {
 		writeErr(w, http.StatusNotFound, "function not registered; PUT /functions/%s first", r.PathValue("name"))
@@ -756,8 +814,6 @@ func (d *Daemon) handleRecord(w http.ResponseWriter, r *http.Request) {
 	}
 
 	arts, res := core.Record(d.cfg.Host, fs.spec, in)
-	fs.arts = arts
-	fs.record = &res
 	d.storeInput(fs.spec, in)
 	if d.cfg.StateDir != "" {
 		path := filepath.Join(d.cfg.StateDir, fs.spec.Name+".snap")
@@ -772,7 +828,21 @@ func (d *Daemon) handleRecord(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusInternalServerError, "snapshot failed verification: %v", err)
 			return
 		}
+		// The snapfile is committed but not yet journaled: a crash here
+		// (CrashRecordPreJournal) leaves an orphan .snap that recovery
+		// quarantines — the write was never acknowledged.
+		chaos.MaybeCrash(chaos.CrashRecordPreJournal)
+		if d.manifest != nil {
+			if _, err := d.manifest.Record(fs.spec.Name, in.Name); err != nil {
+				writeErr(w, http.StatusInternalServerError, "journal recording: %v", err)
+				return
+			}
+		}
 	}
+	// Only a fully committed recording (snapfile verified, journal
+	// appended) becomes servable state.
+	fs.arts = arts
+	fs.record = &res
 	d.stats.records.Add(1)
 	core.ObserveRecord(d.telemetry, fs.spec.Name, res)
 	d.log.Printf("recorded %s input %s: ws=%d ls=%d regions=%d", fs.spec.Name, in.Name, res.WSPages, res.LSPages, res.LSRegions)
@@ -782,6 +852,9 @@ func (d *Daemon) handleRecord(w http.ResponseWriter, r *http.Request) {
 		Result:   res,
 		Duration: res.Duration.String(),
 	})
+	// Acknowledged: a crash from here on (CrashRecordPostReply) must
+	// recover the snapshot intact.
+	chaos.MaybeCrash(chaos.CrashRecordPostReply)
 }
 
 type invokeRequest struct {
@@ -881,6 +954,9 @@ func (d *Daemon) handleInvoke(w http.ResponseWriter, r *http.Request) {
 	w = sw
 	wallStart := time.Now()
 	defer func() { d.recordProfile(prof, sw.status, time.Since(wallStart)) }()
+	if d.gateRecovering(w) {
+		return
+	}
 	// Admission control first: a saturated host sheds load before doing
 	// any work for the request.
 	if !d.admit(1) {
@@ -1037,6 +1113,9 @@ func (d *Daemon) handleBurst(w http.ResponseWriter, r *http.Request) {
 	w = sw
 	wallStart := time.Now()
 	defer func() { d.recordProfile(prof, sw.status, time.Since(wallStart)) }()
+	if d.gateRecovering(w) {
+		return
+	}
 	fs, ok := d.fn(r.PathValue("name"))
 	if !ok {
 		writeErr(w, http.StatusNotFound, "%v", errNotRegistered)

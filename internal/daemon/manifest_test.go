@@ -1,0 +1,215 @@
+package daemon
+
+// Tests for the durable manifest integration: registrations (snapshot
+// or spec-only) survive restarts, journaled deletes never resurrect,
+// orphan snapfiles are quarantined, and the recovering readyz state
+// holds off traffic until replay completes.
+
+import (
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"faasnap/internal/snapfile"
+	"faasnap/internal/statedir"
+	"faasnap/internal/workload"
+)
+
+func TestSpecOnlyRegistrationSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	_, srv := newTestDaemon(t, Config{StateDir: dir})
+
+	// Catalog function, registered but never recorded: no snapfile on
+	// disk, so only the manifest can carry it across the restart.
+	if resp := doJSON(t, "PUT", srv.URL+"/functions/hello-world", nil, nil); resp.StatusCode != 200 {
+		t.Fatalf("create = %d", resp.StatusCode)
+	}
+	// Custom function with a spec body: the spec JSON must be journaled
+	// too, or recovery cannot rebuild it.
+	custom := workload.SpecConfig{
+		Name: "pr-custom", Description: "manifest round-trip",
+		BootMB: 100, StablePages: 2000, ChunkMean: 4,
+		RetainFrac: 0.2, BaseMs: 20, PerPageUs: 1,
+		InputA: workload.InputConfig{Bytes: 1 << 10, DataPages: 100},
+		InputB: workload.InputConfig{Bytes: 2 << 10, DataPages: 200},
+	}
+	if resp := doJSON(t, "PUT", srv.URL+"/functions/pr-custom", custom, nil); resp.StatusCode != 200 {
+		t.Fatalf("create custom = %d", resp.StatusCode)
+	}
+
+	_, srv2 := newTestDaemon(t, Config{StateDir: dir})
+	var info FunctionInfo
+	if resp := doJSON(t, "GET", srv2.URL+"/functions/hello-world", nil, &info); resp.StatusCode != 200 {
+		t.Fatalf("hello-world lost across restart: %d", resp.StatusCode)
+	}
+	if info.HasSnapshot {
+		t.Fatal("snapshot appeared from nowhere")
+	}
+	if resp := doJSON(t, "GET", srv2.URL+"/functions/pr-custom", nil, &info); resp.StatusCode != 200 {
+		t.Fatalf("custom registration lost across restart: %d", resp.StatusCode)
+	}
+	if info.Description != "manifest round-trip" {
+		t.Fatalf("custom spec not recovered: %+v", info)
+	}
+}
+
+func TestJournaledDeleteNeverResurrects(t *testing.T) {
+	dir := t.TempDir()
+	_, srv := newTestDaemon(t, Config{StateDir: dir})
+	recordedFn(t, srv.URL)
+	if resp := doJSON(t, "DELETE", srv.URL+"/functions/hello-world", nil, nil); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete = %d", resp.StatusCode)
+	}
+
+	_, srv2 := newTestDaemon(t, Config{StateDir: dir})
+	if resp := doJSON(t, "GET", srv2.URL+"/functions/hello-world", nil, nil); resp.StatusCode != 404 {
+		t.Fatalf("deleted function resurrected after restart: %d", resp.StatusCode)
+	}
+	// The tombstone itself must survive, with the generation history.
+	var mr ManifestResponse
+	if resp := doJSON(t, "GET", srv2.URL+"/manifest", nil, &mr); resp.StatusCode != 200 {
+		t.Fatalf("manifest = %d", resp.StatusCode)
+	}
+	var found bool
+	for _, e := range mr.Functions {
+		if e.Name == "hello-world" {
+			found = true
+			if !e.Deleted || e.Generation < 3 {
+				t.Fatalf("tombstone = %+v", e)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("tombstone missing from manifest: %+v", mr.Functions)
+	}
+}
+
+func TestOrphanSnapfileQuarantinedOnRecovery(t *testing.T) {
+	dir := t.TempDir()
+	_, srv := newTestDaemon(t, Config{StateDir: dir})
+	recordedFn(t, srv.URL)
+
+	// Fabricate the crash-between-commit-and-journal state: a valid
+	// snapfile on disk for a function the manifest has never heard of.
+	spec, err := workload.ByName("read-list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := filepath.Join(dir, "hello-world.snap")
+	orphan := filepath.Join(dir, "read-list.snap")
+	arts, err := snapfile.Load(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arts.Fn = spec
+	if err := snapfile.Save(orphan, arts); err != nil {
+		t.Fatal(err)
+	}
+	// And a stray temp file, the other mid-write leftover.
+	tmp := filepath.Join(dir, "mmap.snap.tmp")
+	if err := os.WriteFile(tmp, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, srv2 := newTestDaemon(t, Config{StateDir: dir})
+	if resp := doJSON(t, "GET", srv2.URL+"/functions/read-list", nil, nil); resp.StatusCode != 404 {
+		t.Fatalf("unacknowledged snapshot served: %d", resp.StatusCode)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "quarantine", "read-list.snap")); err != nil {
+		t.Fatalf("orphan not quarantined: %v", err)
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatalf("orphan still in state dir: %v", err)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("temp file survived recovery: %v", err)
+	}
+	// The acknowledged function is untouched.
+	var info FunctionInfo
+	if resp := doJSON(t, "GET", srv2.URL+"/functions/hello-world", nil, &info); resp.StatusCode != 200 || !info.HasSnapshot {
+		t.Fatalf("acknowledged snapshot lost: %d %+v", resp.StatusCode, info)
+	}
+}
+
+func TestLegacyStateDirAdopted(t *testing.T) {
+	// A state dir with snapfiles but no manifest is a pre-manifest
+	// daemon's: every verifying snapfile is adopted, then recovered
+	// through the manifest on the next restart.
+	dir := t.TempDir()
+	_, srv := newTestDaemon(t, Config{StateDir: dir})
+	recordedFn(t, srv.URL)
+	if err := os.Remove(filepath.Join(dir, statedir.ManifestName)); err != nil {
+		t.Fatal(err)
+	}
+
+	_, srv2 := newTestDaemon(t, Config{StateDir: dir})
+	var info FunctionInfo
+	if resp := doJSON(t, "GET", srv2.URL+"/functions/hello-world", nil, &info); resp.StatusCode != 200 || !info.HasSnapshot {
+		t.Fatalf("legacy snapfile not adopted: %d %+v", resp.StatusCode, info)
+	}
+	var mr ManifestResponse
+	doJSON(t, "GET", srv2.URL+"/manifest", nil, &mr)
+	if len(mr.Functions) != 1 || !mr.Functions[0].HasSnapshot {
+		t.Fatalf("adopted manifest = %+v", mr.Functions)
+	}
+}
+
+func TestReadyzRecoveringState(t *testing.T) {
+	dir := t.TempDir()
+	_, srv := newTestDaemon(t, Config{StateDir: dir})
+	recordedFn(t, srv.URL)
+
+	d2, err := New(Config{StateDir: dir, Logger: log.New(io.Discard, "", 0), AsyncRecovery: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d2.Close)
+	// Async recovery may already have finished — both orders are legal;
+	// what is fixed is the contract: recovering ⇒ 503 + Retry-After,
+	// recovered ⇒ 200 with the registry fully rebuilt.
+	srv2 := httptest.NewServer(d2.Handler())
+	t.Cleanup(srv2.Close)
+	resp := doJSON(t, "GET", srv2.URL+"/readyz", nil, nil)
+	if d2.Recovering() && resp.StatusCode == http.StatusServiceUnavailable && resp.Header.Get("Retry-After") == "" {
+		t.Fatal("recovering readyz missing Retry-After")
+	}
+	d2.WaitRecovered()
+	if resp := doJSON(t, "GET", srv2.URL+"/readyz", nil, nil); resp.StatusCode != 200 {
+		t.Fatalf("readyz after recovery = %d", resp.StatusCode)
+	}
+	var info FunctionInfo
+	if resp := doJSON(t, "GET", srv2.URL+"/functions/hello-world", nil, &info); resp.StatusCode != 200 || !info.HasSnapshot {
+		t.Fatalf("registry incomplete after recovery: %d %+v", resp.StatusCode, info)
+	}
+}
+
+func TestManifestEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	_, srv := newTestDaemon(t, Config{StateDir: dir})
+	recordedFn(t, srv.URL)
+
+	var mr ManifestResponse
+	if resp := doJSON(t, "GET", srv.URL+"/manifest", nil, &mr); resp.StatusCode != 200 {
+		t.Fatalf("manifest = %d", resp.StatusCode)
+	}
+	if mr.Digest == "" || mr.Recovering {
+		t.Fatalf("manifest response = %+v", mr)
+	}
+	if len(mr.Functions) != 1 {
+		t.Fatalf("functions = %+v", mr.Functions)
+	}
+	e := mr.Functions[0]
+	if e.Name != "hello-world" || !e.HasSnapshot || e.Generation != 2 || e.RecordInput == "" {
+		t.Fatalf("entry = %+v", e)
+	}
+
+	// Stateless daemons have no manifest to report.
+	_, srv2 := newTestDaemon(t, Config{})
+	if resp := doJSON(t, "GET", srv2.URL+"/manifest", nil, nil); resp.StatusCode != 404 {
+		t.Fatalf("stateless manifest = %d, want 404", resp.StatusCode)
+	}
+}

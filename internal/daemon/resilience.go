@@ -20,6 +20,7 @@ import (
 	"faasnap/internal/chaos"
 	"faasnap/internal/core"
 	"faasnap/internal/resilience"
+	"faasnap/internal/statedir"
 	"faasnap/internal/telemetry"
 	"faasnap/internal/vmm"
 )
@@ -278,7 +279,10 @@ func (d *Daemon) quarantine(path string, cause error) {
 		d.log.Printf("quarantine dir: %v", err)
 		return
 	}
-	dst := filepath.Join(qdir, filepath.Base(path))
+	// QuarantinePath suffixes .2, .3, ... when the base name is taken:
+	// a second corrupt copy of the same function must not overwrite the
+	// first piece of evidence.
+	dst := statedir.QuarantinePath(qdir, filepath.Base(path))
 	if err := os.Rename(path, dst); err != nil {
 		d.log.Printf("quarantine %s: %v", path, err)
 		return

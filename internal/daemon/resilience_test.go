@@ -395,16 +395,71 @@ func TestCorruptSnapfileQuarantinedOnReload(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// The acknowledged registration survives the corrupt snapfile — only
+	// the snapshot itself is quarantined and invalidated, so invokes get
+	// a clean 404 (no snapshot) instead of serving corrupt state.
 	_, srv2 := newTestDaemon(t, Config{StateDir: dir})
-	resp := doJSON(t, "GET", srv2.URL+"/functions/hello-world", nil, nil)
+	var info FunctionInfo
+	resp := doJSON(t, "GET", srv2.URL+"/functions/hello-world", nil, &info)
+	if resp.StatusCode != 200 {
+		t.Fatalf("registration lost with its corrupt snapshot: get = %d", resp.StatusCode)
+	}
+	if info.HasSnapshot {
+		t.Fatal("corrupt snapshot still deployed")
+	}
+	resp = doJSON(t, "POST", srv2.URL+"/functions/hello-world/invoke", invokeRequest{Mode: "faasnap"}, nil)
 	if resp.StatusCode != 404 {
-		t.Fatalf("corrupt snapshot still deployed: get = %d", resp.StatusCode)
+		t.Fatalf("invoke on invalidated snapshot = %d, want 404", resp.StatusCode)
 	}
 	if _, err := os.Stat(filepath.Join(dir, "quarantine", "hello-world.snap")); err != nil {
 		t.Fatalf("snapfile not quarantined: %v", err)
 	}
 	if n := metricSum(t, srv2.URL, "faasnap_snapfile_quarantined_total", ""); n != 1 {
 		t.Fatalf("quarantined_total = %v, want 1", n)
+	}
+}
+
+// TestQuarantineNamesNeverCollide re-corrupts and re-records the same
+// function: the second quarantined copy must get a distinct name (.2
+// suffix) instead of overwriting the first piece of evidence, and the
+// counter must record both.
+func TestQuarantineNamesNeverCollide(t *testing.T) {
+	dir := t.TempDir()
+	corrupt := func() {
+		path := filepath.Join(dir, "hello-world.snap")
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw[len(raw)/2] ^= 0xff
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	_, srv := newTestDaemon(t, Config{StateDir: dir})
+	recordedFn(t, srv.URL)
+	corrupt()
+	d2, srv2 := newTestDaemon(t, Config{StateDir: dir})
+	_ = d2
+	recordedFn(t, srv2.URL) // re-record a good snapshot
+	corrupt()
+	_, srv3 := newTestDaemon(t, Config{StateDir: dir})
+
+	first := filepath.Join(dir, "quarantine", "hello-world.snap")
+	second := filepath.Join(dir, "quarantine", "hello-world.snap.2")
+	if _, err := os.Stat(first); err != nil {
+		t.Fatalf("first quarantined copy missing: %v", err)
+	}
+	if _, err := os.Stat(second); err != nil {
+		t.Fatalf("second quarantined copy missing (collision overwrote evidence?): %v", err)
+	}
+	if n := metricSum(t, srv3.URL, "faasnap_snapfile_quarantined_total", ""); n != 1 {
+		// srv3 only saw the second quarantine; srv2 counted the first.
+		t.Fatalf("quarantined_total on restart = %v, want 1", n)
+	}
+	if n := metricSum(t, srv2.URL, "faasnap_snapfile_quarantined_total", ""); n != 1 {
+		t.Fatalf("quarantined_total on srv2 = %v, want 1", n)
 	}
 }
 
@@ -424,9 +479,10 @@ func TestChaosCorruptsSnapfileInTransit(t *testing.T) {
 			{Point: chaos.PointSnapfile, Kind: chaos.KindCorrupt},
 		}},
 	})
-	resp := doJSON(t, "GET", srv2.URL+"/functions/hello-world", nil, nil)
-	if resp.StatusCode != 404 {
-		t.Fatalf("chaos-corrupted snapshot still deployed: get = %d", resp.StatusCode)
+	var info FunctionInfo
+	resp := doJSON(t, "GET", srv2.URL+"/functions/hello-world", nil, &info)
+	if resp.StatusCode != 200 || info.HasSnapshot {
+		t.Fatalf("chaos-corrupted snapshot still deployed: get = %d, has_snapshot = %v", resp.StatusCode, info.HasSnapshot)
 	}
 	if _, err := os.Stat(filepath.Join(dir, "quarantine", "hello-world.snap")); err != nil {
 		t.Fatalf("snapfile not quarantined: %v", err)

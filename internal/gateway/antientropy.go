@@ -1,0 +1,212 @@
+package gateway
+
+// Anti-entropy re-sync: the health sweep learns each backend's durable
+// manifest (digest + per-function generations from GET /manifest), and
+// after every sweep the gateway compares manifests across each
+// function's replica set. A backend that rejoined with lost or stale
+// state — wiped disk, quarantined snapshot, missed delete — is marked
+// stale, demoted in placement, and repaired by replaying the missing
+// registrations and recordings through its normal API from the
+// owner/standby copy. When a sweep finds no deficits the backend
+// returns to full ring weight. See GATEWAY.md.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sort"
+
+	"faasnap/internal/telemetry"
+)
+
+// manifestEntry mirrors the daemon's statedir.Entry JSON: one
+// function's durable state on one backend.
+type manifestEntry struct {
+	Name        string `json:"name"`
+	Generation  uint64 `json:"generation"`
+	Deleted     bool   `json:"deleted"`
+	HasSnapshot bool   `json:"has_snapshot"`
+	RecordInput string `json:"record_input,omitempty"`
+	Spec        string `json:"spec,omitempty"`
+}
+
+// manifestInfo mirrors the daemon's GET /manifest response.
+type manifestInfo struct {
+	Digest     string          `json:"digest"`
+	Recovering bool            `json:"recovering"`
+	Functions  []manifestEntry `json:"functions"`
+}
+
+func (m *manifestInfo) entry(fn string) (manifestEntry, bool) {
+	for _, e := range m.Functions {
+		if e.Name == fn {
+			return e, true
+		}
+	}
+	return manifestEntry{}, false
+}
+
+// fetchManifest pulls one backend's durable-state summary; nil for
+// daemons without a state dir (404) or that predate the endpoint.
+func (p *Pool) fetchManifest(b *Backend) *manifestInfo {
+	resp, err := p.client.Get("http://" + b.Addr + "/manifest")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil
+	}
+	var mi manifestInfo
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 4<<20)).Decode(&mi); err != nil {
+		return nil
+	}
+	return &mi
+}
+
+// resyncCounter counts one repair action issued to a backend.
+func (p *Pool) resyncCounter(b *Backend, action string) *telemetry.Counter {
+	return p.reg.Counter("faasnap_gw_resync_total",
+		"Anti-entropy repair operations issued to stale backends, by backend and action.",
+		telemetry.L("backend", b.Addr, "action", action))
+}
+
+// resyncOp replays one mutation against a backend's normal API; true on
+// a 2xx answer. Repairs ride the same endpoints clients use, so every
+// daemon-side invariant (journaling, verification, quarantine) applies
+// to replicated state too.
+func (p *Pool) resyncOp(b *Backend, method, path string, body []byte) bool {
+	var rd io.Reader
+	if len(body) > 0 {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, "http://"+b.Addr+path, rd)
+	if err != nil {
+		return false
+	}
+	if len(body) > 0 {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	return resp.StatusCode/100 == 2
+}
+
+// ResyncNow runs one anti-entropy pass over the manifests collected by
+// the last health sweep and returns the number of repair actions
+// issued. The sweep loop calls it after every CheckNow; tests call it
+// directly for a deterministic pass.
+//
+// Staleness is judged within each function's replica set (the ring
+// owner plus the configured standbys — the backends that are supposed
+// to hold it):
+//
+//   - the highest-generation entry wins: generations count acknowledged
+//     mutations per function, so replicas that processed the same
+//     fan-out history agree, and a backend that missed operations sits
+//     strictly below;
+//   - winner live: backends missing the registration (or holding a
+//     stale tombstone) get the registration replayed — spec body
+//     included for custom functions — and backends missing the snapshot
+//     get the recording replayed with the winner's record input;
+//   - winner tombstoned: live lower-generation copies are deleted, so
+//     an acknowledged delete can never resurrect through a backend that
+//     was down when it happened.
+//
+// Backends without a manifest (stateless, recovering, or unreachable
+// this sweep) are neither sources nor targets.
+func (p *Pool) ResyncNow() int {
+	backends := p.snapshot()
+	manifests := make(map[string]*manifestInfo, len(backends))
+	fns := make(map[string]bool)
+	for _, b := range backends {
+		mi := b.manifestInfo()
+		if mi == nil || mi.Recovering || !b.Ready() {
+			continue
+		}
+		manifests[b.Addr] = mi
+		for _, e := range mi.Functions {
+			fns[e.Name] = true
+		}
+	}
+	// Deterministic repair order keeps logs and tests stable.
+	names := make([]string, 0, len(fns))
+	for fn := range fns {
+		names = append(names, fn)
+	}
+	sort.Strings(names)
+
+	actions := 0
+	stale := make(map[string]bool)
+	for _, fn := range names {
+		prefs := p.preference(fn, 1+p.replicas)
+		var winner *manifestEntry
+		for _, b := range prefs {
+			mi := manifests[b.Addr]
+			if mi == nil {
+				continue
+			}
+			if e, ok := mi.entry(fn); ok {
+				if winner == nil || e.Generation > winner.Generation {
+					we := e
+					winner = &we
+				}
+			}
+		}
+		if winner == nil {
+			continue
+		}
+		for _, b := range prefs {
+			mi := manifests[b.Addr]
+			if mi == nil {
+				continue
+			}
+			e, ok := mi.entry(fn)
+			if winner.Deleted {
+				if ok && !e.Deleted && e.Generation < winner.Generation {
+					stale[b.Addr] = true
+					if p.resyncOp(b, http.MethodDelete, "/functions/"+fn, nil) {
+						p.resyncCounter(b, "delete").Inc()
+						actions++
+					}
+				}
+				continue
+			}
+			if !ok || e.Deleted {
+				stale[b.Addr] = true
+				if p.resyncOp(b, http.MethodPut, "/functions/"+fn, []byte(winner.Spec)) {
+					p.resyncCounter(b, "register").Inc()
+					actions++
+				} else {
+					continue // no point recording onto a failed register
+				}
+				e = manifestEntry{Name: fn}
+			}
+			if winner.HasSnapshot && !e.HasSnapshot {
+				stale[b.Addr] = true
+				body, _ := json.Marshal(map[string]string{"input": winner.RecordInput})
+				if p.resyncOp(b, http.MethodPost, "/functions/"+fn+"/record", body) {
+					p.resyncCounter(b, "record").Inc()
+					actions++
+				}
+			}
+		}
+	}
+	for _, b := range backends {
+		b.setStale(stale[b.Addr])
+		v := 0.0
+		if stale[b.Addr] {
+			v = 1
+		}
+		p.reg.Gauge("faasnap_gw_backend_stale",
+			"Backends found stale by the last anti-entropy pass (1 = repairs in flight, demoted in placement).",
+			telemetry.L("backend", b.Addr)).Set(v)
+	}
+	return actions
+}

@@ -162,6 +162,7 @@ func New(cfg Config) (*Gateway, error) {
 		rng:   rand.New(rand.NewSource(cfg.Seed)),
 	}
 	g.pool = newPool(cfg.Backends, cfg.VNodes, cfg.HealthInterval, cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Registry)
+	g.pool.replicas = cfg.Replicas
 	g.pool.start()
 	return g, nil
 }
@@ -295,13 +296,25 @@ func (g *Gateway) candidates(fn string) []*Backend {
 			})
 			prefs = append(prefs[:1:1], rest...)
 		}
-		return prefs
+		return demoteStale(prefs)
 	}
 	shuffled := append([]*Backend(nil), prefs...)
 	g.rngMu.Lock()
 	g.rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
 	g.rngMu.Unlock()
-	return shuffled
+	return demoteStale(shuffled)
+}
+
+// demoteStale keeps a stale backend (anti-entropy repairs in flight)
+// usable but last: it rejoined without its acknowledged state, so
+// sending sticky traffic there before re-sync finishes would trade
+// snapshot locality for guaranteed misses. Order within each group is
+// preserved.
+func demoteStale(prefs []*Backend) []*Backend {
+	sort.SliceStable(prefs, func(i, j int) bool {
+		return !prefs[i].Stale() && prefs[j].Stale()
+	})
+	return prefs
 }
 
 // proxyResult is one backend attempt's outcome.

@@ -34,6 +34,13 @@ type fakeBackend struct {
 	profJSON atomic.Value // string
 	// traces is the handler for GET /traces/{id}; unset means 404.
 	traces atomic.Value // func(w http.ResponseWriter, r *http.Request)
+	// manifestJSON scripts GET /manifest for the anti-entropy tests;
+	// unset means 404 (a stateless or pre-manifest daemon).
+	manifestJSON atomic.Value // string
+	// records / deletes count the re-sync mutations replayed onto this
+	// backend.
+	records atomic.Int64
+	deletes atomic.Int64
 }
 
 // serveScripted writes a scripted JSON body, or 404 when unset.
@@ -87,6 +94,18 @@ func newFakeBackend(t *testing.T) *fakeBackend {
 		f.creates.Add(1)
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintf(w, `{"name":%q,"vm_state":"Running"}`, r.PathValue("name"))
+	})
+	mux.HandleFunc("GET /manifest", func(w http.ResponseWriter, r *http.Request) {
+		serveScripted(w, &f.manifestJSON)
+	})
+	mux.HandleFunc("POST /functions/{name}/record", func(w http.ResponseWriter, r *http.Request) {
+		f.records.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"function":%q}`, r.PathValue("name"))
+	})
+	mux.HandleFunc("DELETE /functions/{name}", func(w http.ResponseWriter, r *http.Request) {
+		f.deletes.Add(1)
+		w.WriteHeader(http.StatusNoContent)
 	})
 	f.srv = httptest.NewServer(mux)
 	f.addr = strings.TrimPrefix(f.srv.URL, "http://")

@@ -48,6 +48,13 @@ type Backend struct {
 	// fetched them (or when the daemon predates the endpoints).
 	sloRep  *slo.Report
 	profSum *obs.Summary
+
+	// manifest is the durable-state summary from the last sweep (nil for
+	// stateless daemons); stale marks a backend the last anti-entropy
+	// pass found missing acknowledged state — demoted in placement until
+	// a pass finds nothing to repair.
+	manifest *manifestInfo
+	stale    bool
 }
 
 // Ready reports the last health sweep's verdict.
@@ -78,6 +85,34 @@ func (b *Backend) setObserved(rep *slo.Report, sum *obs.Summary) {
 	b.sloRep = rep
 	b.profSum = sum
 	b.mu.Unlock()
+}
+
+func (b *Backend) setManifest(mi *manifestInfo) {
+	b.mu.Lock()
+	b.manifest = mi
+	b.mu.Unlock()
+}
+
+// manifestInfo returns the backend's /manifest snapshot from the last
+// sweep.
+func (b *Backend) manifestInfo() *manifestInfo {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.manifest
+}
+
+func (b *Backend) setStale(s bool) {
+	b.mu.Lock()
+	b.stale = s
+	b.mu.Unlock()
+}
+
+// Stale reports the last anti-entropy verdict: true while re-sync
+// repairs are in flight for this backend.
+func (b *Backend) Stale() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stale
 }
 
 // sloReport returns the backend's /slo report from the last sweep.
@@ -126,6 +161,8 @@ type BackendStatus struct {
 	AdmissionUsed   int64   `json:"admission_used"`
 	AdmissionMax    int64   `json:"admission_max"`
 	Saturation      float64 `json:"saturation"`
+	Stale           bool    `json:"stale"`
+	ManifestDigest  string  `json:"manifest_digest,omitempty"`
 	LastError       string  `json:"last_error,omitempty"`
 	LastCheck       string  `json:"last_check,omitempty"`
 }
@@ -141,7 +178,11 @@ func (b *Backend) status() BackendStatus {
 		InFlightDaemon:  int64(b.scraped),
 		AdmissionUsed:   int64(b.admitted),
 		AdmissionMax:    int64(b.capacity),
+		Stale:           b.stale,
 		LastError:       b.lastErr,
+	}
+	if b.manifest != nil {
+		st.ManifestDigest = b.manifest.Digest
 	}
 	if b.capacity > 0 {
 		st.Saturation = b.admitted / b.capacity
@@ -158,6 +199,9 @@ type Pool struct {
 	client   *http.Client
 	interval time.Duration
 	reg      *telemetry.Registry
+	// replicas is the gateway's standby count: a function's replica set
+	// (the anti-entropy repair scope) is the ring owner + replicas.
+	replicas int
 
 	mu       sync.RWMutex
 	backends map[string]*Backend
@@ -194,9 +238,12 @@ func newPool(addrs []string, vnodes int, interval time.Duration, breakerThreshol
 
 // start launches the health loop. The first sweep runs synchronously
 // so a freshly-built gateway has a verdict for every backend before it
-// serves its first request.
+// serves its first request; every sweep is followed by an anti-entropy
+// pass so a rejoined-but-stale backend is repaired within one interval
+// of coming back.
 func (p *Pool) start() {
 	p.CheckNow()
+	p.ResyncNow()
 	go func() {
 		defer close(p.done)
 		t := time.NewTicker(p.interval)
@@ -207,6 +254,7 @@ func (p *Pool) start() {
 				return
 			case <-t.C:
 				p.CheckNow()
+				p.ResyncNow()
 			}
 		}
 	}()
@@ -275,6 +323,7 @@ func (p *Pool) check(b *Backend) {
 	}
 
 	b.setObserved(p.fetchSLO(b), p.fetchProfiles(b))
+	b.setManifest(p.fetchManifest(b))
 }
 
 // fetchSLO pulls one backend's GET /slo report and mirrors its burn

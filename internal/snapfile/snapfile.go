@@ -18,7 +18,9 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 
+	"faasnap/internal/chaos"
 	"faasnap/internal/core"
 	"faasnap/internal/guest"
 	"faasnap/internal/snapshot"
@@ -389,7 +391,13 @@ func Verify(path string) error {
 	return err
 }
 
-// Save writes arts to path atomically (via a temp file rename).
+// Save writes arts to path atomically and durably: temp-file write,
+// fsync of the file, rename into place, fsync of the parent directory.
+// Without the first fsync a crash after the rename can leave a
+// committed name pointing at empty or torn data (the rename only
+// orders metadata, not the file's pages); without the directory fsync
+// the rename itself may not survive power loss. A committed snapfile
+// is therefore either absent or complete — never half-written.
 func Save(path string, arts *core.Artifacts) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
@@ -401,11 +409,27 @@ func Save(path string, arts *core.Artifacts) error {
 		os.Remove(tmp)
 		return err
 	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	chaos.MaybeCrash(chaos.CrashSnapfilePreRename)
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	chaos.MaybeCrash(chaos.CrashSnapfilePostRename)
+	dir, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	defer dir.Close()
+	return dir.Sync()
 }
 
 // Load reads artifacts from path.

@@ -1,0 +1,512 @@
+// Package statedir is the daemon's crash-consistent durable state
+// layer: a fsync-disciplined, CRC-framed, append-only manifest that
+// records every function registration, snapshot recording, and delete
+// the daemon has acknowledged. The snapshot files on disk *are* the
+// FaaS platform — every warm invocation deploys from them — so the
+// manifest is the source of truth a restarted daemon recovers from:
+// replaying it rebuilds the registry exactly as acknowledged, detects
+// torn tail writes from a crash mid-append, and carries the monotonic
+// per-function generation numbers the gateway's anti-entropy sweep
+// compares across replicas.
+//
+// Durability discipline:
+//
+//   - every appended record is a framed payload (magic, length, CRC-32
+//     of the payload) written and fsynced before the daemon replies;
+//   - compaction rewrites the whole log to a temp file, fsyncs it,
+//     renames it over the log, and fsyncs the parent directory — the
+//     same atomic-commit sequence snapfile.Save uses;
+//   - recovery accepts a torn or corrupt tail (the crash window is
+//     exactly one unacknowledged record), truncates it, and preserves
+//     the torn bytes under quarantine/ as evidence; it never serves a
+//     record that fails its CRC.
+package statedir
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"faasnap/internal/chaos"
+)
+
+const (
+	// ManifestName is the journal's file name inside the state dir.
+	ManifestName = "manifest.log"
+	// frameMagic marks the start of every record frame ("FSML").
+	frameMagic = 0x4c4d5346
+	// maxPayload guards replay against corrupt length fields.
+	maxPayload = 1 << 20
+	// compactSlack: compaction triggers when the records appended since
+	// open exceed 4x the live entries plus this slack, keeping the log
+	// O(live set) without rewriting it on every delete.
+	compactSlack = 64
+)
+
+// Op is a manifest record's operation.
+type Op string
+
+const (
+	// OpRegister registers a function (spec-only; no snapshot yet).
+	OpRegister Op = "register"
+	// OpRecord marks a recorded snapshot committed to disk.
+	OpRecord Op = "record"
+	// OpInvalidate clears a function's snapshot (quarantined at
+	// recovery) while keeping the registration.
+	OpInvalidate Op = "invalidate"
+	// OpDelete tombstones a function. Tombstones are retained so a
+	// rejoined replica cannot resurrect a deleted function.
+	OpDelete Op = "delete"
+	// OpEntry sets a function's full entry verbatim; compaction emits
+	// one per entry so a compacted log replays to the identical state.
+	OpEntry Op = "entry"
+)
+
+// record is one journal record's JSON payload.
+type record struct {
+	Op    Op     `json:"op"`
+	Name  string `json:"name"`
+	Gen   uint64 `json:"gen"`
+	Spec  string `json:"spec,omitempty"`
+	Input string `json:"input,omitempty"`
+	// Snap carries HasSnapshot for OpEntry records.
+	Snap bool `json:"snap,omitempty"`
+	// Del carries Deleted for OpEntry records.
+	Del bool `json:"del,omitempty"`
+}
+
+// Entry is one function's durable state. Deleted entries (tombstones)
+// are retained and reported so replicas can distinguish "never had it"
+// from "deleted it at generation G".
+type Entry struct {
+	Name        string `json:"name"`
+	Generation  uint64 `json:"generation"`
+	Deleted     bool   `json:"deleted,omitempty"`
+	HasSnapshot bool   `json:"has_snapshot,omitempty"`
+	RecordInput string `json:"record_input,omitempty"`
+	// Spec is the defining SpecConfig JSON for custom functions, empty
+	// for catalog functions (resolved by name).
+	Spec string `json:"spec,omitempty"`
+}
+
+// Recovery reports what Open found and repaired.
+type Recovery struct {
+	// Created is true when no manifest existed (first boot or a legacy
+	// state dir) and a fresh one was created.
+	Created bool
+	// Replayed counts the records applied.
+	Replayed int
+	// TornBytes is the size of the invalid tail truncated from the
+	// journal, 0 for a clean log.
+	TornBytes int
+	// Evidence is where the torn tail was preserved, when TornBytes>0.
+	Evidence string
+}
+
+// Manifest is the open journal plus its replayed in-memory state.
+type Manifest struct {
+	mu      sync.Mutex
+	dir     string
+	path    string
+	f       *os.File
+	entries map[string]*Entry
+	// appends counts records written since open/compaction.
+	appends int
+}
+
+// Open replays (creating if absent) the manifest in dir. The returned
+// Recovery says whether a torn tail was truncated; its evidence file
+// lives under dir/quarantine/.
+func Open(dir string) (*Manifest, *Recovery, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	m := &Manifest{
+		dir:     dir,
+		path:    filepath.Join(dir, ManifestName),
+		entries: make(map[string]*Entry),
+	}
+	rec := &Recovery{}
+	raw, err := os.ReadFile(m.path)
+	switch {
+	case os.IsNotExist(err):
+		rec.Created = true
+	case err != nil:
+		return nil, nil, fmt.Errorf("statedir: read manifest: %w", err)
+	default:
+		good, replayed, perr := m.replay(raw)
+		rec.Replayed = replayed
+		if good < len(raw) {
+			// The tail is torn (crash mid-append) or corrupt. Everything
+			// past the last valid frame was never acknowledged; preserve
+			// it as evidence and truncate the journal back to the good
+			// prefix so the next append starts on a frame boundary.
+			rec.TornBytes = len(raw) - good
+			rec.Evidence, _ = quarantineBytes(dir, "manifest.torn", raw[good:])
+			if err := os.Truncate(m.path, int64(good)); err != nil {
+				return nil, nil, fmt.Errorf("statedir: truncate torn tail: %w", err)
+			}
+			_ = perr // the torn tail is expected after a crash; evidence preserved
+		}
+	}
+	f, err := os.OpenFile(m.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("statedir: open manifest: %w", err)
+	}
+	m.f = f
+	if rec.Created {
+		// Make the journal's existence itself durable before anything
+		// is acknowledged against it.
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("statedir: sync manifest: %w", err)
+		}
+		if err := syncDir(dir); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("statedir: sync state dir: %w", err)
+		}
+	}
+	return m, rec, nil
+}
+
+// replay applies every valid frame in raw, returning the byte offset
+// of the first invalid frame (== len(raw) for a clean log), the count
+// of applied records, and what was wrong with the first invalid frame.
+func (m *Manifest) replay(raw []byte) (int, int, error) {
+	off, applied := 0, 0
+	for off < len(raw) {
+		if len(raw)-off < 12 {
+			return off, applied, io.ErrUnexpectedEOF
+		}
+		if binary.LittleEndian.Uint32(raw[off:]) != frameMagic {
+			return off, applied, fmt.Errorf("bad frame magic at offset %d", off)
+		}
+		n := binary.LittleEndian.Uint32(raw[off+4:])
+		if n == 0 || n > maxPayload {
+			return off, applied, fmt.Errorf("bad frame length %d at offset %d", n, off)
+		}
+		if len(raw)-off-12 < int(n) {
+			return off, applied, io.ErrUnexpectedEOF
+		}
+		wantCRC := binary.LittleEndian.Uint32(raw[off+8:])
+		payload := raw[off+12 : off+12+int(n)]
+		if crc32.ChecksumIEEE(payload) != wantCRC {
+			return off, applied, fmt.Errorf("frame CRC mismatch at offset %d", off)
+		}
+		var r record
+		if err := json.Unmarshal(payload, &r); err != nil {
+			return off, applied, fmt.Errorf("frame payload at offset %d: %w", off, err)
+		}
+		if err := m.apply(r); err != nil {
+			return off, applied, err
+		}
+		off += 12 + int(n)
+		applied++
+	}
+	return off, applied, nil
+}
+
+// apply folds one record into the in-memory state.
+func (m *Manifest) apply(r record) error {
+	if r.Name == "" {
+		return fmt.Errorf("record with empty name")
+	}
+	e := m.entries[r.Name]
+	if e == nil {
+		e = &Entry{Name: r.Name}
+		m.entries[r.Name] = e
+	}
+	switch r.Op {
+	case OpRegister:
+		e.Deleted = false
+		e.Spec = r.Spec
+	case OpRecord:
+		e.HasSnapshot = true
+		e.RecordInput = r.Input
+	case OpInvalidate:
+		e.HasSnapshot = false
+	case OpDelete:
+		e.Deleted = true
+		e.HasSnapshot = false
+		e.RecordInput = ""
+	case OpEntry:
+		e.Spec = r.Spec
+		e.HasSnapshot = r.Snap
+		e.Deleted = r.Del
+		e.RecordInput = r.Input
+	default:
+		return fmt.Errorf("unknown op %q", r.Op)
+	}
+	e.Generation = r.Gen
+	return nil
+}
+
+// append journals one record: frame, write, fsync, then apply. The
+// fsync happens before apply and before the caller replies, so an
+// acknowledged operation is always on disk, and a crash between write
+// and fsync leaves only an unacknowledged torn tail.
+func (m *Manifest) append(r record) error {
+	payload, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("statedir: encode record: %w", err)
+	}
+	frame := make([]byte, 12+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:], frameMagic)
+	binary.LittleEndian.PutUint32(frame[4:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[8:], crc32.ChecksumIEEE(payload))
+	copy(frame[12:], payload)
+	if _, err := m.f.Write(frame); err != nil {
+		return fmt.Errorf("statedir: append: %w", err)
+	}
+	chaos.MaybeCrash(chaos.CrashManifestPreSync)
+	if err := m.f.Sync(); err != nil {
+		return fmt.Errorf("statedir: sync: %w", err)
+	}
+	chaos.MaybeCrash(chaos.CrashManifestPostAppend)
+	if err := m.apply(r); err != nil {
+		return err
+	}
+	m.appends++
+	if m.appends > 4*len(m.entries)+compactSlack {
+		// Best-effort: a failed compaction leaves the (valid, longer)
+		// log in place.
+		_ = m.compactLocked()
+	}
+	return nil
+}
+
+// nextGen returns name's next generation number: monotonic across the
+// function's whole history, including deletes and re-registrations.
+func (m *Manifest) nextGen(name string) uint64 {
+	if e := m.entries[name]; e != nil {
+		return e.Generation + 1
+	}
+	return 1
+}
+
+// Register journals a function registration (spec-only). spec is the
+// defining SpecConfig JSON for custom functions, "" for catalog ones.
+// Registering an existing live function with the same spec is a no-op
+// returning the current generation.
+func (m *Manifest) Register(name, spec string) (uint64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e := m.entries[name]; e != nil && !e.Deleted && e.Spec == spec {
+		return e.Generation, nil
+	}
+	gen := m.nextGen(name)
+	if err := m.append(record{Op: OpRegister, Name: name, Gen: gen, Spec: spec}); err != nil {
+		return 0, err
+	}
+	return gen, nil
+}
+
+// Record journals a committed snapshot recording for name.
+func (m *Manifest) Record(name, input string) (uint64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	gen := m.nextGen(name)
+	if err := m.append(record{Op: OpRecord, Name: name, Gen: gen, Input: input}); err != nil {
+		return 0, err
+	}
+	return gen, nil
+}
+
+// Invalidate journals the loss of name's snapshot (quarantined or
+// missing at recovery) while keeping the registration live.
+func (m *Manifest) Invalidate(name string) (uint64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	gen := m.nextGen(name)
+	if err := m.append(record{Op: OpInvalidate, Name: name, Gen: gen}); err != nil {
+		return 0, err
+	}
+	return gen, nil
+}
+
+// Delete journals a tombstone for name.
+func (m *Manifest) Delete(name string) (uint64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	gen := m.nextGen(name)
+	if err := m.append(record{Op: OpDelete, Name: name, Gen: gen}); err != nil {
+		return 0, err
+	}
+	return gen, nil
+}
+
+// Get returns name's entry (tombstones included).
+func (m *Manifest) Get(name string) (Entry, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.entries[name]
+	if !ok {
+		return Entry{}, false
+	}
+	return *e, true
+}
+
+// Entries returns every entry — live and tombstoned — sorted by name.
+func (m *Manifest) Entries() []Entry {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Entry, 0, len(m.entries))
+	for _, e := range m.entries {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Live returns the non-tombstoned entries, sorted by name.
+func (m *Manifest) Live() []Entry {
+	all := m.Entries()
+	out := all[:0]
+	for _, e := range all {
+		if !e.Deleted {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Digest is a position-independent hash of the full entry set
+// (tombstones included): two replicas with equal digests hold the same
+// durable state. Reported by GET /manifest and compared by the
+// gateway's anti-entropy sweep.
+func (m *Manifest) Digest() string {
+	h := fnv.New64a()
+	for _, e := range m.Entries() {
+		fmt.Fprintf(h, "%s|%d|%t|%t|%s|%s;", e.Name, e.Generation, e.Deleted, e.HasSnapshot, e.RecordInput, e.Spec)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Compact rewrites the journal to one OpEntry record per entry via the
+// atomic temp-write + fsync + rename + dir-sync sequence.
+func (m *Manifest) Compact() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.compactLocked()
+}
+
+func (m *Manifest) compactLocked() error {
+	tmp := m.path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(m.entries))
+	for n := range m.entries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		e := m.entries[n]
+		payload, err := json.Marshal(record{
+			Op: OpEntry, Name: e.Name, Gen: e.Generation,
+			Spec: e.Spec, Input: e.RecordInput, Snap: e.HasSnapshot, Del: e.Deleted,
+		})
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+		frame := make([]byte, 12+len(payload))
+		binary.LittleEndian.PutUint32(frame[0:], frameMagic)
+		binary.LittleEndian.PutUint32(frame[4:], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(frame[8:], crc32.ChecksumIEEE(payload))
+		copy(frame[12:], payload)
+		if _, err := f.Write(frame); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, m.path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := syncDir(m.dir); err != nil {
+		return err
+	}
+	old := m.f
+	nf, err := os.OpenFile(m.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	m.f = nf
+	old.Close()
+	m.appends = 0
+	return nil
+}
+
+// Close closes the journal.
+func (m *Manifest) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.f == nil {
+		return nil
+	}
+	err := m.f.Close()
+	m.f = nil
+	return err
+}
+
+// syncDir fsyncs a directory so a rename or create inside it is
+// durable (the metadata half of the atomic-commit sequence).
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// quarantineBytes preserves evidence bytes under dir/quarantine/ with
+// a collision-free name (base, base.2, base.3, ...).
+func quarantineBytes(dir, base string, raw []byte) (string, error) {
+	qdir := filepath.Join(dir, "quarantine")
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		return "", err
+	}
+	dst := QuarantinePath(qdir, base)
+	if err := os.WriteFile(dst, raw, 0o644); err != nil {
+		return "", err
+	}
+	return dst, nil
+}
+
+// QuarantinePath returns a collision-free destination for base inside
+// qdir: the bare name if free, else base.2, base.3, ... — repeated
+// quarantines of the same function must never overwrite prior
+// evidence.
+func QuarantinePath(qdir, base string) string {
+	dst := filepath.Join(qdir, base)
+	if _, err := os.Lstat(dst); os.IsNotExist(err) {
+		return dst
+	}
+	for i := 2; ; i++ {
+		cand := fmt.Sprintf("%s.%d", dst, i)
+		if _, err := os.Lstat(cand); os.IsNotExist(err) {
+			return cand
+		}
+	}
+}

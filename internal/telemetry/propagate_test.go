@@ -17,10 +17,10 @@ func TestTraceparentRoundTrip(t *testing.T) {
 	for _, bad := range []string{
 		"",
 		"00-abc",
-		"01-abc-def-01",  // wrong version prefix
-		"00-abc-def-00",  // wrong flags suffix
-		"00--x-01",       // empty trace id
-		"00-onlytrace-01",// no span id separator
+		"01-abc-def-01",   // wrong version prefix
+		"00-abc-def-00",   // wrong flags suffix
+		"00--x-01",        // empty trace id
+		"00-onlytrace-01", // no span id separator
 	} {
 		if _, ok := ParseTraceparent(bad); ok {
 			t.Fatalf("ParseTraceparent(%q) accepted", bad)
