@@ -2,14 +2,14 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-short test-race chaos crash-smoke gateway-e2e bench bench-smoke experiments figures fuzz clean
+.PHONY: all check build vet test test-short test-race chaos crash-smoke gateway-e2e cas-smoke bench bench-smoke experiments figures fuzz clean
 
 all: build vet test
 
 # What CI runs: compile, vet, full tests, the race detector, the
-# fault-injection matrix, the crash-consistency smoke, and the
-# multi-host gateway e2e.
-check: build vet test test-race chaos crash-smoke gateway-e2e
+# fault-injection matrix, the crash-consistency smoke, the multi-host
+# gateway e2e, and the chunk-store smoke.
+check: build vet test test-race chaos crash-smoke gateway-e2e cas-smoke
 
 build:
 	$(GO) build ./...
@@ -52,6 +52,16 @@ crash-smoke:
 # with chaos armed on another, and no client may ever see a 500.
 gateway-e2e:
 	$(GO) test -race -count=1 -run TestGatewayE2E ./internal/gateway/ -timeout 600s
+
+# The chunk-store smoke (DESIGN.md, "Content-addressed chunk store"):
+# unit-level store/chunking invariants, then the daemon-level flow —
+# record two functions from a shared base image, assert the dedup is
+# real, and restore them chunk-by-chunk onto daemons that never
+# recorded them (loading set eager, tail lazy) across a 3-daemon chain,
+# with GC honoring delete tombstones and corrupt chunks quarantining.
+cas-smoke:
+	$(GO) test -race -count=1 ./internal/casstore/ -timeout 300s
+	$(GO) test -race -count=1 -run TestCAS ./internal/daemon/ -timeout 300s
 
 bench:
 	$(GO) test -bench=. -benchmem -timeout 1500s

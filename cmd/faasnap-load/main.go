@@ -87,15 +87,17 @@ func run(logger *log.Logger) error {
 	ctx := context.Background()
 
 	base := *target
+	casAddrs := []string{*target}
 	var syncSweep func()
 	if *cluster > 0 {
-		addr, sweep, cleanup, err := startCluster(*cluster, *maxInFl, *slo, logger)
+		addr, daemons, sweep, cleanup, err := startCluster(*cluster, *maxInFl, *slo, logger)
 		if err != nil {
 			return err
 		}
 		defer cleanup()
 		base = addr
 		syncSweep = sweep
+		casAddrs = daemons
 	}
 
 	// Build the schedule first: replay beats synthesis, and synthesis is
@@ -125,7 +127,7 @@ func run(logger *log.Logger) error {
 
 	if !*noSetup {
 		setupStart := time.Now()
-		if err := loadgen.Setup(ctx, base, tr.Config.Functions, tr.Config.Input, 8); err != nil {
+		if err := loadgen.Setup(ctx, base, tr.Config.Functions, tr.Config.Mode, tr.Config.Input, 8); err != nil {
 			return fmt.Errorf("fleet setup: %w", err)
 		}
 		logger.Printf("fleet ready: %d functions registered and recorded in %v",
@@ -151,6 +153,14 @@ func run(logger *log.Logger) error {
 		}
 		f.Close()
 		logger.Printf("mutex profile written to %s", *mutexProf)
+	}
+
+	// Fold the serving daemons' chunk-store accounting into the bench
+	// artifact; a tier without a chunk store contributes zeros.
+	rep.CASDedupRatio, rep.CASRestoreBytesSaved = casStats(casAddrs)
+	if rep.CASDedupRatio > 0 {
+		logger.Printf("chunk store: dedup ratio %.3f, %d restore bytes saved",
+			rep.CASDedupRatio, rep.CASRestoreBytesSaved)
 	}
 
 	raw, _ := json.MarshalIndent(rep, "", "  ")
@@ -230,6 +240,50 @@ func sloArtifact(base, path string, check bool, rep *loadgen.Report, logger *log
 	return nil
 }
 
+// casStats aggregates GET /cas across the serving daemons: the fleet
+// dedup ratio is 1 - sum(physical)/sum(logical), and restore savings
+// sum. Backends without a chunk store (404, or a gateway address that
+// doesn't proxy /cas) are skipped.
+func casStats(bases []string) (float64, int64) {
+	var logical, physical, saved int64
+	for _, b := range bases {
+		if b == "" {
+			continue
+		}
+		resp, err := http.Get(b + "/cas")
+		if err != nil {
+			continue
+		}
+		raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			continue
+		}
+		var doc struct {
+			Stats struct {
+				LocalBytes int64 `json:"local_bytes"`
+				ColdBytes  int64 `json:"cold_bytes"`
+			} `json:"stats"`
+			LogicalBytes      int64 `json:"logical_bytes"`
+			RestoreBytesSaved int64 `json:"restore_bytes_saved"`
+		}
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			continue
+		}
+		logical += doc.LogicalBytes
+		physical += doc.Stats.LocalBytes + doc.Stats.ColdBytes
+		saved += doc.RestoreBytesSaved
+	}
+	if logical <= 0 {
+		return 0, saved
+	}
+	ratio := 1 - float64(physical)/float64(logical)
+	if ratio < 0 {
+		ratio = 0
+	}
+	return ratio, saved
+}
+
 // fetchSLO GETs the tier's SLO report: /cluster/slo on a gateway
 // (using its merged "cluster" view), falling back to /slo on a daemon.
 func fetchSLO(base string) ([]byte, *slo.Report, error) {
@@ -268,8 +322,10 @@ func fetchSLO(base string) ([]byte, *slo.Report, error) {
 // with like. Everything runs with HTTP request logging off — at
 // open-loop rates the log write is itself a contention point.
 // The returned sweep func forces one gateway health sweep (nil for a
-// single daemon, whose /slo is always current).
-func startCluster(n int, maxInFlight int64, sloLat time.Duration, logger *log.Logger) (string, func(), func(), error) {
+// single daemon, whose /slo is always current). The daemon base URLs
+// come back separately so the chunk-store accounting can be scraped
+// per host after the run.
+func startCluster(n int, maxInFlight int64, sloLat time.Duration, logger *log.Logger) (string, []string, func(), func(), error) {
 	quiet := log.New(io.Discard, "", 0)
 	var cleanups []func()
 	cleanup := func() {
@@ -278,12 +334,22 @@ func startCluster(n int, maxInFlight int64, sloLat time.Duration, logger *log.Lo
 		}
 	}
 
-	var addrs []string
+	var addrs, bases []string
 	for i := 0; i < n; i++ {
+		// Each daemon gets a real state dir so recordings flow through
+		// the content-addressed chunk store and the bench artifact's
+		// dedup accounting measures the same path production runs.
+		state, err := os.MkdirTemp("", "faasnap-load-state-*")
+		if err != nil {
+			cleanup()
+			return "", nil, nil, nil, err
+		}
+		cleanups = append(cleanups, func() { os.RemoveAll(state) })
 		d, err := daemon.New(daemon.Config{
 			Host:      core.DefaultHostConfig(),
 			Logger:    quiet,
 			QuietHTTP: true,
+			StateDir:  state,
 			SLO:       slo.Config{Default: slo.Objective{Latency: sloLat}},
 			Resilience: daemon.ResilienceConfig{
 				MaxInFlight: maxInFlight,
@@ -291,22 +357,23 @@ func startCluster(n int, maxInFlight int64, sloLat time.Duration, logger *log.Lo
 		})
 		if err != nil {
 			cleanup()
-			return "", nil, nil, err
+			return "", nil, nil, nil, err
 		}
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			d.Close()
 			cleanup()
-			return "", nil, nil, err
+			return "", nil, nil, nil, err
 		}
 		srv := &http.Server{Handler: d.Handler()}
 		go srv.Serve(ln)
 		addrs = append(addrs, ln.Addr().String())
+		bases = append(bases, "http://"+ln.Addr().String())
 		cleanups = append(cleanups, func() { srv.Close(); d.Close() })
 	}
 	logger.Printf("cluster: %d daemons on %v", n, addrs)
 	if n == 1 {
-		return "http://" + addrs[0], nil, cleanup, nil
+		return "http://" + addrs[0], bases, nil, cleanup, nil
 	}
 
 	// The gateway here is a router, not the admission point: the
@@ -321,17 +388,17 @@ func startCluster(n int, maxInFlight int64, sloLat time.Duration, logger *log.Lo
 	})
 	if err != nil {
 		cleanup()
-		return "", nil, nil, err
+		return "", nil, nil, nil, err
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		gw.Close()
 		cleanup()
-		return "", nil, nil, err
+		return "", nil, nil, nil, err
 	}
 	srv := &http.Server{Handler: gw.Handler()}
 	go srv.Serve(ln)
 	cleanups = append(cleanups, func() { srv.Close(); gw.Close() })
 	logger.Printf("cluster: gateway on %s", ln.Addr().String())
-	return "http://" + ln.Addr().String(), func() { gw.Pool().CheckNow() }, cleanup, nil
+	return "http://" + ln.Addr().String(), bases, func() { gw.Pool().CheckNow() }, cleanup, nil
 }

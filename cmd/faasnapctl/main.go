@@ -39,6 +39,10 @@ commands:
   burst <fn> <mode> <input> <parallel> [same|diff]
   delete <fn>                               remove a function
   manifest                                  durable-state manifest (digest + per-function generations)
+  cas                                       chunk-store occupancy and dedup accounting
+  chunkmap <fn>                             snapshot chunk-map summary (count, bytes, loading set)
+  sync <fn> <source host:port> [eager]      pull fn's snapshot from a peer, missing chunks only
+  gc [demote]                               sweep unreferenced chunks (demote: compress cold chunks)
   traces [id]                               list invocation traces, or fetch one (Zipkin v2 JSON)
   metrics                                   daemon counters
   cluster [fn]                              gateway topology (and fn's placement preference)
@@ -239,6 +243,29 @@ func main() {
 			fatal(fmt.Errorf("spec file has no name"))
 		}
 		call("PUT", "/functions/"+name, spec)
+	case "cas":
+		if len(rest) != 0 {
+			usage()
+		}
+		call("GET", "/cas", nil)
+	case "chunkmap":
+		if len(rest) != 1 {
+			usage()
+		}
+		call("GET", "/functions/"+rest[0]+"/chunkmap?summary=1", nil)
+	case "sync":
+		if len(rest) < 2 || len(rest) > 3 {
+			usage()
+		}
+		eager := len(rest) == 3 && rest[2] == "eager"
+		call("POST", "/functions/"+rest[0]+"/sync",
+			map[string]interface{}{"source": rest[1], "eager": eager})
+	case "gc":
+		if len(rest) > 1 {
+			usage()
+		}
+		demote := len(rest) == 1 && rest[0] == "demote"
+		call("POST", "/gc", map[string]interface{}{"demote": demote})
 	case "delete":
 		if len(rest) != 1 {
 			usage()

@@ -1,0 +1,302 @@
+package casstore
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"faasnap/internal/core"
+	"faasnap/internal/telemetry"
+	"faasnap/internal/workload"
+)
+
+func newStore(t *testing.T) (*Store, string) {
+	t.Helper()
+	dir := t.TempDir()
+	s, err := Open(dir, telemetry.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, dir
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, _ := newStore(t)
+	data := bytes.Repeat([]byte("faasnap"), 1000)
+	d, existed, err := s.Put(data)
+	if err != nil || existed {
+		t.Fatalf("put = existed=%v, %v", existed, err)
+	}
+	if !s.Has(d) {
+		t.Fatal("Has after put = false")
+	}
+	got, tier, err := s.Get(d)
+	if err != nil || tier != TierLocal || !bytes.Equal(got, data) {
+		t.Fatalf("get = tier=%v err=%v match=%v", tier, err, bytes.Equal(got, data))
+	}
+	// Second put of the same content is a dedup hit.
+	d2, existed, err := s.Put(data)
+	if err != nil || !existed || d2 != d {
+		t.Fatalf("re-put = %s existed=%v, %v", d2, existed, err)
+	}
+	if v := s.dedupHits.Value(); v != 1 {
+		t.Fatalf("dedup hits = %v, want 1", v)
+	}
+}
+
+func TestPutDigestRejectsMismatch(t *testing.T) {
+	s, _ := newStore(t)
+	d := Sum([]byte("right"))
+	if _, err := s.PutDigest(d, []byte("wrong")); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("mismatched put = %v, want ErrCorrupt", err)
+	}
+	if s.Has(d) {
+		t.Fatal("mismatched payload was committed")
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	s, _ := newStore(t)
+	if _, _, err := s.Get(Sum([]byte("never stored"))); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("get missing = %v, want ErrNotFound", err)
+	}
+}
+
+func TestDemoteAndColdGet(t *testing.T) {
+	s, _ := newStore(t)
+	// Compressible content, as chunk payloads are.
+	data := bytes.Repeat([]byte("abcdefgh"), 32*1024)
+	d, _, err := s.Put(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Demote(d); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Lstat(s.localPath(d)); !os.IsNotExist(err) {
+		t.Fatal("local copy survived demotion")
+	}
+	got, tier, err := s.Get(d)
+	if err != nil || tier != TierCold || !bytes.Equal(got, data) {
+		t.Fatalf("cold get = tier=%v err=%v match=%v", tier, err, bytes.Equal(got, data))
+	}
+	st, err := s.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ColdChunks != 1 || st.LocalChunks != 0 {
+		t.Fatalf("stats = %+v, want 1 cold chunk", st)
+	}
+	if st.ColdBytes >= int64(len(data)) {
+		t.Fatalf("cold tier stored %d bytes for %d raw — compression missing", st.ColdBytes, len(data))
+	}
+	// Demoting again is a no-op.
+	if err := s.Demote(d); err != nil {
+		t.Fatalf("re-demote = %v", err)
+	}
+}
+
+func TestCorruptChunkQuarantines(t *testing.T) {
+	s, dir := newStore(t)
+	data := []byte("chunk payload with enough bytes to flip")
+	d, _, err := s.Put(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rot the chunk on disk.
+	path := s.localPath(d)
+	raw, _ := os.ReadFile(path)
+	raw[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Get(d); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("get corrupt = %v, want ErrCorrupt", err)
+	}
+	if s.Has(d) {
+		t.Fatal("corrupt chunk still served by Has")
+	}
+	q := filepath.Join(dir, "quarantine", "chunk-"+d.String())
+	if _, err := os.Lstat(q); err != nil {
+		t.Fatalf("corrupt chunk not quarantined at %s: %v", q, err)
+	}
+	if _, _, err := s.Get(d); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("get after quarantine = %v, want ErrNotFound", err)
+	}
+	if v := s.quarantined.Value(); v != 1 {
+		t.Fatalf("quarantine counter = %v, want 1", v)
+	}
+}
+
+func TestGC(t *testing.T) {
+	s, _ := newStore(t)
+	live, _, err := s.Put([]byte("live chunk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead, _, err := s.Put([]byte("dead chunk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldLive, _, err := s.Put(bytes.Repeat([]byte("cold"), 4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.GC(
+		func(d Digest) bool { return d == live || d == coldLive },
+		func(d Digest) bool { return d == live }, // coldLive is live but not hot
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Removed != 1 || res.Kept != 2 || res.Demoted != 1 {
+		t.Fatalf("gc = %+v, want removed=1 kept=2 demoted=1", res)
+	}
+	if s.Has(dead) {
+		t.Fatal("dead chunk survived GC")
+	}
+	if !s.Has(live) || !s.Has(coldLive) {
+		t.Fatal("live chunk removed by GC")
+	}
+	if _, tier, err := s.Get(coldLive); err != nil || tier != TierCold {
+		t.Fatalf("demoted chunk: tier=%v err=%v, want cold", tier, err)
+	}
+}
+
+func TestSweepTemp(t *testing.T) {
+	s, _ := newStore(t)
+	tmp := filepath.Join(s.localDir(), "ab", "deadbeef.123.tmp")
+	if err := os.MkdirAll(filepath.Dir(tmp), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(tmp, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s.SweepTemp()
+	if _, err := os.Lstat(tmp); !os.IsNotExist(err) {
+		t.Fatal("temp file survived sweep")
+	}
+}
+
+func TestParseDigest(t *testing.T) {
+	d := Sum([]byte("x"))
+	got, err := ParseDigest(d.String())
+	if err != nil || got != d {
+		t.Fatalf("round trip = %v, %v", got, err)
+	}
+	if _, err := ParseDigest("short"); err == nil {
+		t.Fatal("short digest accepted")
+	}
+	if _, err := ParseDigest(string(bytes.Repeat([]byte("z"), 64))); err == nil {
+		t.Fatal("non-hex digest accepted")
+	}
+}
+
+// sharedBaseSpecs builds two custom functions that differ only in name
+// — the same boot/runtime image, i.e. recorded from a shared base.
+func sharedBaseSpecs(t *testing.T) (*workload.Spec, *workload.Spec) {
+	t.Helper()
+	mk := func(name string) *workload.Spec {
+		spec, err := workload.ParseSpec([]byte(`{
+			"name": "` + name + `", "boot_mb": 16, "stable_pages": 128,
+			"chunk_mean": 4, "retain_frac": 0.5, "base_ms": 1, "per_kb_us": 2,
+			"init_ms": 5, "input_a": {"bytes": 4096, "data_pages": 8},
+			"input_b": {"bytes": 16384, "data_pages": 24}}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return spec
+	}
+	return mk("cas-alpha"), mk("cas-beta")
+}
+
+func TestBuildChunksDeterministic(t *testing.T) {
+	fn, _ := sharedBaseSpecs(t)
+	arts, _ := core.Record(core.DefaultHostConfig(), fn, fn.A)
+	cm1, chunks1 := BuildChunks(arts, 0)
+	cm2, chunks2 := BuildChunks(arts, 0)
+	if len(cm1.Refs) == 0 || len(cm1.Refs) != len(cm2.Refs) {
+		t.Fatalf("ref counts: %d vs %d", len(cm1.Refs), len(cm2.Refs))
+	}
+	for i := range cm1.Refs {
+		if cm1.Refs[i] != cm2.Refs[i] {
+			t.Fatalf("ref %d differs across builds", i)
+		}
+		if Sum(chunks1[i].Data) != chunks1[i].Ref.Digest {
+			t.Fatalf("chunk %d payload does not hash to its ref", i)
+		}
+		_ = chunks2
+	}
+	if cm1.ChunkPages != DefaultChunkPages {
+		t.Fatalf("chunk pages = %d", cm1.ChunkPages)
+	}
+}
+
+func TestBuildChunksLSFlags(t *testing.T) {
+	fn, _ := sharedBaseSpecs(t)
+	arts, _ := core.Record(core.DefaultHostConfig(), fn, fn.A)
+	cm, _ := BuildChunks(arts, 0)
+	var lsRefs int
+	for _, r := range cm.Refs {
+		if r.LS {
+			lsRefs++
+			if r.Group < 0 {
+				t.Fatalf("LS ref at page %d has no group", r.StartPage)
+			}
+		} else if r.Group != -1 {
+			t.Fatalf("non-LS ref at page %d has group %d", r.StartPage, r.Group)
+		}
+	}
+	if lsRefs == 0 || lsRefs == len(cm.Refs) {
+		t.Fatalf("LS refs = %d of %d; want a proper subset", lsRefs, len(cm.Refs))
+	}
+	if lsb, tot := cm.LSBytes(), cm.TotalBytes(); lsb <= 0 || lsb >= tot {
+		t.Fatalf("LS bytes %d of total %d; want a proper subset", lsb, tot)
+	}
+}
+
+func TestSharedBaseImageDedup(t *testing.T) {
+	fnA, fnB := sharedBaseSpecs(t)
+	artsA, _ := core.Record(core.DefaultHostConfig(), fnA, fnA.A)
+	artsB, _ := core.Record(core.DefaultHostConfig(), fnB, fnB.A)
+	_, chunksA := BuildChunks(artsA, 0)
+	_, chunksB := BuildChunks(artsB, 0)
+
+	s, _ := newStore(t)
+	var logical, aBytes int64
+	for _, c := range chunksA {
+		if _, _, err := s.Put(c.Data); err != nil {
+			t.Fatal(err)
+		}
+		logical += int64(len(c.Data))
+		aBytes += int64(len(c.Data))
+	}
+	var shared, total int
+	for _, c := range chunksB {
+		existed, err := s.PutDigest(c.Ref.Digest, c.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total++
+		if existed {
+			shared++
+		}
+		logical += int64(len(c.Data))
+	}
+	if shared*2 <= total {
+		t.Fatalf("shared-base dedup: only %d of %d of B's chunks dedup against A", shared, total)
+	}
+	st, err := s.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Store size must sit well below 2x a single snapshot's chunk bytes.
+	if st.PhysicalBytes() >= aBytes*17/10 {
+		t.Fatalf("store holds %d bytes for two snapshots of %d each — dedup not real", st.PhysicalBytes(), aBytes)
+	}
+	if st.PhysicalBytes() >= logical {
+		t.Fatalf("physical %d >= logical %d", st.PhysicalBytes(), logical)
+	}
+}

@@ -1,0 +1,167 @@
+package casstore
+
+// Chunking: cutting a recorded snapshot's memory content into the
+// fixed-size, page-aligned extents the store addresses.
+//
+// The simulator's memory files track which pages are non-zero, not
+// their bytes, so chunk payloads are modeled content, generated
+// deterministically from page identity:
+//
+//   - pages inside the boot/runtime image (below the spec's BootPages)
+//     derive from the *base-image key* — the guest kernel and runtime
+//     bytes every function built on that image shares. Two functions
+//     recorded from the same base produce bit-identical boot chunks,
+//     which is exactly the cross-function dedup real CAS snapshot
+//     stores get from shared layers;
+//   - every other page derives from the function's own identity, so
+//     private heap/data pages never falsely collide.
+//
+// The generated pages are internally repetitive (a 1 KiB pattern
+// repeated), matching how real guest memory compresses in the cold
+// tier without changing the dedup story.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"faasnap/internal/core"
+	"faasnap/internal/snapfile"
+	"faasnap/internal/snapshot"
+)
+
+// DefaultChunkPages is the chunking granularity: 64 pages = 256 KiB,
+// page-aligned in guest-page index space.
+const DefaultChunkPages = 64
+
+// seedFor derives the content seed of one page.
+func seedFor(key string, page int64) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return h.Sum64() ^ (uint64(page) * 0x9e3779b97f4a7c15)
+}
+
+// fillPage writes page content for seed into buf (one page): a 1 KiB
+// splitmix64-generated pattern repeated to fill the page.
+func fillPage(buf []byte, seed uint64) {
+	const pattern = 1024
+	n := len(buf)
+	if n > pattern {
+		n = pattern
+	}
+	x := seed
+	for i := 0; i+8 <= n; i += 8 {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z ^= z >> 30
+		z *= 0xbf58476d1ce4e5b9
+		z ^= z >> 27
+		z *= 0x94d049bb133111eb
+		z ^= z >> 31
+		binary.LittleEndian.PutUint64(buf[i:], z)
+	}
+	for i := n; i < len(buf); i += n {
+		copy(buf[i:], buf[:n])
+	}
+}
+
+// Chunk pairs a chunk-map reference with its payload bytes.
+type Chunk struct {
+	Ref  snapfile.ChunkRef
+	Data []byte
+}
+
+// interval is a half-open page range tagged with its loading-set
+// group.
+type interval struct {
+	start, end int64
+	group      int
+}
+
+// lsIntervals flattens the loading set's non-zero regions into sorted
+// page intervals.
+func lsIntervals(arts *core.Artifacts) []interval {
+	var out []interval
+	if arts.LS == nil {
+		return out
+	}
+	for _, r := range arts.LS.Regions {
+		if r.Zero || r.Len <= 0 {
+			continue
+		}
+		out = append(out, interval{start: r.Start, end: r.Start + r.Len, group: r.Group})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].start < out[j].start })
+	return out
+}
+
+// BuildChunks cuts arts' memory file into content-addressed chunks of
+// chunkPages pages (<= 0 takes DefaultChunkPages). All-zero extents
+// produce no chunk — a restore zero-fills uncovered ranges. Each ref
+// carries whether the chunk overlaps the loading set and the lowest
+// overlapping group, which orders eager fetching on restore.
+func BuildChunks(arts *core.Artifacts, chunkPages int64) (*snapfile.ChunkMap, []Chunk) {
+	if chunkPages <= 0 {
+		chunkPages = DefaultChunkPages
+	}
+	mem := arts.Mem
+	baseKey := fmt.Sprintf("base-image-%dp", arts.Fn.BootPages)
+	fnKey := "fn-" + arts.Fn.Name
+	ls := lsIntervals(arts)
+	cm := &snapfile.ChunkMap{ChunkPages: chunkPages}
+	var chunks []Chunk
+	li := 0
+	for start := int64(0); start < mem.Pages; start += chunkPages {
+		end := start + chunkPages
+		if end > mem.Pages {
+			end = mem.Pages
+		}
+		nonZero := false
+		for p := start; p < end; p++ {
+			if !mem.IsZero(p) {
+				nonZero = true
+				break
+			}
+		}
+		if !nonZero {
+			continue
+		}
+		data := make([]byte, (end-start)*snapshot.PageSize)
+		for p := start; p < end; p++ {
+			if mem.IsZero(p) {
+				continue
+			}
+			key := fnKey
+			if p < arts.Fn.BootPages {
+				key = baseKey
+			}
+			off := (p - start) * snapshot.PageSize
+			fillPage(data[off:off+snapshot.PageSize], seedFor(key, p))
+		}
+		ref := snapfile.ChunkRef{
+			Digest:    Sum(data),
+			StartPage: start,
+			Pages:     end - start,
+			Bytes:     int64(len(data)),
+			Group:     -1,
+		}
+		// Advance the loading-set cursor past intervals that end before
+		// this chunk, then scan the overlapping ones for the lowest group.
+		for li < len(ls) && ls[li].end <= start {
+			li++
+		}
+		for i := li; i < len(ls) && ls[i].start < end; i++ {
+			if ls[i].end <= start {
+				continue
+			}
+			ref.LS = true
+			if ref.Group < 0 || int64(ls[i].group) < ref.Group {
+				ref.Group = int64(ls[i].group)
+			}
+		}
+		cm.Refs = append(cm.Refs, ref)
+		chunks = append(chunks, Chunk{Ref: ref, Data: data})
+	}
+	return cm, chunks
+}

@@ -65,6 +65,19 @@ const (
 	// .snap file not yet removed. The function must stay deleted after
 	// restart; the leftover file must not resurrect it.
 	CrashDeletePostJournal = "delete.post-journal"
+	// CrashChunkPreRename: a CAS chunk's temp file is written and
+	// fsynced, the rename to its digest name not yet done. The chunk
+	// must not be visible after restart and the temp file must be swept.
+	CrashChunkPreRename = "cas.chunk-pre-rename"
+	// CrashChunkPostRename: a CAS chunk is renamed into place but the
+	// record that was writing it never finished. The chunk is durable
+	// but unreferenced — recovery's refcount sweep must collect it.
+	CrashChunkPostRename = "cas.chunk-post-rename"
+	// CrashRecordPostChunks: every chunk of a recording is committed to
+	// the CAS but the snapfile referencing them is not yet written. The
+	// recording was never acknowledged; restart must not serve it and
+	// the orphan chunks must be collected.
+	CrashRecordPostChunks = "record.post-chunks"
 )
 
 // crashpoints is the registry of valid names; arming anything else is
@@ -78,6 +91,9 @@ var crashpoints = map[string]bool{
 	CrashRecordPostReply:     true,
 	CrashRegisterPostJournal: true,
 	CrashDeletePostJournal:   true,
+	CrashChunkPreRename:      true,
+	CrashChunkPostRename:     true,
+	CrashRecordPostChunks:    true,
 }
 
 // Crashpoints returns every defined crashpoint name, sorted; the

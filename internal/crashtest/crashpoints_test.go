@@ -162,6 +162,57 @@ var crashScenarios = map[string]crashScenario{
 			if st, err := n.invoke(fn, "B"); err != nil || st != http.StatusOK {
 				t.Fatalf("invoke of acked snapshot = %d, %v", st, err)
 			}
+			if c := chunkCount(t, state); c == 0 {
+				t.Fatal("acked record has no chunks in the store")
+			}
+		},
+	},
+	// Chunk temp file written and fsynced, rename not reached: the
+	// chunk never became addressable. Recovery sweeps the temp file and
+	// nothing references the half-written content.
+	chaos.CrashChunkPreRename: {
+		prep:    prepRegister,
+		trigger: triggerRecord,
+		verify: func(t *testing.T, n *node, state string) {
+			verifyRegisteredNoSnapshot(t, n, state)
+			if exists(snapPath(state, fn)) {
+				t.Fatal("snapfile committed despite chunk-write crash")
+			}
+			if c := chunkCount(t, state); c != 0 {
+				t.Fatalf("%d orphan chunks survived recovery GC", c)
+			}
+		},
+	},
+	// Chunk renamed into place, then crash: the chunk is durable but no
+	// committed snapfile references it — recovery GC collects it rather
+	// than leaking store space forever.
+	chaos.CrashChunkPostRename: {
+		prep:    prepRegister,
+		trigger: triggerRecord,
+		verify: func(t *testing.T, n *node, state string) {
+			verifyRegisteredNoSnapshot(t, n, state)
+			if exists(snapPath(state, fn)) {
+				t.Fatal("snapfile committed despite chunk-write crash")
+			}
+			if c := chunkCount(t, state); c != 0 {
+				t.Fatalf("%d orphan chunks survived recovery GC", c)
+			}
+		},
+	},
+	// Every chunk landed, snapfile commit not reached: the record was
+	// never acknowledged, so the chunks are all orphans and must be
+	// collected; the registration survives clean.
+	chaos.CrashRecordPostChunks: {
+		prep:    prepRegister,
+		trigger: triggerRecord,
+		verify: func(t *testing.T, n *node, state string) {
+			verifyRegisteredNoSnapshot(t, n, state)
+			if exists(snapPath(state, fn)) {
+				t.Fatal("snapfile committed despite pre-commit crash")
+			}
+			if c := chunkCount(t, state); c != 0 {
+				t.Fatalf("%d orphan chunks survived recovery GC", c)
+			}
 		},
 	},
 	// Registration journaled, reply unsent: durable.

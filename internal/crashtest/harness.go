@@ -268,6 +268,30 @@ func exists(path string) bool {
 	return err == nil
 }
 
+// chunkCount counts committed chunk files in the state dir's
+// content-addressed store (local tier), temp files excluded.
+func chunkCount(t *testing.T, state string) int {
+	t.Helper()
+	n := 0
+	root := filepath.Join(state, "cas", "chunks")
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			if os.IsNotExist(err) {
+				return nil
+			}
+			return err
+		}
+		if !d.IsDir() && !strings.HasSuffix(d.Name(), ".tmp") {
+			n++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walk chunk store: %v", err)
+	}
+	return n
+}
+
 // buildDaemon compiles faasnapd into dir and points daemonBin at it.
 // Called once from TestMain.
 func buildDaemon(dir string) error {

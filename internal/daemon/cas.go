@@ -1,0 +1,553 @@
+package daemon
+
+// Chunk-store integration: every recording is chunked into the
+// content-addressed store (internal/casstore) and the snapfile carries
+// a v2 chunk map referencing it. The daemon serves the chunk plane —
+// GET /chunks/{digest}, GET /functions/{name}/chunkmap — and restores
+// functions it never recorded by pulling a peer's chunk map and only
+// the chunks it is missing (POST /functions/{name}/sync): loading-set
+// chunks eagerly in group order, per the paper's per-region restore
+// priority, the rest lazily in the background. POST /gc is the
+// refcount sweep: chunks referenced by no live function are removed,
+// live chunks outside every loading set are demoted to the compressed
+// cold tier.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"faasnap/internal/casstore"
+	"faasnap/internal/chaos"
+	"faasnap/internal/snapfile"
+)
+
+// syncClient fetches chunk maps and chunks from peer daemons. Separate
+// from the gateway's client: sync transfers can be large.
+var syncClient = &http.Client{Timeout: 30 * time.Second}
+
+// initCAS opens the chunk store under the state directory and
+// registers the daemon-level CAS metric families.
+func (d *Daemon) initCAS() error {
+	cas, err := casstore.Open(d.cfg.StateDir, d.telemetry)
+	if err != nil {
+		return err
+	}
+	d.cas = cas
+	d.casDedup = d.telemetry.Gauge("faasnap_cas_dedup_ratio",
+		"Fraction of logically referenced chunk bytes saved by dedup and compression (1 - physical/logical).", nil)
+	d.casSaved = d.telemetry.Counter("faasnap_cas_restore_bytes_saved_total",
+		"Bytes a chunk-level restore did not transfer eagerly (already present via dedup, or deferred to lazy fetch).", nil)
+	d.casLazyPending = d.telemetry.Gauge("faasnap_cas_lazy_pending_chunks",
+		"Chunks a completed sync still owes to the background lazy fetcher.", nil)
+	d.casSyncs = d.telemetry.Counter("faasnap_cas_sync_total",
+		"Chunk-level restores served for functions this daemon never recorded.", nil)
+	d.casGCRemoved = d.telemetry.Counter("faasnap_cas_gc_removed_chunks_total",
+		"Unreferenced chunks removed by the refcount sweep.", nil)
+	return nil
+}
+
+// liveChunkSets walks the registry and returns the digests referenced
+// by any live function, and the subset referenced by a loading set.
+// Tombstoned functions are not in the registry, so an acked delete
+// contributes nothing — its chunks are collected unless shared.
+func (d *Daemon) liveChunkSets() (live, hot map[casstore.Digest]bool) {
+	live = make(map[casstore.Digest]bool)
+	hot = make(map[casstore.Digest]bool)
+	for _, fs := range d.reg.snapshot() {
+		fs.mu.Lock()
+		cm := fs.chunks
+		fs.mu.Unlock()
+		if cm == nil {
+			continue
+		}
+		for _, ref := range cm.Refs {
+			dg := casstore.Digest(ref.Digest)
+			live[dg] = true
+			if ref.LS {
+				hot[dg] = true
+			}
+		}
+	}
+	return live, hot
+}
+
+// logicalChunkBytes sums every live function's chunk-map payload — the
+// size the store would need with no dedup.
+func (d *Daemon) logicalChunkBytes() int64 {
+	var n int64
+	for _, fs := range d.reg.snapshot() {
+		fs.mu.Lock()
+		if fs.chunks != nil {
+			n += fs.chunks.TotalBytes()
+		}
+		fs.mu.Unlock()
+	}
+	return n
+}
+
+// updateDedupGauge recomputes faasnap_cas_dedup_ratio from the live
+// chunk maps and the store's physical footprint.
+func (d *Daemon) updateDedupGauge() {
+	if d.cas == nil {
+		return
+	}
+	logical := d.logicalChunkBytes()
+	if logical <= 0 {
+		d.casDedup.Set(0)
+		return
+	}
+	st, err := d.cas.Stats()
+	if err != nil {
+		return
+	}
+	ratio := 1 - float64(st.PhysicalBytes())/float64(logical)
+	if ratio < 0 {
+		ratio = 0
+	}
+	d.casDedup.Set(ratio)
+}
+
+// verifyChunks checks a recovered chunk map against the store. A
+// missing loading-set chunk makes the snapshot unusable (the eager
+// restore path would stall), so it is an error; missing lazy chunks
+// are tolerated — a sync target that crashed mid-lazy-fetch still
+// serves, and anti-entropy re-pulls the tail.
+func (d *Daemon) verifyChunks(name string, cm *snapfile.ChunkMap) error {
+	if cm == nil || d.cas == nil {
+		return nil
+	}
+	var lazyMissing int
+	for _, ref := range cm.Refs {
+		if d.cas.Has(casstore.Digest(ref.Digest)) {
+			continue
+		}
+		if ref.LS {
+			return fmt.Errorf("loading-set chunk %x missing from store", ref.Digest[:8])
+		}
+		lazyMissing++
+	}
+	if lazyMissing > 0 {
+		d.log.Printf("recovery: %s is missing %d lazy chunks (refetchable; anti-entropy will repair)", name, lazyMissing)
+	}
+	return nil
+}
+
+// handleChunkGet serves one chunk's bytes. Corrupt chunks have been
+// quarantined by the store by the time the error surfaces — they are
+// never served; a peer retries elsewhere or re-records.
+func (d *Daemon) handleChunkGet(w http.ResponseWriter, r *http.Request) {
+	if d.cas == nil {
+		writeErr(w, http.StatusNotFound, "no state directory; this daemon keeps no chunk store")
+		return
+	}
+	dg, err := casstore.ParseDigest(r.PathValue("digest"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	data, tier, err := d.cas.Get(dg)
+	switch {
+	case err == nil:
+	case errors.Is(err, casstore.ErrCorrupt):
+		writeErr(w, http.StatusInternalServerError, "chunk %s failed verification and was quarantined", dg)
+		return
+	default:
+		writeErr(w, http.StatusNotFound, "chunk %s not stored here", dg)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Faasnap-Chunk-Tier", tier.String())
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
+// ChunkRefJSON is one chunk-map entry in API responses.
+type ChunkRefJSON struct {
+	Digest     string `json:"digest"`
+	StartPage  int64  `json:"start_page"`
+	Pages      int64  `json:"pages"`
+	Bytes      int64  `json:"bytes"`
+	LoadingSet bool   `json:"loading_set"`
+	Group      int64  `json:"group"`
+}
+
+// ChunkMapResponse is GET /functions/{name}/chunkmap: everything a
+// peer needs to restore the function — the raw snapfile (metadata +
+// chunk map, CRC intact) and the refs to fetch. With ?summary=1 the
+// refs and snapfile are omitted.
+type ChunkMapResponse struct {
+	Function    string         `json:"function"`
+	RecordInput string         `json:"record_input"`
+	ChunkPages  int64          `json:"chunk_pages"`
+	ChunkCount  int            `json:"chunk_count"`
+	TotalBytes  int64          `json:"total_bytes"`
+	LSBytes     int64          `json:"ls_bytes"`
+	Chunks      []ChunkRefJSON `json:"chunks,omitempty"`
+	Snapfile    []byte         `json:"snapfile,omitempty"`
+}
+
+func (d *Daemon) handleChunkMap(w http.ResponseWriter, r *http.Request) {
+	if d.cas == nil {
+		writeErr(w, http.StatusNotFound, "no state directory; this daemon keeps no chunk store")
+		return
+	}
+	name := r.PathValue("name")
+	fs, ok := d.fn(name)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "%v", errNotRegistered)
+		return
+	}
+	fs.mu.Lock()
+	cm := fs.chunks
+	input := ""
+	if fs.arts != nil {
+		input = fs.arts.RecordInput.Name
+	}
+	fs.mu.Unlock()
+	if cm == nil {
+		writeErr(w, http.StatusNotFound, "%s has no chunked snapshot", name)
+		return
+	}
+	resp := ChunkMapResponse{
+		Function:    name,
+		RecordInput: input,
+		ChunkPages:  cm.ChunkPages,
+		ChunkCount:  len(cm.Refs),
+		TotalBytes:  cm.TotalBytes(),
+		LSBytes:     cm.LSBytes(),
+	}
+	if r.URL.Query().Get("summary") == "" {
+		raw, err := os.ReadFile(filepath.Join(d.cfg.StateDir, name+".snap"))
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, "read snapfile: %v", err)
+			return
+		}
+		resp.Snapfile = raw
+		resp.Chunks = make([]ChunkRefJSON, 0, len(cm.Refs))
+		for _, ref := range cm.Refs {
+			resp.Chunks = append(resp.Chunks, ChunkRefJSON{
+				Digest:     casstore.Digest(ref.Digest).String(),
+				StartPage:  ref.StartPage,
+				Pages:      ref.Pages,
+				Bytes:      ref.Bytes,
+				LoadingSet: ref.LS,
+				Group:      ref.Group,
+			})
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type syncRequest struct {
+	// Source is the peer daemon ("host:port") holding the snapshot.
+	Source string `json:"source"`
+	// Eager fetches every chunk before replying instead of deferring
+	// non-loading-set chunks to the background.
+	Eager bool `json:"eager"`
+}
+
+// SyncResponse reports one chunk-level restore.
+type SyncResponse struct {
+	Function      string `json:"function"`
+	Source        string `json:"source"`
+	ChunksTotal   int    `json:"chunks_total"`
+	ChunksFetched int    `json:"chunks_fetched"`
+	ChunksPresent int    `json:"chunks_present"`
+	ChunksLazy    int    `json:"chunks_lazy"`
+	BytesTotal    int64  `json:"bytes_total"`
+	BytesFetched  int64  `json:"bytes_fetched"`
+	SnapfileBytes int64  `json:"snapfile_bytes"`
+}
+
+// fetchChunk pulls one chunk from the source and commits it under its
+// digest; PutDigest rejects transfer corruption before commit.
+func (d *Daemon) fetchChunk(source string, dg casstore.Digest) (int64, error) {
+	resp, err := syncClient.Get("http://" + source + "/chunks/" + dg.String())
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return 0, fmt.Errorf("source answered %d for chunk %s", resp.StatusCode, dg)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return 0, err
+	}
+	if _, err := d.cas.PutDigest(dg, data); err != nil {
+		return 0, err
+	}
+	return int64(len(data)), nil
+}
+
+// handleSync restores a function this daemon may never have recorded,
+// from a peer: fetch the chunk map + raw snapfile, fetch only the
+// chunks missing locally — loading-set chunks first, in group order —
+// commit the snapfile, journal, deploy. The write ordering (chunks,
+// then snapfile, then journal, then reply) is the record path's, so
+// every crash-consistency invariant carries over.
+func (d *Daemon) handleSync(w http.ResponseWriter, r *http.Request) {
+	if d.gateRecovering(w) {
+		return
+	}
+	if d.cas == nil || d.manifest == nil {
+		writeErr(w, http.StatusConflict, "sync requires a state directory")
+		return
+	}
+	name := r.PathValue("name")
+	var req syncRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Source == "" {
+		writeErr(w, http.StatusBadRequest, "sync needs a source daemon address")
+		return
+	}
+
+	cmResp, err := syncClient.Get("http://" + req.Source + "/functions/" + name + "/chunkmap")
+	if err != nil {
+		writeErr(w, http.StatusBadGateway, "source chunk map: %v", err)
+		return
+	}
+	var cmr ChunkMapResponse
+	err = json.NewDecoder(io.LimitReader(cmResp.Body, 256<<20)).Decode(&cmr)
+	io.Copy(io.Discard, io.LimitReader(cmResp.Body, 4096))
+	cmResp.Body.Close()
+	if cmResp.StatusCode != http.StatusOK {
+		writeErr(w, http.StatusBadGateway, "source has no chunk map for %s (%d)", name, cmResp.StatusCode)
+		return
+	}
+	if err != nil || len(cmr.Snapfile) == 0 {
+		writeErr(w, http.StatusBadGateway, "source chunk map undecodable: %v", err)
+		return
+	}
+	// Decode before committing anything: a torn transfer must fail the
+	// snapfile CRC here, not after it has a committed name.
+	arts, cm, err := snapfile.ReadChunked(bytes.NewReader(cmr.Snapfile))
+	if err != nil {
+		writeErr(w, http.StatusBadGateway, "source snapfile invalid: %v", err)
+		return
+	}
+	if arts.Fn.Name != name {
+		writeErr(w, http.StatusBadGateway, "source snapfile is for %q, not %q", arts.Fn.Name, name)
+		return
+	}
+
+	resp := SyncResponse{
+		Function:      name,
+		Source:        req.Source,
+		SnapfileBytes: int64(len(cmr.Snapfile)),
+	}
+	var eager, lazy []snapfile.ChunkRef
+	if cm != nil {
+		resp.ChunksTotal = len(cm.Refs)
+		resp.BytesTotal = cm.TotalBytes()
+		// Loading-set chunks first, lowest group first — the paper's
+		// per-region restore priority; the rest lazily unless asked.
+		refs := append([]snapfile.ChunkRef(nil), cm.Refs...)
+		sort.SliceStable(refs, func(i, j int) bool {
+			if refs[i].LS != refs[j].LS {
+				return refs[i].LS
+			}
+			if refs[i].LS && refs[i].Group != refs[j].Group {
+				return refs[i].Group < refs[j].Group
+			}
+			return refs[i].StartPage < refs[j].StartPage
+		})
+		for _, ref := range refs {
+			if d.cas.Has(casstore.Digest(ref.Digest)) {
+				resp.ChunksPresent++
+				continue
+			}
+			if ref.LS || req.Eager {
+				eager = append(eager, ref)
+			} else {
+				lazy = append(lazy, ref)
+			}
+		}
+	}
+	for _, ref := range eager {
+		n, err := d.fetchChunk(req.Source, casstore.Digest(ref.Digest))
+		if err != nil {
+			writeErr(w, http.StatusBadGateway, "fetch chunk: %v", err)
+			return
+		}
+		resp.ChunksFetched++
+		resp.BytesFetched += n
+	}
+	resp.ChunksLazy = len(lazy)
+
+	// Chunks durable; commit the snapfile exactly as received, then
+	// journal. Same ordering and crashpoints as a local record.
+	chaos.MaybeCrash(chaos.CrashRecordPostChunks)
+	path := filepath.Join(d.cfg.StateDir, name+".snap")
+	if err := snapfile.CommitRaw(path, cmr.Snapfile); err != nil {
+		writeErr(w, http.StatusInternalServerError, "persist snapshot: %v", err)
+		return
+	}
+	chaos.MaybeCrash(chaos.CrashRecordPreJournal)
+	if me, ok := d.manifest.Get(name); !ok || me.Deleted {
+		specJSON := ""
+		if arts.Fn.Origin != nil {
+			if raw, merr := json.Marshal(arts.Fn.Origin); merr == nil {
+				specJSON = string(raw)
+			}
+		}
+		if _, err := d.manifest.Register(name, specJSON); err != nil {
+			writeErr(w, http.StatusInternalServerError, "journal registration: %v", err)
+			return
+		}
+	}
+	if _, err := d.manifest.Record(name, arts.RecordInput.Name); err != nil {
+		writeErr(w, http.StatusInternalServerError, "journal recording: %v", err)
+		return
+	}
+
+	fs, ok := d.fn(name)
+	if !ok {
+		fs = &fnState{spec: arts.Fn}
+		d.reg.set(name, fs)
+	}
+	fs.mu.Lock()
+	fs.arts = arts
+	fs.chunks = cm
+	fs.mu.Unlock()
+
+	// Saved = bytes a whole-snapshot copy would have moved now but this
+	// restore did not: dedup hits plus the deferred lazy tail.
+	d.casSaved.Add(float64(resp.BytesTotal - resp.BytesFetched))
+	d.casSyncs.Inc()
+	d.updateDedupGauge()
+	d.log.Printf("synced %s from %s: %d/%d chunks fetched (%d present, %d lazy), %d of %d bytes",
+		name, req.Source, resp.ChunksFetched, resp.ChunksTotal, resp.ChunksPresent, resp.ChunksLazy,
+		resp.BytesFetched, resp.BytesTotal)
+	writeJSON(w, http.StatusOK, resp)
+	chaos.MaybeCrash(chaos.CrashRecordPostReply)
+
+	if len(lazy) > 0 {
+		d.casLazyPending.Add(float64(len(lazy)))
+		go d.fetchLazyChunks(name, req.Source, lazy)
+	}
+}
+
+// fetchLazyChunks pulls a sync's deferred chunks in the background.
+// Failures are logged, not fatal: the function serves from its
+// loading set; anti-entropy or the next sync retries the tail.
+func (d *Daemon) fetchLazyChunks(name, source string, refs []snapfile.ChunkRef) {
+	for _, ref := range refs {
+		if _, err := d.fetchChunk(source, casstore.Digest(ref.Digest)); err != nil {
+			d.log.Printf("lazy chunk fetch for %s: %v", name, err)
+		}
+		d.casLazyPending.Dec()
+	}
+	d.updateDedupGauge()
+}
+
+type gcRequest struct {
+	// Demote moves live chunks outside every loading set to the
+	// compressed cold tier.
+	Demote bool `json:"demote"`
+}
+
+// GCResponse reports one sweep plus the store's resulting state.
+type GCResponse struct {
+	casstore.GCResult
+	Stats      casstore.Stats `json:"stats"`
+	DedupRatio float64        `json:"dedup_ratio"`
+}
+
+// handleGC runs the refcount sweep. Liveness comes from the registry,
+// which mirrors the manifest's live entries — tombstoned functions are
+// absent, so an acked delete's chunks are unreferenced (unless shared)
+// and collected; they can never resurrect a deleted function.
+func (d *Daemon) handleGC(w http.ResponseWriter, r *http.Request) {
+	if d.gateRecovering(w) {
+		return
+	}
+	if d.cas == nil {
+		writeErr(w, http.StatusConflict, "gc requires a state directory")
+		return
+	}
+	var req gcRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	live, hot := d.liveChunkSets()
+	var hotFn func(casstore.Digest) bool
+	if req.Demote {
+		hotFn = func(dg casstore.Digest) bool { return hot[dg] }
+	}
+	res, err := d.cas.GC(func(dg casstore.Digest) bool { return live[dg] }, hotFn)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "gc: %v", err)
+		return
+	}
+	d.casGCRemoved.Add(float64(res.Removed))
+	d.updateDedupGauge()
+	st, _ := d.cas.Stats()
+	d.log.Printf("cas gc: removed %d chunks (%d bytes), kept %d, demoted %d",
+		res.Removed, res.ReclaimedBytes, res.Kept, res.Demoted)
+	writeJSON(w, http.StatusOK, GCResponse{GCResult: res, Stats: st, DedupRatio: d.casDedup.Value()})
+}
+
+// CASResponse is GET /cas: the store's occupancy and dedup accounting.
+type CASResponse struct {
+	Stats             casstore.Stats `json:"stats"`
+	LogicalBytes      int64          `json:"logical_bytes"`
+	DedupRatio        float64        `json:"dedup_ratio"`
+	RestoreBytesSaved int64          `json:"restore_bytes_saved"`
+	LazyPendingChunks int64          `json:"lazy_pending_chunks"`
+}
+
+func (d *Daemon) handleCAS(w http.ResponseWriter, r *http.Request) {
+	if d.cas == nil {
+		writeErr(w, http.StatusNotFound, "no state directory; this daemon keeps no chunk store")
+		return
+	}
+	d.updateDedupGauge()
+	st, err := d.cas.Stats()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, CASResponse{
+		Stats:             st,
+		LogicalBytes:      d.logicalChunkBytes(),
+		DedupRatio:        d.casDedup.Value(),
+		RestoreBytesSaved: int64(d.casSaved.Value()),
+		LazyPendingChunks: int64(d.casLazyPending.Value()),
+	})
+}
+
+// casRecoverySweep runs after manifest replay: temp chunks from a
+// writer that died mid-commit are dropped, then unreferenced chunks —
+// orphans of a crash between chunk commit and snapfile/journal — are
+// collected. No demotion here; recovery stays fast.
+func (d *Daemon) casRecoverySweep() {
+	if d.cas == nil {
+		return
+	}
+	d.cas.SweepTemp()
+	live, _ := d.liveChunkSets()
+	res, err := d.cas.GC(func(dg casstore.Digest) bool { return live[dg] }, nil)
+	if err != nil {
+		d.log.Printf("recovery cas sweep: %v", err)
+		return
+	}
+	if res.Removed > 0 {
+		d.casGCRemoved.Add(float64(res.Removed))
+		d.log.Printf("recovery cas sweep: removed %d orphan chunks (%d bytes)", res.Removed, res.ReclaimedBytes)
+	}
+	d.updateDedupGauge()
+}

@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"faasnap/internal/casstore"
 	"faasnap/internal/chaos"
 	"faasnap/internal/core"
 	"faasnap/internal/guestagent"
@@ -92,6 +93,7 @@ type fnState struct {
 	machine *vmm.Machine
 	agent   *guestagent.Agent
 	arts    *core.Artifacts
+	chunks  *snapfile.ChunkMap
 	record  *core.RecordResult
 	// lastFaults is the most recent invocation's fault timeline,
 	// pre-encoded as NDJSON lines for GET /functions/{name}/faults.
@@ -123,6 +125,15 @@ type Daemon struct {
 	manifest   *statedir.Manifest
 	recovering atomic.Bool
 	recovered  chan struct{}
+
+	// cas is the content-addressed chunk store (nil without a state
+	// dir); see cas.go for the chunk plane it backs.
+	cas            *casstore.Store
+	casDedup       *telemetry.Gauge
+	casSaved       *telemetry.Counter
+	casLazyPending *telemetry.Gauge
+	casSyncs       *telemetry.Counter
+	casGCRemoved   *telemetry.Counter
 
 	// admInFlight/admCapacity mirror the admission limiter into the
 	// scrape surface; cached here so the hot path never takes the
@@ -212,6 +223,9 @@ func New(cfg Config) (*Daemon, error) {
 		if err := os.MkdirAll(cfg.StateDir, 0o755); err != nil {
 			return nil, fmt.Errorf("daemon: state dir: %w", err)
 		}
+		if err := d.initCAS(); err != nil {
+			return nil, fmt.Errorf("daemon: chunk store: %w", err)
+		}
 		m, rec, err := statedir.Open(cfg.StateDir)
 		if err != nil {
 			return nil, fmt.Errorf("daemon: manifest: %w", err)
@@ -283,6 +297,11 @@ func (d *Daemon) Handler() http.Handler {
 	handle("GET /functions/{name}", d.handleGet)
 	handle("DELETE /functions/{name}", d.handleDelete)
 	handle("POST /functions/{name}/record", d.handleRecord)
+	handle("GET /functions/{name}/chunkmap", d.handleChunkMap)
+	handle("POST /functions/{name}/sync", d.handleSync)
+	handle("GET /chunks/{digest}", d.handleChunkGet)
+	handle("GET /cas", d.handleCAS)
+	handle("POST /gc", d.handleGC)
 	handle("POST /functions/{name}/invoke", d.handleInvoke)
 	handle("POST /functions/{name}/burst", d.handleBurst)
 	handle("GET /functions/{name}/faults", d.handleFaults)
@@ -467,6 +486,10 @@ type FunctionInfo struct {
 	SnapshotMB   float64 `json:"snapshot_mb,omitempty"`
 	RecordInput  string  `json:"record_input,omitempty"`
 	WorkingSetMB float64 `json:"paper_ws_a_mb,omitempty"`
+	// Chunks/ChunkBytes describe the snapshot's content-addressed chunk
+	// map (zero for pre-chunking v1 snapfiles).
+	Chunks     int   `json:"chunks,omitempty"`
+	ChunkBytes int64 `json:"chunk_bytes,omitempty"`
 	// GuestInvocations counts requests served by the in-guest agent.
 	GuestInvocations int64 `json:"guest_invocations,omitempty"`
 }
@@ -617,6 +640,10 @@ func (d *Daemon) infoLocked(fs *fnState) FunctionInfo {
 		info.ReapWSPages = fs.arts.ReapWS.PageCount()
 		info.SnapshotMB = float64(fs.arts.Mem.SparseBytes()) / (1 << 20)
 		info.RecordInput = fs.arts.RecordInput.Name
+	}
+	if fs.chunks != nil {
+		info.Chunks = len(fs.chunks.Refs)
+		info.ChunkBytes = fs.chunks.TotalBytes()
 	}
 	return info
 }
@@ -815,19 +842,39 @@ func (d *Daemon) handleRecord(w http.ResponseWriter, r *http.Request) {
 
 	arts, res := core.Record(d.cfg.Host, fs.spec, in)
 	d.storeInput(fs.spec, in)
+	var chunks *snapfile.ChunkMap
 	if d.cfg.StateDir != "" {
+		// Chunk the snapshot into the content-addressed store first:
+		// chunks shared with earlier recordings (the base image) dedup to
+		// nothing, and a crash before the snapfile commit leaves only
+		// unreferenced chunks for the recovery sweep.
+		if d.cas != nil {
+			cm, payloads := casstore.BuildChunks(arts, 0)
+			for _, c := range payloads {
+				if _, err := d.cas.PutDigest(casstore.Digest(c.Ref.Digest), c.Data); err != nil {
+					writeErr(w, http.StatusInternalServerError, "persist chunk: %v", err)
+					return
+				}
+			}
+			chunks = cm
+			chaos.MaybeCrash(chaos.CrashRecordPostChunks)
+		}
 		path := filepath.Join(d.cfg.StateDir, fs.spec.Name+".snap")
-		if err := snapfile.Save(path, arts); err != nil {
+		if err := snapfile.SaveChunked(path, arts, chunks); err != nil {
 			writeErr(w, http.StatusInternalServerError, "persist snapshot: %v", err)
 			return
 		}
-		// Read the file straight back: a snapshot that cannot pass its
-		// own checksum must never sit in the deploy path.
-		if err := snapfile.Verify(path); err != nil {
+		// Read the file straight back in one streaming pass — CRC check
+		// and decode together — and deploy the decoded artifacts, so what
+		// serves is exactly what disk holds. A snapshot that cannot pass
+		// its own checksum must never sit in the deploy path.
+		loaded, loadedCM, err := snapfile.LoadChunked(path)
+		if err != nil {
 			d.quarantine(path, err)
 			writeErr(w, http.StatusInternalServerError, "snapshot failed verification: %v", err)
 			return
 		}
+		arts, chunks = loaded, loadedCM
 		// The snapfile is committed but not yet journaled: a crash here
 		// (CrashRecordPreJournal) leaves an orphan .snap that recovery
 		// quarantines — the write was never acknowledged.
@@ -842,6 +889,7 @@ func (d *Daemon) handleRecord(w http.ResponseWriter, r *http.Request) {
 	// Only a fully committed recording (snapfile verified, journal
 	// appended) becomes servable state.
 	fs.arts = arts
+	fs.chunks = chunks
 	fs.record = &res
 	d.stats.records.Add(1)
 	core.ObserveRecord(d.telemetry, fs.spec.Name, res)
@@ -855,6 +903,9 @@ func (d *Daemon) handleRecord(w http.ResponseWriter, r *http.Request) {
 	// Acknowledged: a crash from here on (CrashRecordPostReply) must
 	// recover the snapshot intact.
 	chaos.MaybeCrash(chaos.CrashRecordPostReply)
+	// Refresh the dedup gauge once this function's lock drops (the
+	// helper walks every fnState, so it cannot run under fs.mu).
+	go d.updateDedupGauge()
 }
 
 type invokeRequest struct {

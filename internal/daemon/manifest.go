@@ -80,7 +80,14 @@ func (d *Daemon) recoverState(rec *statedir.Recovery) {
 		}
 		fs := &fnState{spec: spec}
 		if e.HasSnapshot {
-			arts, err := d.loadSnapfile(e.Name)
+			arts, cm, err := d.loadSnapfile(e.Name)
+			if err == nil && cm != nil {
+				// A chunked snapfile is only servable if its eager tier is
+				// intact: every loading-set chunk must be present in the
+				// store. Missing lazy chunks are tolerated — they refetch on
+				// demand or via anti-entropy.
+				err = d.verifyChunks(e.Name, cm)
+			}
 			if err != nil {
 				// The acknowledged registration survives; the snapshot is
 				// unusable and must never be served. Quarantine it and
@@ -92,12 +99,14 @@ func (d *Daemon) recoverState(rec *statedir.Recovery) {
 				}
 			} else {
 				fs.arts = arts
+				fs.chunks = cm
 				d.log.Printf("reloaded snapshot for %s (%d WS pages, generation %d)", e.Name, arts.WS.Pages(), e.Generation)
 			}
 		}
 		d.reg.set(e.Name, fs)
 	}
 	d.sweepStateDir()
+	d.casRecoverySweep()
 	d.log.Printf("recovery complete: %d functions, manifest digest %s", d.reg.size(), d.manifest.Digest())
 }
 
@@ -111,10 +120,11 @@ func (d *Daemon) resolveManifestSpec(e statedir.Entry) (*workload.Spec, error) {
 	return workload.ByName(e.Name)
 }
 
-// loadSnapfile reads and verifies one function's snapfile, applying
-// any armed chaos storage fault (the injected-corruption path the
-// resilience tests drive).
-func (d *Daemon) loadSnapfile(name string) (*core.Artifacts, error) {
+// loadSnapfile reads and verifies one function's snapfile in a single
+// streaming pass (chunk map included for v2 files), applying any armed
+// chaos storage fault (the injected-corruption path the resilience
+// tests drive).
+func (d *Daemon) loadSnapfile(name string) (*core.Artifacts, *snapfile.ChunkMap, error) {
 	path := filepath.Join(d.cfg.StateDir, name+".snap")
 	fault := snapfile.FaultNone
 	switch dec := d.chaos.Eval(chaos.PointSnapfile, name+".snap"); {
@@ -123,7 +133,7 @@ func (d *Daemon) loadSnapfile(name string) (*core.Artifacts, error) {
 	case dec.Is(chaos.KindTruncate):
 		fault = snapfile.FaultTruncate
 	}
-	return snapfile.LoadWithFault(path, fault)
+	return snapfile.LoadChunkedWithFault(path, fault)
 }
 
 // adoptLegacySnapfiles migrates a pre-manifest state dir: every
@@ -140,7 +150,7 @@ func (d *Daemon) adoptLegacySnapfiles() {
 			continue
 		}
 		name := strings.TrimSuffix(e.Name(), ".snap")
-		arts, err := d.loadSnapfile(name)
+		arts, _, err := d.loadSnapfile(name)
 		if err != nil {
 			d.quarantine(filepath.Join(d.cfg.StateDir, e.Name()), err)
 			continue

@@ -98,6 +98,44 @@ func (p *Pool) resyncOp(b *Backend, method, path string, body []byte) bool {
 	return resp.StatusCode/100 == 2
 }
 
+// syncResult mirrors the subset of the daemon's POST /functions/{name}/sync
+// response the gateway accounts for.
+type syncResult struct {
+	ChunksTotal   int   `json:"chunks_total"`
+	ChunksFetched int   `json:"chunks_fetched"`
+	BytesTotal    int64 `json:"bytes_total"`
+	BytesFetched  int64 `json:"bytes_fetched"`
+	SnapfileBytes int64 `json:"snapfile_bytes"`
+}
+
+// resyncChunkSync asks backend b to pull fn's snapshot from source via
+// the chunk-level sync endpoint, so only chunks b doesn't already hold
+// move over the wire. Returns the daemon's transfer accounting; ok is
+// false when the backend predates the endpoint or the pull failed, in
+// which case the caller falls back to replaying the recording.
+func (p *Pool) resyncChunkSync(b *Backend, fn, source string) (syncResult, bool) {
+	body, _ := json.Marshal(map[string]string{"source": source})
+	req, err := http.NewRequest(http.MethodPost, "http://"+b.Addr+"/functions/"+fn+"/sync", bytes.NewReader(body))
+	if err != nil {
+		return syncResult{}, false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return syncResult{}, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return syncResult{}, false
+	}
+	var sr syncResult
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&sr); err != nil {
+		return syncResult{}, false
+	}
+	return sr, true
+}
+
 // ResyncNow runs one anti-entropy pass over the manifests collected by
 // the last health sweep and returns the number of repair actions
 // issued. The sweep loop calls it after every CheckNow; tests call it
@@ -147,15 +185,18 @@ func (p *Pool) ResyncNow() int {
 	for _, fn := range names {
 		prefs := p.preference(fn, 1+p.replicas)
 		var winner *manifestEntry
+		var winnerAddr string
 		for _, b := range prefs {
 			mi := manifests[b.Addr]
 			if mi == nil {
 				continue
 			}
 			if e, ok := mi.entry(fn); ok {
-				if winner == nil || e.Generation > winner.Generation {
+				if winner == nil || e.Generation > winner.Generation ||
+					(e.Generation == winner.Generation && e.HasSnapshot && !winner.HasSnapshot) {
 					we := e
 					winner = &we
+					winnerAddr = b.Addr
 				}
 			}
 		}
@@ -190,10 +231,29 @@ func (p *Pool) ResyncNow() int {
 			}
 			if winner.HasSnapshot && !e.HasSnapshot {
 				stale[b.Addr] = true
-				body, _ := json.Marshal(map[string]string{"input": winner.RecordInput})
-				if p.resyncOp(b, http.MethodPost, "/functions/"+fn+"/record", body) {
-					p.resyncCounter(b, "record").Inc()
-					actions++
+				// Prefer chunk-level sync: the backend pulls the winner's
+				// chunk map and fetches only the chunks it is missing, so a
+				// standby that shares most content (same base image, or a
+				// stale-but-overlapping copy) repairs with a fraction of the
+				// snapfile's bytes. Re-recording is the fallback for sources
+				// or targets that predate the chunk store.
+				synced := false
+				if winnerAddr != "" && winnerAddr != b.Addr {
+					if sr, ok := p.resyncChunkSync(b, fn, winnerAddr); ok {
+						p.resyncCounter(b, "chunks").Inc()
+						p.reg.Counter("faasnap_gw_resync_chunk_bytes_total",
+							"Chunk payload bytes transferred by anti-entropy chunk-sync repairs, by backend.",
+							telemetry.L("backend", b.Addr)).Add(float64(sr.BytesFetched))
+						actions++
+						synced = true
+					}
+				}
+				if !synced {
+					body, _ := json.Marshal(map[string]string{"input": winner.RecordInput})
+					if p.resyncOp(b, http.MethodPost, "/functions/"+fn+"/record", body) {
+						p.resyncCounter(b, "record").Inc()
+						actions++
+					}
 				}
 			}
 		}

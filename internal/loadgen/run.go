@@ -87,6 +87,13 @@ type Report struct {
 	Latency LatencySummary `json:"latency"`
 
 	StatusCounts map[string]int64 `json:"status_counts"`
+
+	// Chunk-store accounting, aggregated over the serving daemons after
+	// the run (zero when the tier keeps no chunk store): the fraction of
+	// logically referenced snapshot bytes dedup saved, and the bytes
+	// chunk-level restores did not transfer.
+	CASDedupRatio        float64 `json:"cas_dedup_ratio"`
+	CASRestoreBytesSaved int64   `json:"cas_restore_bytes_saved"`
 }
 
 // Save writes the report as indented JSON (the BENCH_*.json artifact).

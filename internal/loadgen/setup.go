@@ -39,11 +39,15 @@ func SynthSpec(i int) []byte {
 	return raw
 }
 
-// Setup registers and records functions 0..n-1 at target (a daemon or
-// gateway base URL), with `parallel` concurrent workers. Against a
-// gateway, registration fans out to the owner and its standbys, so the
-// fleet is placed exactly as production traffic would find it.
-func Setup(ctx context.Context, target string, n int, input string, parallel int) error {
+// Setup registers, records, and warms functions 0..n-1 at target (a
+// daemon or gateway base URL), with `parallel` concurrent workers.
+// Against a gateway, registration fans out to the owner and its
+// standbys, so the fleet is placed exactly as production traffic would
+// find it. The warmup invoke matters on stateful daemons: the first
+// restore of a just-persisted snapshot pays the cold page-cache path,
+// and the open-loop run is meant to probe steady-state serving, not
+// fold one cold start per function into a short window.
+func Setup(ctx context.Context, target string, n int, mode, input string, parallel int) error {
 	if parallel <= 0 {
 		parallel = 8
 	}
@@ -73,6 +77,7 @@ func Setup(ctx context.Context, target string, n int, input string, parallel int
 	}
 
 	recordBody, _ := json.Marshal(map[string]string{"input": input})
+	warmBody, _ := json.Marshal(map[string]string{"mode": mode, "input": input})
 	idx := make(chan int)
 	errs := make(chan error, parallel)
 	var wg sync.WaitGroup
@@ -88,6 +93,10 @@ func Setup(ctx context.Context, target string, n int, input string, parallel int
 				}
 				if err := do(http.MethodPost, target+"/functions/"+name+"/record", recordBody); err != nil {
 					errs <- fmt.Errorf("record %s: %w", name, err)
+					return
+				}
+				if err := do(http.MethodPost, target+"/functions/"+name+"/invoke", warmBody); err != nil {
+					errs <- fmt.Errorf("warm %s: %w", name, err)
 					return
 				}
 			}

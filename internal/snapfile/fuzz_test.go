@@ -30,10 +30,51 @@ func FuzzRead(f *testing.F) {
 	flip[10] ^= 0xff
 	f.Add(flip)
 
+	// v2 seeds: a chunked file, its truncations (which tear the chunk
+	// refs), and digest-region corruption.
+	cm := &ChunkMap{ChunkPages: 64}
+	for i := 0; i < 4; i++ {
+		cm.Refs = append(cm.Refs, ChunkRef{
+			Digest:    [DigestLen]byte{byte(i), 0xaa, 0x55},
+			StartPage: int64(i) * 64,
+			Pages:     64,
+			Bytes:     64 * 4096,
+			LS:        i == 0,
+			Group:     int64(i%2) - 1,
+		})
+	}
+	var v2buf bytes.Buffer
+	if err := WriteChunked(&v2buf, arts, cm); err != nil {
+		f.Fatal(err)
+	}
+	v2 := v2buf.Bytes()
+	f.Add(v2)
+	f.Add(v2[:len(v2)-1])   // lose the checksum tail
+	f.Add(v2[:len(v2)*3/4]) // tear mid chunk-ref table
+	f.Add(v2[:len(v2)/2])   // tear mid body
+	v2flip := append([]byte(nil), v2...)
+	v2flip[len(v2flip)-64] ^= 0xff // land inside the trailing refs/digests
+	f.Add(v2flip)
+	v2short := append([]byte(nil), v2...)
+	if len(v2short) > 40 {
+		copy(v2short[20:], v2short[28:]) // shift bytes so digest lengths misalign
+		f.Add(v2short[:len(v2short)-8])
+	}
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		got, err := Read(bytes.NewReader(data))
 		if err == nil && got == nil {
 			t.Fatal("nil artifacts without error")
 		}
+		// The chunked reader must agree with Read on validity and never
+		// panic on the same input.
+		carts, ccm, cerr := ReadChunked(bytes.NewReader(data))
+		if (cerr == nil) != (err == nil) {
+			t.Fatalf("Read err=%v but ReadChunked err=%v", err, cerr)
+		}
+		if cerr == nil && carts == nil {
+			t.Fatal("nil artifacts without error from ReadChunked")
+		}
+		_ = ccm
 	})
 }

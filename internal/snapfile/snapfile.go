@@ -5,8 +5,11 @@
 // role of the snapshot/working-set files the paper's daemon keeps on
 // local or remote storage.
 //
-// Layout (little endian): magic "FSNP", u32 version, sections, and a
-// trailing CRC-32 (IEEE) of everything before it.
+// Layout (little endian): magic "FSNP", u64 version, sections, and a
+// trailing CRC-32 (IEEE) of everything before it. Version 2 appends a
+// chunk-map section — content-addressed references into the CAS chunk
+// store (internal/casstore) — after the version-1 sections; version-1
+// files still read back (they simply carry no chunk map).
 package snapfile
 
 import (
@@ -29,11 +32,60 @@ import (
 )
 
 const (
-	magic   = "FSNP"
-	version = 1
+	magic = "FSNP"
+	// versionV1 files carry the artifact sections only; versionV2 adds
+	// the chunk-map section. Write picks the lowest version that can
+	// represent the payload, so a daemon without a chunk store keeps
+	// producing v1 files older builds can read.
+	versionV1 = 1
+	versionV2 = 2
 	// maxSliceLen guards against corrupt length fields.
 	maxSliceLen = 1 << 28
+	// DigestLen is the size of a chunk digest (SHA-256).
+	DigestLen = 32
 )
+
+// ChunkRef is one content-addressed extent of the memory file: Pages
+// guest pages starting at StartPage whose content hashes to Digest.
+// LS marks a chunk that overlaps the loading set — a restore must
+// fetch those eagerly, lowest Group first (the paper's per-region
+// priority); the rest can arrive lazily.
+type ChunkRef struct {
+	Digest    [DigestLen]byte
+	StartPage int64
+	Pages     int64
+	Bytes     int64 // payload size; trailing chunks may be short
+	LS        bool
+	Group     int64 // lowest overlapping loading-set group, -1 when none
+}
+
+// ChunkMap is the v2 chunk-map section: the chunked view of the
+// snapshot's non-zero memory extents. Page ranges not covered by any
+// ref are all-zero.
+type ChunkMap struct {
+	ChunkPages int64 // chunking granularity in pages
+	Refs       []ChunkRef
+}
+
+// TotalBytes is the logical (pre-dedup) payload size of every ref.
+func (m *ChunkMap) TotalBytes() int64 {
+	var n int64
+	for _, r := range m.Refs {
+		n += r.Bytes
+	}
+	return n
+}
+
+// LSBytes is the payload size of the loading-set refs alone.
+func (m *ChunkMap) LSBytes() int64 {
+	var n int64
+	for _, r := range m.Refs {
+		if r.LS {
+			n += r.Bytes
+		}
+	}
+	return n
+}
 
 type cw struct {
 	w   io.Writer
@@ -192,12 +244,73 @@ func readInput(r *cr) workload.Input {
 	}
 }
 
-// Write serializes arts to w.
+func writeChunkMap(w *cw, m *ChunkMap) {
+	w.i64(m.ChunkPages)
+	w.i64(int64(len(m.Refs)))
+	for _, r := range m.Refs {
+		w.write(r.Digest[:])
+		w.i64(r.StartPage)
+		w.i64(r.Pages)
+		w.i64(r.Bytes)
+		var flags uint64
+		if r.LS {
+			flags |= 1
+		}
+		w.u64(flags)
+		w.i64(r.Group)
+	}
+}
+
+func readChunkMap(r *cr) *ChunkMap {
+	m := &ChunkMap{ChunkPages: r.i64()}
+	if r.err == nil && (m.ChunkPages <= 0 || m.ChunkPages > maxSliceLen) {
+		r.fail("bad chunk-map granularity %d", m.ChunkPages)
+		return nil
+	}
+	n := r.i64()
+	if r.err != nil || n < 0 || n > maxSliceLen {
+		r.fail("bad chunk ref count %d", n)
+		return nil
+	}
+	m.Refs = make([]ChunkRef, n)
+	for i := range m.Refs {
+		ref := &m.Refs[i]
+		r.read(ref.Digest[:])
+		ref.StartPage = r.i64()
+		ref.Pages = r.i64()
+		ref.Bytes = r.i64()
+		flags := r.u64()
+		ref.LS = flags&1 != 0
+		ref.Group = r.i64()
+		if r.err != nil {
+			return nil
+		}
+		if ref.StartPage < 0 || ref.Pages <= 0 || ref.Pages > m.ChunkPages ||
+			ref.Bytes <= 0 || ref.Bytes > ref.Pages*(1<<16) {
+			r.fail("bad chunk ref %d: start=%d pages=%d bytes=%d",
+				i, ref.StartPage, ref.Pages, ref.Bytes)
+			return nil
+		}
+	}
+	return m
+}
+
+// Write serializes arts to w as a version-1 file (no chunk map).
 func Write(w io.Writer, arts *core.Artifacts) error {
+	return WriteChunked(w, arts, nil)
+}
+
+// WriteChunked serializes arts to w, appending the chunk-map section
+// (version 2) when chunks is non-nil.
+func WriteChunked(w io.Writer, arts *core.Artifacts, chunks *ChunkMap) error {
 	bw := bufio.NewWriter(w)
 	c := &cw{w: bw}
 	c.write([]byte(magic))
-	c.u64(version)
+	if chunks != nil {
+		c.u64(versionV2)
+	} else {
+		c.u64(versionV1)
+	}
 	c.str(arts.Fn.Name)
 	// Custom functions embed their defining config so they survive
 	// restarts; catalog functions resolve by name.
@@ -234,6 +347,9 @@ func Write(w io.Writer, arts *core.Artifacts) error {
 	writeLoadingSet(c, arts.LS)
 	writeLoadingSet(c, arts.LSUnmerged)
 	c.i64s(arts.ReapWS.Pages)
+	if chunks != nil {
+		writeChunkMap(c, chunks)
+	}
 
 	// Trailing checksum (not included in its own computation).
 	var buf [4]byte
@@ -248,16 +364,27 @@ func Write(w io.Writer, arts *core.Artifacts) error {
 }
 
 // Read deserializes artifacts from r, resolving the function model
-// from the workload catalog and verifying the checksum.
+// from the workload catalog and verifying the checksum. Any chunk map
+// in a v2 file is parsed (and checksummed) but discarded; callers that
+// need it use ReadChunked.
 func Read(r io.Reader) (*core.Artifacts, error) {
+	arts, _, err := ReadChunked(r)
+	return arts, err
+}
+
+// ReadChunked is Read returning the v2 chunk-map section too (nil for
+// version-1 files). Decode and CRC verification happen in the same
+// streaming pass — there is no separate verify-then-decode read.
+func ReadChunked(r io.Reader) (*core.Artifacts, *ChunkMap, error) {
 	c := &cr{r: bufio.NewReader(r)}
 	var m [4]byte
 	c.read(m[:])
 	if c.err == nil && string(m[:]) != magic {
-		return nil, fmt.Errorf("snapfile: bad magic %q", m)
+		return nil, nil, fmt.Errorf("snapfile: bad magic %q", m)
 	}
-	if v := c.u64(); c.err == nil && v != version {
-		return nil, fmt.Errorf("snapfile: unsupported version %d", v)
+	v := c.u64()
+	if c.err == nil && v != versionV1 && v != versionV2 {
+		return nil, nil, fmt.Errorf("snapfile: unsupported version %d", v)
 	}
 	fnName := c.str()
 	origin := c.str()
@@ -297,6 +424,19 @@ func Read(r io.Reader) (*core.Artifacts, error) {
 	lsu := readLoadingSet(c)
 	reapPages := c.i64s()
 
+	var chunks *ChunkMap
+	if v == versionV2 && c.err == nil {
+		chunks = readChunkMap(c)
+		for i := range chunks.Refs {
+			if c.err != nil {
+				break
+			}
+			if ref := &chunks.Refs[i]; ref.StartPage+ref.Pages > pages {
+				c.fail("chunk ref %d beyond memory file: start=%d pages=%d", i, ref.StartPage, ref.Pages)
+			}
+		}
+	}
+
 	wantCRC := c.crc
 	var tail [4]byte
 	if c.err == nil {
@@ -305,20 +445,20 @@ func Read(r io.Reader) (*core.Artifacts, error) {
 		}
 	}
 	if c.err != nil {
-		return nil, fmt.Errorf("snapfile: read: %w", c.err)
+		return nil, nil, fmt.Errorf("snapfile: read: %w", c.err)
 	}
 	if got := binary.LittleEndian.Uint32(tail[:]); got != wantCRC {
-		return nil, fmt.Errorf("snapfile: checksum mismatch: file %08x, computed %08x", got, wantCRC)
+		return nil, nil, fmt.Errorf("snapfile: checksum mismatch: file %08x, computed %08x", got, wantCRC)
 	}
 
 	fn, err := workload.ByName(fnName)
 	if err != nil {
 		if origin == "" {
-			return nil, fmt.Errorf("snapfile: %w", err)
+			return nil, nil, fmt.Errorf("snapfile: %w", err)
 		}
 		fn, err = workload.ParseSpec([]byte(origin))
 		if err != nil {
-			return nil, fmt.Errorf("snapfile: custom spec: %w", err)
+			return nil, nil, fmt.Errorf("snapfile: custom spec: %w", err)
 		}
 	}
 	return &core.Artifacts{
@@ -330,7 +470,7 @@ func Read(r io.Reader) (*core.Artifacts, error) {
 		LS:          ls,
 		LSUnmerged:  lsu,
 		ReapWS:      workingset.NewWSFile(reapPages),
-	}, nil
+	}, chunks, nil
 }
 
 // Fault is a storage-corruption fault applied while reading a
@@ -355,12 +495,19 @@ const (
 // parsing; a nil error under FaultCorrupt/FaultTruncate would mean the
 // format's integrity checking has a hole.
 func ReadWithFault(r io.Reader, f Fault) (*core.Artifacts, error) {
+	arts, _, err := ReadChunkedWithFault(r, f)
+	return arts, err
+}
+
+// ReadChunkedWithFault is ReadChunked with a storage fault applied to
+// the stream first, returning the chunk map alongside the artifacts.
+func ReadChunkedWithFault(r io.Reader, f Fault) (*core.Artifacts, *ChunkMap, error) {
 	if f == FaultNone {
-		return Read(r)
+		return ReadChunked(r)
 	}
 	raw, err := io.ReadAll(r)
 	if err != nil {
-		return nil, fmt.Errorf("snapfile: read: %w", err)
+		return nil, nil, fmt.Errorf("snapfile: read: %w", err)
 	}
 	switch f {
 	case FaultCorrupt:
@@ -370,22 +517,30 @@ func ReadWithFault(r io.Reader, f Fault) (*core.Artifacts, error) {
 	case FaultTruncate:
 		raw = raw[:len(raw)/2]
 	}
-	return Read(bytes.NewReader(raw))
+	return ReadChunked(bytes.NewReader(raw))
 }
 
 // LoadWithFault is Load with a storage fault applied.
 func LoadWithFault(path string, f Fault) (*core.Artifacts, error) {
+	arts, _, err := LoadChunkedWithFault(path, f)
+	return arts, err
+}
+
+// LoadChunkedWithFault is LoadChunked with a storage fault applied.
+func LoadChunkedWithFault(path string, f Fault) (*core.Artifacts, *ChunkMap, error) {
 	fd, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer fd.Close()
-	return ReadWithFault(fd, f)
+	return ReadChunkedWithFault(fd, f)
 }
 
 // Verify checks the snapfile at path end to end — magic, version,
-// section parsing, trailing CRC — without keeping the artifacts. The
-// daemon runs this at deploy time and quarantines files that fail.
+// section parsing, trailing CRC — without keeping the artifacts, in
+// one streaming pass. The deploy path prefers LoadChunked so the
+// verified decode is also the state it serves, instead of reading the
+// file twice.
 func Verify(path string) error {
 	_, err := Load(path)
 	return err
@@ -399,12 +554,33 @@ func Verify(path string) error {
 // the rename itself may not survive power loss. A committed snapfile
 // is therefore either absent or complete — never half-written.
 func Save(path string, arts *core.Artifacts) error {
+	return SaveChunked(path, arts, nil)
+}
+
+// SaveChunked is Save with a chunk-map section (version 2) when chunks
+// is non-nil.
+func SaveChunked(path string, arts *core.Artifacts, chunks *ChunkMap) error {
+	return commit(path, func(f *os.File) error { return WriteChunked(f, arts, chunks) })
+}
+
+// CommitRaw writes pre-encoded snapfile bytes (as fetched from a peer
+// daemon) to path with Save's atomicity and durability discipline. The
+// caller is expected to have decoded raw first, so a torn or corrupt
+// transfer never reaches a committed name.
+func CommitRaw(path string, raw []byte) error {
+	return commit(path, func(f *os.File) error {
+		_, err := f.Write(raw)
+		return err
+	})
+}
+
+func commit(path string, write func(*os.File) error) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
-	if err := Write(f, arts); err != nil {
+	if err := write(f); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err
@@ -434,10 +610,17 @@ func Save(path string, arts *core.Artifacts) error {
 
 // Load reads artifacts from path.
 func Load(path string) (*core.Artifacts, error) {
+	arts, _, err := LoadChunked(path)
+	return arts, err
+}
+
+// LoadChunked reads artifacts and the chunk map (nil for v1 files)
+// from path.
+func LoadChunked(path string) (*core.Artifacts, *ChunkMap, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer f.Close()
-	return Read(f)
+	return ReadChunked(f)
 }
