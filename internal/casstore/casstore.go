@@ -268,7 +268,8 @@ func (s *Store) Get(d Digest) ([]byte, Tier, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	start := time.Now()
-	if raw, err := os.ReadFile(s.localPath(d)); err == nil {
+	raw, lerr := os.ReadFile(s.localPath(d))
+	if lerr == nil {
 		if Sum(raw) != d {
 			s.quarantineChunk(s.localPath(d), d, int64(len(raw)), TierLocal)
 			return nil, TierLocal, fmt.Errorf("%w: %s (local tier)", ErrCorrupt, d)
@@ -276,12 +277,21 @@ func (s *Store) Get(d Digest) ([]byte, Tier, error) {
 		s.fetchLocal.Observe(time.Since(start))
 		return raw, TierLocal, nil
 	}
+	if !os.IsNotExist(lerr) {
+		// A present-but-unreadable local chunk (EACCES, I/O error) is a
+		// read failure, not absence — falling through to the cold tier
+		// would misreport it as ErrNotFound.
+		return nil, TierLocal, fmt.Errorf("casstore: read chunk %s: %w", d, lerr)
+	}
 	comp, err := os.ReadFile(s.coldPath(d))
 	if err != nil {
-		return nil, TierLocal, fmt.Errorf("%w: %s", ErrNotFound, d)
+		if os.IsNotExist(err) {
+			return nil, TierLocal, fmt.Errorf("%w: %s", ErrNotFound, d)
+		}
+		return nil, TierCold, fmt.Errorf("casstore: read chunk %s: %w", d, err)
 	}
 	fr := flate.NewReader(bytes.NewReader(comp))
-	raw, err := io.ReadAll(fr)
+	raw, err = io.ReadAll(fr)
 	fr.Close()
 	if err != nil || Sum(raw) != d {
 		s.quarantineChunk(s.coldPath(d), d, int64(len(comp)), TierCold)
@@ -370,7 +380,19 @@ func (s *Store) Demote(d Digest) error {
 		os.Remove(tmp)
 		return err
 	}
-	// Only after the cold copy is durable does the local copy go.
+	// Same discipline as PutDigest: the rename is durable only once the
+	// parent directory is synced. Only after the cold copy is durable —
+	// file and directory entry both — does the local copy go; a crash
+	// before this point leaves the chunk present in at least one tier.
+	dir, err := os.Open(filepath.Dir(final))
+	if err != nil {
+		return err
+	}
+	syncErr := dir.Sync()
+	dir.Close()
+	if syncErr != nil {
+		return syncErr
+	}
 	if err := os.Remove(s.localPath(d)); err != nil {
 		return err
 	}

@@ -64,6 +64,28 @@ func TestGetMissing(t *testing.T) {
 	}
 }
 
+// TestGetLocalReadErrorNotMaskedAsMissing: a local-tier read failure
+// that is not ENOENT (here: the chunk path is a directory, so the read
+// fails with EISDIR) must propagate as an I/O error, not fall through
+// to the cold tier and come back as ErrNotFound.
+func TestGetLocalReadErrorNotMaskedAsMissing(t *testing.T) {
+	s, _ := newStore(t)
+	d := Sum([]byte("unreadable"))
+	if err := os.MkdirAll(s.localPath(d), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := s.Get(d)
+	if err == nil {
+		t.Fatal("get on unreadable local chunk succeeded")
+	}
+	if errors.Is(err, ErrNotFound) {
+		t.Fatalf("local read failure reported as ErrNotFound: %v", err)
+	}
+	if errors.Is(err, ErrCorrupt) {
+		t.Fatalf("local read failure reported as ErrCorrupt: %v", err)
+	}
+}
+
 func TestDemoteAndColdGet(t *testing.T) {
 	s, _ := newStore(t)
 	// Compressible content, as chunk payloads are.

@@ -47,6 +47,8 @@ func (d *Daemon) initCAS() error {
 		"Bytes a chunk-level restore did not transfer eagerly (already present via dedup, or deferred to lazy fetch).", nil)
 	d.casLazyPending = d.telemetry.Gauge("faasnap_cas_lazy_pending_chunks",
 		"Chunks a completed sync still owes to the background lazy fetcher.", nil)
+	d.casLazyFailed = d.telemetry.Counter("faasnap_cas_lazy_failed_chunks_total",
+		"Lazy chunk fetches abandoned after retries; the deficit is surfaced as chunks_missing in GET /manifest for anti-entropy repair.", nil)
 	d.casSyncs = d.telemetry.Counter("faasnap_cas_sync_total",
 		"Chunk-level restores served for functions this daemon never recorded.", nil)
 	d.casGCRemoved = d.telemetry.Counter("faasnap_cas_gc_removed_chunks_total",
@@ -119,7 +121,9 @@ func (d *Daemon) updateDedupGauge() {
 // missing loading-set chunk makes the snapshot unusable (the eager
 // restore path would stall), so it is an error; missing lazy chunks
 // are tolerated — a sync target that crashed mid-lazy-fetch still
-// serves, and anti-entropy re-pulls the tail.
+// serves, the deficit is reported as chunks_missing in GET /manifest,
+// and the gateway's anti-entropy pass re-pulls the tail with an eager
+// chunk sync from a complete replica.
 func (d *Daemon) verifyChunks(name string, cm *snapfile.ChunkMap) error {
 	if cm == nil || d.cas == nil {
 		return nil
@@ -135,9 +139,35 @@ func (d *Daemon) verifyChunks(name string, cm *snapfile.ChunkMap) error {
 		lazyMissing++
 	}
 	if lazyMissing > 0 {
-		d.log.Printf("recovery: %s is missing %d lazy chunks (refetchable; anti-entropy will repair)", name, lazyMissing)
+		d.log.Printf("recovery: %s is missing %d lazy chunks (reported as chunks_missing; anti-entropy re-syncs them)", name, lazyMissing)
 	}
 	return nil
+}
+
+// missingChunks counts refs in name's chunk map that neither tier of
+// the local store can serve — the deficit GET /manifest surfaces so
+// anti-entropy knows this replica needs an eager re-sync.
+func (d *Daemon) missingChunks(name string) int {
+	if d.cas == nil {
+		return 0
+	}
+	fs, ok := d.fn(name)
+	if !ok {
+		return 0
+	}
+	fs.mu.Lock()
+	cm := fs.chunks
+	fs.mu.Unlock()
+	if cm == nil {
+		return 0
+	}
+	missing := 0
+	for _, ref := range cm.Refs {
+		if !d.cas.Has(casstore.Digest(ref.Digest)) {
+			missing++
+		}
+	}
+	return missing
 }
 
 // handleChunkGet serves one chunk's bytes. Corrupt chunks have been
@@ -376,6 +406,11 @@ func (d *Daemon) handleSync(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+	// Hold the GC sweep off until the fetched chunks are referenced by
+	// the registry-published chunk map below (the defer releases after
+	// fs.chunks is set).
+	d.casOps.RLock()
+	defer d.casOps.RUnlock()
 	for _, ref := range eager {
 		n, err := d.fetchChunk(req.Source, casstore.Digest(ref.Digest))
 		if err != nil {
@@ -436,19 +471,55 @@ func (d *Daemon) handleSync(w http.ResponseWriter, r *http.Request) {
 
 	if len(lazy) > 0 {
 		d.casLazyPending.Add(float64(len(lazy)))
-		go d.fetchLazyChunks(name, req.Source, lazy)
+		d.casLazyWG.Add(1)
+		go func() {
+			defer d.casLazyWG.Done()
+			d.fetchLazyChunks(name, req.Source, lazy)
+		}()
 	}
 }
 
-// fetchLazyChunks pulls a sync's deferred chunks in the background.
-// Failures are logged, not fatal: the function serves from its
-// loading set; anti-entropy or the next sync retries the tail.
+// fetchLazyChunks pulls a sync's deferred chunks in the background,
+// retrying transient failures with a short backoff. Failures are not
+// fatal — the function serves from its loading set — but a chunk
+// abandoned here is counted and surfaced as chunks_missing in GET
+// /manifest, which makes the gateway's anti-entropy pass issue an
+// eager re-sync from a complete replica.
 func (d *Daemon) fetchLazyChunks(name, source string, refs []snapfile.ChunkRef) {
-	for _, ref := range refs {
-		if _, err := d.fetchChunk(source, casstore.Digest(ref.Digest)); err != nil {
-			d.log.Printf("lazy chunk fetch for %s: %v", name, err)
+	const attempts = 3
+	abandoned := 0
+	for i, ref := range refs {
+		select {
+		case <-d.casLazyStop:
+			d.casLazyPending.Add(-float64(len(refs) - i))
+			return
+		default:
+		}
+		var err error
+		for try := 0; try < attempts; try++ {
+			if try > 0 {
+				select {
+				case <-d.casLazyStop:
+					// Shutting down: the unfetched tail stays missing and is
+					// re-synced by recovery or anti-entropy.
+					d.casLazyPending.Add(-float64(len(refs) - i))
+					return
+				case <-time.After(time.Duration(try) * 50 * time.Millisecond):
+				}
+			}
+			if _, err = d.fetchChunk(source, casstore.Digest(ref.Digest)); err == nil {
+				break
+			}
+		}
+		if err != nil {
+			abandoned++
+			d.casLazyFailed.Inc()
+			d.log.Printf("lazy chunk fetch for %s: %v (abandoned after %d attempts)", name, err, attempts)
 		}
 		d.casLazyPending.Dec()
+	}
+	if abandoned > 0 {
+		d.log.Printf("sync of %s left %d lazy chunks unfetched; reported as chunks_missing for anti-entropy re-sync", name, abandoned)
 	}
 	d.updateDedupGauge()
 }
@@ -483,12 +554,17 @@ func (d *Daemon) handleGC(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	// The liveness set and the sweep run under the write side of casOps:
+	// an in-flight record/sync must publish its chunk map (or not have
+	// committed any chunks yet) before the sweep judges liveness.
+	d.casOps.Lock()
 	live, hot := d.liveChunkSets()
 	var hotFn func(casstore.Digest) bool
 	if req.Demote {
 		hotFn = func(dg casstore.Digest) bool { return hot[dg] }
 	}
 	res, err := d.cas.GC(func(dg casstore.Digest) bool { return live[dg] }, hotFn)
+	d.casOps.Unlock()
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, "gc: %v", err)
 		return
@@ -538,9 +614,11 @@ func (d *Daemon) casRecoverySweep() {
 	if d.cas == nil {
 		return
 	}
+	d.casOps.Lock()
 	d.cas.SweepTemp()
 	live, _ := d.liveChunkSets()
 	res, err := d.cas.GC(func(dg casstore.Digest) bool { return live[dg] }, nil)
+	d.casOps.Unlock()
 	if err != nil {
 		d.log.Printf("recovery cas sweep: %v", err)
 		return

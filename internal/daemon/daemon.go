@@ -132,8 +132,25 @@ type Daemon struct {
 	casDedup       *telemetry.Gauge
 	casSaved       *telemetry.Counter
 	casLazyPending *telemetry.Gauge
+	casLazyFailed  *telemetry.Counter
 	casSyncs       *telemetry.Counter
 	casGCRemoved   *telemetry.Counter
+
+	// casOps excludes the GC sweep from record/sync's chunk-commit →
+	// registry-publish window: GC liveness comes from the registry's
+	// chunk maps, so a sweep running between a writer's chunk commits
+	// and its snapfile/registry publish would collect the just-written
+	// chunks as orphans and the acked snapfile would then reference
+	// chunks that no longer exist. Writers hold read; sweeps hold write.
+	casOps sync.RWMutex
+
+	// casLazyStop/casLazyWG stop and drain the background lazy-chunk
+	// fetchers on Close, so no goroutine writes into the state dir
+	// after shutdown. Whatever tail they leave is reported as
+	// chunks_missing and re-synced by anti-entropy.
+	casLazyStop chan struct{}
+	casLazyOnce sync.Once
+	casLazyWG   sync.WaitGroup
 
 	// admInFlight/admCapacity mirror the admission limiter into the
 	// scrape surface; cached here so the hot path never takes the
@@ -193,6 +210,7 @@ func New(cfg Config) (*Daemon, error) {
 		res:       cfg.Resilience.withDefaults(),
 		chaos:     chaos.New(),
 	}
+	d.casLazyStop = make(chan struct{})
 	d.limiter = resilience.NewLimiter(d.res.MaxInFlight)
 	d.admInFlight = d.telemetry.Gauge("faasnap_admission_inflight",
 		"Weight currently admitted by the invocation limiter.", nil)
@@ -252,6 +270,10 @@ func (d *Daemon) DrainStreams() {
 
 func (d *Daemon) Close() {
 	d.DrainStreams()
+	// Stop and drain the lazy-chunk fetchers before anything touches
+	// the state dir they write into.
+	d.casLazyOnce.Do(func() { close(d.casLazyStop) })
+	d.casLazyWG.Wait()
 	for _, fs := range d.reg.snapshot() {
 		fs.mu.Lock()
 		if fs.machine != nil {
@@ -844,6 +866,11 @@ func (d *Daemon) handleRecord(w http.ResponseWriter, r *http.Request) {
 	d.storeInput(fs.spec, in)
 	var chunks *snapfile.ChunkMap
 	if d.cfg.StateDir != "" {
+		// Hold the GC sweep off until this recording's chunks are
+		// referenced by the registry-published chunk map below (the defer
+		// releases after fs.chunks is set).
+		d.casOps.RLock()
+		defer d.casOps.RUnlock()
 		// Chunk the snapshot into the content-addressed store first:
 		// chunks shared with earlier recordings (the base image) dedup to
 		// nothing, and a crash before the snapfile commit leaves only

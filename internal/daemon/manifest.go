@@ -201,12 +201,23 @@ func (d *Daemon) sweepStateDir() {
 	}
 }
 
+// ManifestFunction is one function's durable journal state plus the
+// local chunk store's deficit against its chunk map.
+type ManifestFunction struct {
+	statedir.Entry
+	// ChunksMissing counts chunk-map refs absent from the local store —
+	// typically lazy chunks lost to a failed background fetch. Non-zero
+	// values tell the gateway's anti-entropy pass this replica needs an
+	// eager chunk re-sync from a complete copy.
+	ChunksMissing int `json:"chunks_missing,omitempty"`
+}
+
 // ManifestResponse is GET /manifest: the durable-state summary the
 // gateway's anti-entropy sweep compares across replicas.
 type ManifestResponse struct {
-	Digest     string           `json:"digest"`
-	Recovering bool             `json:"recovering"`
-	Functions  []statedir.Entry `json:"functions"`
+	Digest     string             `json:"digest"`
+	Recovering bool               `json:"recovering"`
+	Functions  []ManifestFunction `json:"functions"`
 }
 
 // handleManifest reports the manifest digest and per-function
@@ -219,9 +230,14 @@ func (d *Daemon) handleManifest(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, "no state directory; this daemon keeps no durable manifest")
 		return
 	}
-	fns := d.manifest.Entries()
-	if fns == nil {
-		fns = []statedir.Entry{}
+	entries := d.manifest.Entries()
+	fns := make([]ManifestFunction, 0, len(entries))
+	for _, e := range entries {
+		mf := ManifestFunction{Entry: e}
+		if !e.Deleted && e.HasSnapshot {
+			mf.ChunksMissing = d.missingChunks(e.Name)
+		}
+		fns = append(fns, mf)
 	}
 	writeJSON(w, http.StatusOK, ManifestResponse{
 		Digest:     d.manifest.Digest(),

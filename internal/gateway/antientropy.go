@@ -29,6 +29,10 @@ type manifestEntry struct {
 	HasSnapshot bool   `json:"has_snapshot"`
 	RecordInput string `json:"record_input,omitempty"`
 	Spec        string `json:"spec,omitempty"`
+	// ChunksMissing is the backend's chunk-store deficit against this
+	// function's chunk map (lazy chunks lost to a failed background
+	// fetch); non-zero triggers an eager chunk re-sync repair.
+	ChunksMissing int `json:"chunks_missing,omitempty"`
 }
 
 // manifestInfo mirrors the daemon's GET /manifest response.
@@ -73,6 +77,14 @@ func (p *Pool) resyncCounter(b *Backend, action string) *telemetry.Counter {
 		telemetry.L("backend", b.Addr, "action", action))
 }
 
+// chunkBytesCounter counts chunk payload bytes moved into a backend by
+// anti-entropy chunk-sync repairs.
+func (p *Pool) chunkBytesCounter(b *Backend) *telemetry.Counter {
+	return p.reg.Counter("faasnap_gw_resync_chunk_bytes_total",
+		"Chunk payload bytes transferred by anti-entropy chunk-sync repairs, by backend.",
+		telemetry.L("backend", b.Addr))
+}
+
 // resyncOp replays one mutation against a backend's normal API; true on
 // a 2xx answer. Repairs ride the same endpoints clients use, so every
 // daemon-side invariant (journaling, verification, quarantine) applies
@@ -113,8 +125,11 @@ type syncResult struct {
 // move over the wire. Returns the daemon's transfer accounting; ok is
 // false when the backend predates the endpoint or the pull failed, in
 // which case the caller falls back to replaying the recording.
-func (p *Pool) resyncChunkSync(b *Backend, fn, source string) (syncResult, bool) {
-	body, _ := json.Marshal(map[string]string{"source": source})
+// eager asks the target to fetch every missing chunk before replying
+// instead of deferring non-loading-set chunks to its background
+// fetcher — used when the repair itself is about missing lazy chunks.
+func (p *Pool) resyncChunkSync(b *Backend, fn, source string, eager bool) (syncResult, bool) {
+	body, _ := json.Marshal(map[string]interface{}{"source": source, "eager": eager})
 	req, err := http.NewRequest(http.MethodPost, "http://"+b.Addr+"/functions/"+fn+"/sync", bytes.NewReader(body))
 	if err != nil {
 		return syncResult{}, false
@@ -192,8 +207,19 @@ func (p *Pool) ResyncNow() int {
 				continue
 			}
 			if e, ok := mi.entry(fn); ok {
-				if winner == nil || e.Generation > winner.Generation ||
-					(e.Generation == winner.Generation && e.HasSnapshot && !winner.HasSnapshot) {
+				// Highest generation wins; among equals prefer a copy with
+				// the snapshot, then the one with the smallest chunk-store
+				// deficit — a repair source must be able to serve every
+				// chunk it advertises.
+				better := winner == nil || e.Generation > winner.Generation
+				if winner != nil && e.Generation == winner.Generation {
+					if e.HasSnapshot != winner.HasSnapshot {
+						better = e.HasSnapshot
+					} else {
+						better = e.ChunksMissing < winner.ChunksMissing
+					}
+				}
+				if better {
 					we := e
 					winner = &we
 					winnerAddr = b.Addr
@@ -239,11 +265,9 @@ func (p *Pool) ResyncNow() int {
 				// or targets that predate the chunk store.
 				synced := false
 				if winnerAddr != "" && winnerAddr != b.Addr {
-					if sr, ok := p.resyncChunkSync(b, fn, winnerAddr); ok {
+					if sr, ok := p.resyncChunkSync(b, fn, winnerAddr, false); ok {
 						p.resyncCounter(b, "chunks").Inc()
-						p.reg.Counter("faasnap_gw_resync_chunk_bytes_total",
-							"Chunk payload bytes transferred by anti-entropy chunk-sync repairs, by backend.",
-							telemetry.L("backend", b.Addr)).Add(float64(sr.BytesFetched))
+						p.chunkBytesCounter(b).Add(float64(sr.BytesFetched))
 						actions++
 						synced = true
 					}
@@ -254,6 +278,19 @@ func (p *Pool) ResyncNow() int {
 						p.resyncCounter(b, "record").Inc()
 						actions++
 					}
+				}
+			} else if winner.HasSnapshot && e.HasSnapshot && e.ChunksMissing > 0 &&
+				winner.ChunksMissing == 0 && b.Addr != winnerAddr {
+				// The backend has the snapshot but lost part of its chunk
+				// content — a lazy tail its background fetcher abandoned, or
+				// out-of-band loss. It serves fine from its loading set but
+				// answers 404 to peers for the missing digests, so repair by
+				// pulling the deficit eagerly from a complete copy.
+				stale[b.Addr] = true
+				if sr, ok := p.resyncChunkSync(b, fn, winnerAddr, true); ok {
+					p.resyncCounter(b, "chunks").Inc()
+					p.chunkBytesCounter(b).Add(float64(sr.BytesFetched))
+					actions++
 				}
 			}
 		}

@@ -12,6 +12,8 @@ import (
 	"log"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
@@ -21,9 +23,17 @@ import (
 )
 
 func startRealDaemon(t *testing.T) (*daemon.Daemon, string) {
+	d, _, addr := startRealDaemonDir(t)
+	return d, addr
+}
+
+// startRealDaemonDir also returns the daemon's state directory, for
+// tests that damage durable state out-of-band.
+func startRealDaemonDir(t *testing.T) (*daemon.Daemon, string, string) {
 	t.Helper()
+	dir := t.TempDir()
 	d, err := daemon.New(daemon.Config{
-		StateDir: t.TempDir(),
+		StateDir: dir,
 		Logger:   log.New(io.Discard, "", 0),
 	})
 	if err != nil {
@@ -31,7 +41,7 @@ func startRealDaemon(t *testing.T) (*daemon.Daemon, string) {
 	}
 	srv := httptest.NewServer(d.Handler())
 	t.Cleanup(func() { srv.Close(); d.Close() })
-	return d, srv.Listener.Addr().String()
+	return d, dir, srv.Listener.Addr().String()
 }
 
 func daemonJSON(t *testing.T, method, url string, body, out interface{}) int {
@@ -182,6 +192,101 @@ func TestAntiEntropyChunkSync(t *testing.T) {
 	daemonJSON(t, "GET", "http://"+addrB+"/cas", nil, &cas)
 	if cas.DedupRatio <= 0.25 {
 		t.Fatalf("standby dedup ratio = %v after syncing two shared-base functions", cas.DedupRatio)
+	}
+
+	// Converged: the next pass is a no-op.
+	g.pool.CheckNow()
+	if n := g.pool.ResyncNow(); n != 0 {
+		t.Fatalf("converged pass issued %d actions", n)
+	}
+}
+
+// TestAntiEntropyRepairsMissingLazyChunks: a backend that has the
+// snapshot but lost chunk content (a lazy tail its background fetcher
+// abandoned, simulated here by deleting a chunk file out-of-band)
+// reports the deficit as chunks_missing in GET /manifest, and the next
+// anti-entropy pass repairs it with an eager chunk sync — after which
+// the backend serves the digest to peers again and the sweep is a
+// no-op.
+func TestAntiEntropyRepairsMissingLazyChunks(t *testing.T) {
+	_, addrA := startRealDaemon(t)
+	_, dirB, addrB := startRealDaemonDir(t)
+	g := newTestGateway(t, Config{Replicas: 1, Backends: []string{addrA, addrB}})
+
+	const fn = "chunkrepair-alpha"
+	base := "http://" + addrA
+	if st := daemonJSON(t, "PUT", base+"/functions/"+fn, chunkSyncSpec(fn), nil); st != http.StatusOK {
+		t.Fatalf("register on A = %d", st)
+	}
+	if st := daemonJSON(t, "POST", base+"/functions/"+fn+"/record",
+		map[string]string{"input": "A"}, nil); st != http.StatusOK {
+		t.Fatalf("record on A = %d", st)
+	}
+	g.pool.CheckNow()
+	if n := g.pool.ResyncNow(); n != 2 {
+		t.Fatalf("initial resync actions = %d, want 2 (register + chunk-sync)", n)
+	}
+	waitCASDrained(t, "http://"+addrB)
+
+	// Drop one non-loading-set chunk from B's local tier, as a failed
+	// lazy fetch would have left it.
+	var cmFull struct {
+		Chunks []struct {
+			Digest     string `json:"digest"`
+			LoadingSet bool   `json:"loading_set"`
+		} `json:"chunks"`
+	}
+	daemonJSON(t, "GET", "http://"+addrB+"/functions/"+fn+"/chunkmap", nil, &cmFull)
+	victim := ""
+	for _, c := range cmFull.Chunks {
+		if !c.LoadingSet {
+			victim = c.Digest
+			break
+		}
+	}
+	if victim == "" {
+		t.Fatal("chunk map has no lazy chunks")
+	}
+	if err := os.Remove(filepath.Join(dirB, "cas", "chunks", victim[:2], victim)); err != nil {
+		t.Fatalf("remove chunk file: %v", err)
+	}
+	if st := daemonJSON(t, "GET", "http://"+addrB+"/chunks/"+victim, nil, nil); st != http.StatusNotFound {
+		t.Fatalf("deleted chunk served with %d", st)
+	}
+
+	// The deficit is visible in B's manifest.
+	missing := func(addr string) int {
+		var mi struct {
+			Functions []struct {
+				Name          string `json:"name"`
+				ChunksMissing int    `json:"chunks_missing"`
+			} `json:"functions"`
+		}
+		daemonJSON(t, "GET", "http://"+addr+"/manifest", nil, &mi)
+		for _, e := range mi.Functions {
+			if e.Name == fn {
+				return e.ChunksMissing
+			}
+		}
+		return -1
+	}
+	if n := missing(addrB); n != 1 {
+		t.Fatalf("chunks_missing on B = %d, want 1", n)
+	}
+
+	// One repair action: an eager chunk sync that restores the deficit.
+	g.pool.CheckNow()
+	if n := g.pool.ResyncNow(); n != 1 {
+		t.Fatalf("repair pass actions = %d, want 1", n)
+	}
+	if v := metricValue(t, g, `faasnap_gw_resync_total{action="chunks",backend="`+addrB+`"}`); v != 2 {
+		t.Fatalf(`resync action "chunks" = %v, want 2 (initial sync + repair)`, v)
+	}
+	if n := missing(addrB); n != 0 {
+		t.Fatalf("chunks_missing on B after repair = %d, want 0", n)
+	}
+	if st := daemonJSON(t, "GET", "http://"+addrB+"/chunks/"+victim, nil, nil); st != http.StatusOK {
+		t.Fatalf("repaired chunk served with %d", st)
 	}
 
 	// Converged: the next pass is a no-op.

@@ -61,6 +61,22 @@ func FuzzRead(f *testing.F) {
 		f.Add(v2short[:len(v2short)-8])
 	}
 
+	// A CRC-valid file whose chunk refs are semantically invalid
+	// (Pages > ChunkPages): readChunkMap rejects it and returns nil,
+	// which the reader must handle without dereferencing the nil map.
+	badCM := &ChunkMap{ChunkPages: 64}
+	badCM.Refs = append(badCM.Refs, ChunkRef{
+		Digest:    [DigestLen]byte{0xde, 0xad},
+		StartPage: 0,
+		Pages:     65, // > ChunkPages
+		Bytes:     65 * 4096,
+	})
+	var badBuf bytes.Buffer
+	if err := WriteChunked(&badBuf, arts, badCM); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(badBuf.Bytes())
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		got, err := Read(bytes.NewReader(data))
 		if err == nil && got == nil {

@@ -426,11 +426,10 @@ func ReadChunked(r io.Reader) (*core.Artifacts, *ChunkMap, error) {
 
 	var chunks *ChunkMap
 	if v == versionV2 && c.err == nil {
+		// readChunkMap returns nil on validation failure (with c.err
+		// set) — don't dereference it on that path.
 		chunks = readChunkMap(c)
-		for i := range chunks.Refs {
-			if c.err != nil {
-				break
-			}
+		for i := 0; chunks != nil && c.err == nil && i < len(chunks.Refs); i++ {
 			if ref := &chunks.Refs[i]; ref.StartPage+ref.Pages > pages {
 				c.fail("chunk ref %d beyond memory file: start=%d pages=%d", i, ref.StartPage, ref.Pages)
 			}

@@ -196,4 +196,33 @@ func TestChunkRefValidation(t *testing.T) {
 	} else if !strings.Contains(err.Error(), "chunk") {
 		t.Fatalf("error does not name the chunk section: %v", err)
 	}
+
+	// A ref whose page count exceeds the map's granularity fails inside
+	// readChunkMap (which returns nil): the reader must surface the
+	// error, not dereference the nil map. CRC-valid on purpose — the
+	// checksum cannot catch a semantically invalid ref.
+	over := *cm
+	over.Refs = append([]ChunkRef(nil), cm.Refs...)
+	over.Refs[0].Pages = over.ChunkPages + 1
+	over.Refs[0].Bytes = over.Refs[0].Pages * 4096
+	buf.Reset()
+	if err := WriteChunked(&buf, arts, &over); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadChunked(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("oversized chunk ref decoded cleanly")
+	} else if !strings.Contains(err.Error(), "chunk") {
+		t.Fatalf("error does not name the chunk section: %v", err)
+	}
+
+	// Same for a bad granularity, which fails before any ref is read.
+	grain := *cm
+	grain.ChunkPages = 0
+	buf.Reset()
+	if err := WriteChunked(&buf, arts, &grain); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadChunked(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("zero-granularity chunk map decoded cleanly")
+	}
 }
