@@ -2,14 +2,14 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-short test-race chaos crash-smoke gateway-e2e cas-smoke bench bench-smoke experiments figures fuzz clean
+.PHONY: all check build vet test test-short test-race chaos crash-smoke gateway-e2e cas-smoke events-smoke bench bench-smoke experiments figures fuzz clean
 
 all: build vet test
 
 # What CI runs: compile, vet, full tests, the race detector, the
 # fault-injection matrix, the crash-consistency smoke, the multi-host
-# gateway e2e, and the chunk-store smoke.
-check: build vet test test-race chaos crash-smoke gateway-e2e cas-smoke
+# gateway e2e, the chunk-store smoke, and the event-ledger smoke.
+check: build vet test test-race chaos crash-smoke gateway-e2e cas-smoke events-smoke
 
 build:
 	$(GO) build ./...
@@ -63,21 +63,33 @@ cas-smoke:
 	$(GO) test -race -count=1 ./internal/casstore/ -timeout 300s
 	$(GO) test -race -count=1 -run TestCAS ./internal/daemon/ -timeout 300s
 
+# The event-ledger smoke (OBSERVABILITY.md, "Events & background-op
+# tracing"): a repair sweep over real daemons must land in both the
+# daemon and gateway ledgers, merge with origins on /cluster/events,
+# and leave a restore trace the waterfall renderer can draw — plus the
+# 3-daemon deficit→repair→converged causality chain.
+events-smoke:
+	$(GO) test -race -count=1 -run 'TestEventsSmoke|TestRepairCausalityChain' \
+		./internal/gateway/ -timeout 60s
+
 bench:
 	$(GO) test -bench=. -benchmem -timeout 1500s
 
 # A short seeded open-loop burst against a real 3-daemon cluster behind
 # the gateway (EXPERIMENTS.md, load section). Writes
 # BENCH_open_loop.json plus the cluster's own SLO view
-# (BENCH_cluster_slo.json); CI uploads both so every PR has a
-# comparable serving-tier latency/goodput digest. -slo-check fails the
-# run if the SLO engine's attainment and the client's goodput-under-SLO
-# disagree by more than a point — the two measurement planes must agree.
+# (BENCH_cluster_slo.json) and the final cluster event ledger
+# (BENCH_cluster_events.json); CI uploads all three so every PR has a
+# comparable serving-tier latency/goodput digest and a record of what
+# the control plane did during the run. -slo-check fails the run if the
+# SLO engine's attainment and the client's goodput-under-SLO disagree
+# by more than a point — the two measurement planes must agree.
 bench-smoke:
 	$(GO) run ./cmd/faasnap-load -cluster 3 -functions 24 -tenants 8 \
 		-rps 50 -duration 5s -seed 1 -max-inflight 16 \
 		-out BENCH_open_loop.json \
-		-slo-report BENCH_cluster_slo.json -slo-check
+		-slo-report BENCH_cluster_slo.json -slo-check \
+		-events-report BENCH_cluster_events.json
 
 # Regenerate every paper table/figure (writes bench_results.txt).
 experiments:

@@ -73,6 +73,7 @@ func run(logger *log.Logger) error {
 		mutexProf = flag.String("mutexprofile", "", "write a mutex contention profile (debug=1 text) of the whole run")
 		sloReport = flag.String("slo-report", "", "after the run, fetch the serving tier's SLO report (/cluster/slo or /slo) and write it here")
 		sloCheck  = flag.Bool("slo-check", false, "fail if the SLO engine's attainment disagrees with client-side goodput-under-SLO by more than 1 point")
+		evReport  = flag.String("events-report", "", "after the run, fetch the cluster event ledger (/cluster/events or /events) and write it here")
 	)
 	flag.Parse()
 
@@ -185,6 +186,47 @@ func run(logger *log.Logger) error {
 			return err
 		}
 	}
+	if *evReport != "" {
+		if err := eventsArtifact(base, *evReport, logger); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// eventsArtifact fetches the serving tier's event ledger — the merged
+// /cluster/events view on a gateway, the single-daemon /events ledger
+// otherwise — and writes it as a bench artifact next to the report, so
+// a run leaves behind what the control plane did (repairs, GC sweeps,
+// breaker trips, SLO pages) alongside how fast it served.
+func eventsArtifact(base, path string, logger *log.Logger) error {
+	var raw []byte
+	for _, p := range []string{"/cluster/events", "/events"} {
+		resp, err := http.Get(base + p)
+		if err != nil {
+			return fmt.Errorf("events report: %w", err)
+		}
+		body, rerr := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+		resp.Body.Close()
+		if rerr != nil {
+			return fmt.Errorf("events report: %w", rerr)
+		}
+		if resp.StatusCode == http.StatusNotFound {
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("events report: %s answered %d", p, resp.StatusCode)
+		}
+		raw = body
+		break
+	}
+	if raw == nil {
+		return fmt.Errorf("events report: no event ledger endpoint at %s", base)
+	}
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	logger.Printf("event ledger written to %s", path)
 	return nil
 }
 

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
@@ -20,6 +21,7 @@ import (
 	"time"
 
 	"faasnap/internal/resilience"
+	"faasnap/internal/trace"
 )
 
 var (
@@ -44,6 +46,9 @@ commands:
   sync <fn> <source host:port> [eager]      pull fn's snapshot from a peer, missing chunks only
   gc [demote]                               sweep unreferenced chunks (demote: compress cold chunks)
   traces [id]                               list invocation traces, or fetch one (Zipkin v2 JSON)
+  waterfall <trace-id>                      render a trace as an ASCII waterfall (restore, gc, sweep, recovery)
+  events [--follow] [--cluster]             event ledger; --follow streams NDJSON from a daemon,
+                                            --cluster merges every backend's ledger via a gateway
   metrics                                   daemon counters
   cluster [fn]                              gateway topology (and fn's placement preference)
   slo                                       SLO burn-rate report (/cluster/slo on a gateway, /slo on a daemon)
@@ -160,6 +165,39 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
+}
+
+// streamEvents follows a daemon's ledger as NDJSON (GET /events?watch=1),
+// printing each event line as it arrives until interrupted or the
+// daemon shuts the stream down.
+func streamEvents() {
+	resp, err := http.Get("http://" + *addr + "/events?watch=1")
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		fmt.Fprintf(os.Stderr, "error (%d): %s\n", resp.StatusCode, bytes.TrimSpace(raw))
+		os.Exit(1)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		if line := bytes.TrimSpace(sc.Bytes()); len(line) > 0 {
+			fmt.Println(string(line))
+		}
+	}
+}
+
 func main() {
 	flag.Usage = usage
 	flag.Parse()
@@ -221,6 +259,46 @@ func main() {
 		} else {
 			call("GET", "/traces/"+rest[0], nil)
 		}
+	case "waterfall":
+		if len(rest) != 1 {
+			usage()
+		}
+		resp, raw, err := doOnce("GET", "/traces/"+rest[0], nil)
+		if err != nil {
+			fatal(err)
+		}
+		if resp.StatusCode/100 != 2 {
+			fmt.Fprintf(os.Stderr, "error (%d): %s\n", resp.StatusCode, bytes.TrimSpace(raw))
+			os.Exit(1)
+		}
+		var spans []*trace.Span
+		if err := json.Unmarshal(raw, &spans); err != nil {
+			fatal(fmt.Errorf("bad trace body: %w", err))
+		}
+		fmt.Print(trace.RenderWaterfall(spans))
+	case "events":
+		follow, cluster := false, false
+		for _, a := range rest {
+			switch a {
+			case "--follow", "follow":
+				follow = true
+			case "--cluster", "cluster":
+				cluster = true
+			default:
+				usage()
+			}
+		}
+		if cluster {
+			call("GET", "/cluster/events", nil)
+			break
+		}
+		if follow {
+			streamEvents()
+			break
+		}
+		// Unqualified `events` works against either tier: the gateway
+		// serves the merged cluster view, a daemon its own ledger.
+		callFallback("/cluster/events", "/events")
 	case "create":
 		if len(rest) != 1 {
 			usage()
@@ -265,7 +343,34 @@ func main() {
 			usage()
 		}
 		demote := len(rest) == 1 && rest[0] == "demote"
-		call("POST", "/gc", map[string]interface{}{"demote": demote})
+		body, _ := json.Marshal(map[string]interface{}{"demote": demote})
+		resp, raw, err := doOnce("POST", "/gc", body)
+		if err != nil {
+			fatal(err)
+		}
+		if resp.StatusCode/100 != 2 {
+			fmt.Fprintf(os.Stderr, "error (%d): %s\n", resp.StatusCode, bytes.TrimSpace(raw))
+			os.Exit(1)
+		}
+		var pretty bytes.Buffer
+		if json.Indent(&pretty, raw, "", "  ") == nil {
+			fmt.Println(pretty.String())
+		}
+		var gr struct {
+			Removed        int64   `json:"removed_chunks"`
+			ReclaimedBytes int64   `json:"reclaimed_bytes"`
+			Demoted        int64   `json:"demoted_chunks"`
+			ChunksExamined int64   `json:"chunks_examined"`
+			WallMs         float64 `json:"wall_ms"`
+			TraceID        string  `json:"trace_id"`
+		}
+		if json.Unmarshal(raw, &gr) == nil {
+			fmt.Printf("gc: examined %d chunks, freed %d (%s reclaimed), demoted %d, in %.1fms\n",
+				gr.ChunksExamined, gr.Removed, fmtBytes(gr.ReclaimedBytes), gr.Demoted, gr.WallMs)
+			if gr.TraceID != "" {
+				fmt.Printf("gc: trace %s (render with: faasnapctl waterfall %s)\n", gr.TraceID, gr.TraceID)
+			}
+		}
 	case "delete":
 		if len(rest) != 1 {
 			usage()

@@ -59,6 +59,7 @@ func run(logger *log.Logger) error {
 		quietHTTP     = flag.Bool("quiet-http", false, "drop the per-request access log line (for load benchmarks; telemetry still counts every request)")
 		traceRing     = flag.Int("trace-ring", obs.DefaultRing, "trace store capacity (must be > 0)")
 		profileRing   = flag.Int("profile-ring", obs.DefaultRing, "flight-recorder profile ring capacity (must be > 0)")
+		eventRing     = flag.Int("event-ring", 0, "cluster event ledger capacity (0 = default 1024)")
 		sloLatency    = flag.Duration("slo-latency", 0, "per-request latency objective for GET /slo (0 = default 500ms)")
 		sloTarget     = flag.Float64("slo-target", 0, "SLO attainment target in (0,1) (0 = default 0.99)")
 	)
@@ -150,6 +151,7 @@ func run(logger *log.Logger) error {
 		QuietHTTP:     *quietHTTP,
 		TraceRing:     *traceRing,
 		ProfileRing:   *profileRing,
+		EventRing:     *eventRing,
 		SLO: slo.Config{
 			Default: slo.Objective{Latency: *sloLatency, Target: *sloTarget},
 		},

@@ -37,6 +37,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"faasnap/internal/blockdev"
@@ -132,6 +133,19 @@ type Store struct {
 	chunksCold  *telemetry.Gauge
 	bytesLocal  *telemetry.Gauge
 	bytesCold   *telemetry.Gauge
+
+	onQuarantine atomic.Pointer[func(d Digest, tier Tier)]
+}
+
+// SetOnQuarantine installs a callback invoked whenever a corrupt chunk
+// is moved to quarantine, with its digest and the tier it failed in.
+// The callback runs with the store lock held; it must not call back
+// into the store.
+func (s *Store) SetOnQuarantine(fn func(d Digest, tier Tier)) {
+	if s == nil || fn == nil {
+		return
+	}
+	s.onQuarantine.Store(&fn)
 }
 
 // Open opens (creating if needed) the chunk store under stateDir,
@@ -316,6 +330,9 @@ func (s *Store) quarantineChunk(path string, d Digest, size int64, tier Tier) {
 		return
 	}
 	s.quarantined.Inc()
+	if fn := s.onQuarantine.Load(); fn != nil {
+		(*fn)(d, tier)
+	}
 	if tier == TierCold {
 		s.chunksCold.Dec()
 		s.bytesCold.Add(-float64(size))

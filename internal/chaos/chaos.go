@@ -189,6 +189,7 @@ type Injector struct {
 	rules []*ruleState
 
 	reg      atomic.Pointer[telemetry.Registry]
+	onFire   atomic.Pointer[func(point, op string, kind Kind)]
 	injected atomic.Int64
 }
 
@@ -202,6 +203,17 @@ func (i *Injector) SetTelemetry(reg *telemetry.Registry) {
 		return
 	}
 	i.reg.Store(reg)
+}
+
+// SetOnFire installs a callback invoked every time a rule fires, with
+// the injection point, the operation, and the fault kind. Like
+// SetTelemetry it survives Configure. The callback runs under the
+// injector's lock and must not call back into the injector.
+func (i *Injector) SetOnFire(fn func(point, op string, kind Kind)) {
+	if i == nil || fn == nil {
+		return
+	}
+	i.onFire.Store(&fn)
 }
 
 // Configure replaces the rule set, reseeds the RNG, and zeroes fired
@@ -318,6 +330,9 @@ func (i *Injector) Eval(point, op string) Decision {
 			reg.Counter("faasnap_chaos_injected_total",
 				"Faults injected by the chaos layer, by point and kind.",
 				telemetry.L("point", point, "kind", string(rs.Kind))).Inc()
+		}
+		if fn := i.onFire.Load(); fn != nil {
+			(*fn)(point, op, rs.Kind)
 		}
 		return Decision{
 			Kind:   rs.Kind,

@@ -22,11 +22,15 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"time"
 
 	"faasnap/internal/casstore"
 	"faasnap/internal/chaos"
+	"faasnap/internal/events"
 	"faasnap/internal/snapfile"
+	"faasnap/internal/telemetry"
+	"faasnap/internal/trace"
 )
 
 // syncClient fetches chunk maps and chunks from peer daemons. Separate
@@ -53,7 +57,21 @@ func (d *Daemon) initCAS() error {
 		"Chunk-level restores served for functions this daemon never recorded.", nil)
 	d.casGCRemoved = d.telemetry.Counter("faasnap_cas_gc_removed_chunks_total",
 		"Unreferenced chunks removed by the refcount sweep.", nil)
+	// Background-op duration histograms are registered up front so they
+	// appear in the scrape before their first observation.
+	d.telemetry.Histogram("faasnap_cas_gc_seconds",
+		"Wall time of chunk-store garbage-collection sweeps.", nil)
+	for _, p := range []string{"decode", "eager", "commit", "lazy"} {
+		d.syncSeconds(p)
+	}
 	return nil
+}
+
+// syncSeconds returns the chunk-sync phase histogram for one phase.
+func (d *Daemon) syncSeconds(phase string) *telemetry.Histogram {
+	return d.telemetry.Histogram("faasnap_cas_sync_seconds",
+		"Chunk-level restore wall time by phase (decode, eager fetch, commit, lazy tail).",
+		telemetry.L("phase", phase))
 }
 
 // liveChunkSets walks the registry and returns the digests referenced
@@ -295,28 +313,33 @@ type SyncResponse struct {
 	BytesTotal    int64  `json:"bytes_total"`
 	BytesFetched  int64  `json:"bytes_fetched"`
 	SnapfileBytes int64  `json:"snapfile_bytes"`
+	// TraceID identifies the restore's waterfall trace (snapfile decode,
+	// per-group eager fetches, commit, lazy tail) in GET /traces/{id}.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // fetchChunk pulls one chunk from the source and commits it under its
-// digest; PutDigest rejects transfer corruption before commit.
-func (d *Daemon) fetchChunk(source string, dg casstore.Digest) (int64, error) {
+// digest, reporting which tier served it; PutDigest rejects transfer
+// corruption before commit.
+func (d *Daemon) fetchChunk(source string, dg casstore.Digest) (int64, string, error) {
 	resp, err := syncClient.Get("http://" + source + "/chunks/" + dg.String())
 	if err != nil {
-		return 0, err
+		return 0, "", err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
-		return 0, fmt.Errorf("source answered %d for chunk %s", resp.StatusCode, dg)
+		return 0, "", fmt.Errorf("source answered %d for chunk %s", resp.StatusCode, dg)
 	}
+	tier := resp.Header.Get("X-Faasnap-Chunk-Tier")
 	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	if err != nil {
-		return 0, err
+		return 0, tier, err
 	}
 	if _, err := d.cas.PutDigest(dg, data); err != nil {
-		return 0, err
+		return 0, tier, err
 	}
-	return int64(len(data)), nil
+	return int64(len(data)), tier, nil
 }
 
 // handleSync restores a function this daemon may never have recorded,
@@ -342,6 +365,15 @@ func (d *Daemon) handleSync(w http.ResponseWriter, r *http.Request) {
 	if req.Source == "" {
 		writeErr(w, http.StatusBadRequest, "sync needs a source daemon address")
 		return
+	}
+
+	// The restore mints a waterfall trace; a caller-supplied traceparent
+	// (the gateway's anti-entropy sweep) is adopted so the repair's trace
+	// id matches what the sweep recorded.
+	start := time.Now()
+	traceID := d.traces.NextID()
+	if sc, ok := telemetry.Extract(r.Header); ok && sc.TraceID != "" {
+		traceID = trace.ID(sc.TraceID)
 	}
 
 	cmResp, err := syncClient.Get("http://" + req.Source + "/functions/" + name + "/chunkmap")
@@ -372,11 +404,14 @@ func (d *Daemon) handleSync(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadGateway, "source snapfile is for %q, not %q", arts.Fn.Name, name)
 		return
 	}
+	decodeDur := time.Since(start)
+	d.syncSeconds("decode").Observe(decodeDur)
 
 	resp := SyncResponse{
 		Function:      name,
 		Source:        req.Source,
 		SnapfileBytes: int64(len(cmr.Snapfile)),
+		TraceID:       string(traceID),
 	}
 	var eager, lazy []snapfile.ChunkRef
 	if cm != nil {
@@ -411,19 +446,49 @@ func (d *Daemon) handleSync(w http.ResponseWriter, r *http.Request) {
 	// fs.chunks is set).
 	d.casOps.RLock()
 	defer d.casOps.RUnlock()
+
+	// Eager fetches are traced one span per prefetch group: the sorted
+	// order means each group's chunks are contiguous, so the per-group
+	// wall time and serving tiers land on one waterfall row each.
+	type groupSpan struct {
+		group  int64
+		ls     bool
+		start  time.Duration
+		dur    time.Duration
+		chunks int
+		bytes  int64
+		tiers  map[string]bool
+	}
+	var groups []*groupSpan
+	eagerStart := time.Since(start)
 	for _, ref := range eager {
-		n, err := d.fetchChunk(req.Source, casstore.Digest(ref.Digest))
+		g := (*groupSpan)(nil)
+		if n := len(groups); n > 0 && groups[n-1].group == ref.Group && groups[n-1].ls == ref.LS {
+			g = groups[n-1]
+		} else {
+			g = &groupSpan{group: ref.Group, ls: ref.LS, start: time.Since(start), tiers: map[string]bool{}}
+			groups = append(groups, g)
+		}
+		n, tier, err := d.fetchChunk(req.Source, casstore.Digest(ref.Digest))
 		if err != nil {
 			writeErr(w, http.StatusBadGateway, "fetch chunk: %v", err)
 			return
 		}
+		if tier != "" {
+			g.tiers[tier] = true
+		}
+		g.chunks++
+		g.bytes += n
+		g.dur = time.Since(start) - g.start
 		resp.ChunksFetched++
 		resp.BytesFetched += n
 	}
+	d.syncSeconds("eager").Observe(time.Since(start) - eagerStart)
 	resp.ChunksLazy = len(lazy)
 
 	// Chunks durable; commit the snapfile exactly as received, then
 	// journal. Same ordering and crashpoints as a local record.
+	commitStart := time.Since(start)
 	chaos.MaybeCrash(chaos.CrashRecordPostChunks)
 	path := filepath.Join(d.cfg.StateDir, name+".snap")
 	if err := snapfile.CommitRaw(path, cmr.Snapfile); err != nil {
@@ -457,6 +522,42 @@ func (d *Daemon) handleSync(w http.ResponseWriter, r *http.Request) {
 	fs.arts = arts
 	fs.chunks = cm
 	fs.mu.Unlock()
+	commitDur := time.Since(start) - commitStart
+	d.syncSeconds("commit").Observe(commitDur)
+
+	// Assemble the restore waterfall: decode → eager fetch per prefetch
+	// group (tier-labelled) → commit. The lazy tail appends its span
+	// when the background fetcher drains.
+	wall := time.Since(start)
+	tb := trace.NewBuilder(traceID, "chunk-sync "+name)
+	root := tb.Span("chunk-sync "+name, "", 0, wall, map[string]string{
+		"function": name,
+		"source":   req.Source,
+		"chunks":   strconv.Itoa(resp.ChunksTotal),
+	})
+	tb.Span("snapfile-decode", root, 0, decodeDur, map[string]string{
+		"bytes": strconv.FormatInt(resp.SnapfileBytes, 10),
+	})
+	for _, g := range groups {
+		tiers := make([]string, 0, len(g.tiers))
+		for t := range g.tiers {
+			tiers = append(tiers, t)
+		}
+		sort.Strings(tiers)
+		tags := map[string]string{
+			"group":  strconv.FormatInt(g.group, 10),
+			"tier":   joinTiers(tiers),
+			"chunks": strconv.Itoa(g.chunks),
+			"bytes":  strconv.FormatInt(g.bytes, 10),
+		}
+		if !g.ls {
+			tags["eager_tail"] = "true"
+		}
+		tb.Span("eager-fetch", root, g.start, g.dur, tags)
+	}
+	tb.Span("commit", root, commitStart, commitDur, nil)
+	tr := tb.Finish()
+	d.traces.Put(tr)
 
 	// Saved = bytes a whole-snapshot copy would have moved now but this
 	// restore did not: dedup hits plus the deferred lazy tail.
@@ -472,11 +573,60 @@ func (d *Daemon) handleSync(w http.ResponseWriter, r *http.Request) {
 	if len(lazy) > 0 {
 		d.casLazyPending.Add(float64(len(lazy)))
 		d.casLazyWG.Add(1)
+		lazyOffset := time.Since(start)
+		lazyWall := time.Now()
+		snapshot := append([]*trace.Span(nil), tr.Spans...)
 		go func() {
 			defer d.casLazyWG.Done()
-			d.fetchLazyChunks(name, req.Source, lazy)
+			fetched, abandoned := d.fetchLazyChunks(name, req.Source, lazy)
+			lazyDur := time.Since(lazyWall)
+			d.syncSeconds("lazy").Observe(lazyDur)
+			// Re-put the trace with the lazy-tail span appended and the
+			// root stretched to cover it; Put overwrites in place, so the
+			// waterfall behind GET /traces/{id} gains the tail.
+			rootCopy := *snapshot[0]
+			rootCopy.Duration = (lazyOffset + lazyDur).Microseconds()
+			spans := append([]*trace.Span{&rootCopy}, snapshot[1:]...)
+			spans = append(spans, &trace.Span{
+				TraceID:   traceID,
+				SpanID:    trace.SpanID(traceID, len(snapshot)+1),
+				ParentID:  root,
+				Name:      "lazy-tail",
+				Timestamp: lazyOffset.Microseconds(),
+				Duration:  lazyDur.Microseconds(),
+				Tags: map[string]string{
+					"chunks":    strconv.Itoa(len(lazy)),
+					"fetched":   strconv.Itoa(fetched),
+					"abandoned": strconv.Itoa(abandoned),
+				},
+			})
+			d.traces.Put(&trace.Trace{ID: traceID, Name: tr.Name, Spans: spans})
+			if abandoned > 0 {
+				d.publishEvent(events.Event{
+					Type:     events.LazyAbandoned,
+					Function: name,
+					TraceID:  string(traceID),
+					Fields: map[string]string{
+						"abandoned": strconv.Itoa(abandoned),
+						"source":    req.Source,
+					},
+				})
+			}
 		}()
 	}
+}
+
+// joinTiers renders a group's serving tiers for the span tag; an empty
+// set (every chunk already present) reads as "none".
+func joinTiers(tiers []string) string {
+	if len(tiers) == 0 {
+		return "none"
+	}
+	out := tiers[0]
+	for _, t := range tiers[1:] {
+		out += "," + t
+	}
+	return out
 }
 
 // fetchLazyChunks pulls a sync's deferred chunks in the background,
@@ -485,14 +635,13 @@ func (d *Daemon) handleSync(w http.ResponseWriter, r *http.Request) {
 // abandoned here is counted and surfaced as chunks_missing in GET
 // /manifest, which makes the gateway's anti-entropy pass issue an
 // eager re-sync from a complete replica.
-func (d *Daemon) fetchLazyChunks(name, source string, refs []snapfile.ChunkRef) {
+func (d *Daemon) fetchLazyChunks(name, source string, refs []snapfile.ChunkRef) (fetched, abandoned int) {
 	const attempts = 3
-	abandoned := 0
 	for i, ref := range refs {
 		select {
 		case <-d.casLazyStop:
 			d.casLazyPending.Add(-float64(len(refs) - i))
-			return
+			return fetched, abandoned
 		default:
 		}
 		var err error
@@ -503,11 +652,11 @@ func (d *Daemon) fetchLazyChunks(name, source string, refs []snapfile.ChunkRef) 
 					// Shutting down: the unfetched tail stays missing and is
 					// re-synced by recovery or anti-entropy.
 					d.casLazyPending.Add(-float64(len(refs) - i))
-					return
+					return fetched, abandoned
 				case <-time.After(time.Duration(try) * 50 * time.Millisecond):
 				}
 			}
-			if _, err = d.fetchChunk(source, casstore.Digest(ref.Digest)); err == nil {
+			if _, _, err = d.fetchChunk(source, casstore.Digest(ref.Digest)); err == nil {
 				break
 			}
 		}
@@ -515,6 +664,8 @@ func (d *Daemon) fetchLazyChunks(name, source string, refs []snapfile.ChunkRef) 
 			abandoned++
 			d.casLazyFailed.Inc()
 			d.log.Printf("lazy chunk fetch for %s: %v (abandoned after %d attempts)", name, err, attempts)
+		} else {
+			fetched++
 		}
 		d.casLazyPending.Dec()
 	}
@@ -522,6 +673,7 @@ func (d *Daemon) fetchLazyChunks(name, source string, refs []snapfile.ChunkRef) 
 		d.log.Printf("sync of %s left %d lazy chunks unfetched; reported as chunks_missing for anti-entropy re-sync", name, abandoned)
 	}
 	d.updateDedupGauge()
+	return fetched, abandoned
 }
 
 type gcRequest struct {
@@ -533,8 +685,12 @@ type gcRequest struct {
 // GCResponse reports one sweep plus the store's resulting state.
 type GCResponse struct {
 	casstore.GCResult
-	Stats      casstore.Stats `json:"stats"`
-	DedupRatio float64        `json:"dedup_ratio"`
+	// ChunksExamined is every chunk the sweep judged (kept + removed).
+	ChunksExamined int64          `json:"chunks_examined"`
+	WallMs         float64        `json:"wall_ms"`
+	TraceID        string         `json:"trace_id,omitempty"`
+	Stats          casstore.Stats `json:"stats"`
+	DedupRatio     float64        `json:"dedup_ratio"`
 }
 
 // handleGC runs the refcount sweep. Liveness comes from the registry,
@@ -557,6 +713,7 @@ func (d *Daemon) handleGC(w http.ResponseWriter, r *http.Request) {
 	// The liveness set and the sweep run under the write side of casOps:
 	// an in-flight record/sync must publish its chunk map (or not have
 	// committed any chunks yet) before the sweep judges liveness.
+	start := time.Now()
 	d.casOps.Lock()
 	live, hot := d.liveChunkSets()
 	var hotFn func(casstore.Digest) bool
@@ -565,16 +722,39 @@ func (d *Daemon) handleGC(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := d.cas.GC(func(dg casstore.Digest) bool { return live[dg] }, hotFn)
 	d.casOps.Unlock()
+	wall := time.Since(start)
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, "gc: %v", err)
 		return
 	}
 	d.casGCRemoved.Add(float64(res.Removed))
+	d.telemetry.Histogram("faasnap_cas_gc_seconds",
+		"Wall time of chunk-store garbage-collection sweeps.", nil).Observe(wall)
 	d.updateDedupGauge()
 	st, _ := d.cas.Stats()
-	d.log.Printf("cas gc: removed %d chunks (%d bytes), kept %d, demoted %d",
-		res.Removed, res.ReclaimedBytes, res.Kept, res.Demoted)
-	writeJSON(w, http.StatusOK, GCResponse{GCResult: res, Stats: st, DedupRatio: d.casDedup.Value()})
+
+	gcTags := map[string]string{
+		"examined": strconv.FormatInt(res.Kept+res.Removed, 10),
+		"removed":  strconv.FormatInt(res.Removed, 10),
+		"demoted":  strconv.FormatInt(res.Demoted, 10),
+		"bytes":    strconv.FormatInt(res.ReclaimedBytes, 10),
+	}
+	tid := d.traces.NextID()
+	tb := trace.NewBuilder(tid, "cas-gc")
+	tb.Span("cas-gc", "", 0, wall, gcTags)
+	d.traces.Put(tb.Finish())
+	d.publishEvent(events.Event{Type: events.GCSweep, TraceID: string(tid), Fields: gcTags})
+
+	d.log.Printf("cas gc: removed %d chunks (%d bytes), kept %d, demoted %d in %s",
+		res.Removed, res.ReclaimedBytes, res.Kept, res.Demoted, wall)
+	writeJSON(w, http.StatusOK, GCResponse{
+		GCResult:       res,
+		ChunksExamined: res.Kept + res.Removed,
+		WallMs:         float64(wall) / float64(time.Millisecond),
+		TraceID:        string(tid),
+		Stats:          st,
+		DedupRatio:     d.casDedup.Value(),
+	})
 }
 
 // CASResponse is GET /cas: the store's occupancy and dedup accounting.

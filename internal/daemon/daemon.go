@@ -31,6 +31,7 @@ import (
 	"faasnap/internal/casstore"
 	"faasnap/internal/chaos"
 	"faasnap/internal/core"
+	"faasnap/internal/events"
 	"faasnap/internal/guestagent"
 	"faasnap/internal/kvstore"
 	"faasnap/internal/obs"
@@ -78,6 +79,9 @@ type Config struct {
 	// SLO configures per-function objectives and burn-rate windows for
 	// the GET /slo engine; the zero value takes the package defaults.
 	SLO slo.Config
+	// EventRing caps the cluster event ledger behind GET /events; <= 0
+	// takes events.DefaultRing.
+	EventRing int
 	// AsyncRecovery runs manifest replay and snapshot re-deployment in
 	// the background after New returns; /readyz answers 503 with
 	// Retry-After until recovery completes. faasnapd sets it so a host
@@ -114,6 +118,15 @@ type Daemon struct {
 	slo       *slo.Engine
 	telemetry *telemetry.Registry
 	faults    *faultHub
+
+	// events is the control-plane event ledger behind GET /events;
+	// deficitMu/deficitSeq/deficitN track per-function chunk-deficit
+	// transitions so each deficit is announced once and its event seq
+	// can be reported to the gateway as the repair's cause.
+	events     *events.Ledger
+	deficitMu  sync.Mutex
+	deficitSeq map[string]uint64
+	deficitN   map[string]int
 
 	res     ResilienceConfig
 	chaos   *chaos.Injector
@@ -198,17 +211,31 @@ func New(cfg Config) (*Daemon, error) {
 	if sloCfg.Gauges == nil {
 		sloCfg.Gauges = sloGauges{reg: cfg.Registry}
 	}
+	// The ledger exists before the SLO engine and chaos injector so
+	// their transition callbacks can close over it.
+	ledger := events.NewLedger(cfg.EventRing)
+	if sloCfg.OnPage == nil {
+		sloCfg.OnPage = func(fn string, burning bool) {
+			ledger.Append(events.Event{
+				Type: events.SLOPage, Function: fn,
+				Fields: map[string]string{"burning": strconv.FormatBool(burning)},
+			})
+		}
+	}
 	d := &Daemon{
-		cfg:       cfg,
-		log:       cfg.Logger,
-		reg:       newRegistry(),
-		traces:    trace.NewStore(traceRing),
-		profiles:  obs.NewRing(cfg.ProfileRing),
-		slo:       slo.New(sloCfg),
-		telemetry: cfg.Registry,
-		faults:    newFaultHub(),
-		res:       cfg.Resilience.withDefaults(),
-		chaos:     chaos.New(),
+		cfg:        cfg,
+		log:        cfg.Logger,
+		reg:        newRegistry(),
+		traces:     trace.NewStore(traceRing),
+		profiles:   obs.NewRing(cfg.ProfileRing),
+		slo:        slo.New(sloCfg),
+		telemetry:  cfg.Registry,
+		faults:     newFaultHub(),
+		events:     ledger,
+		deficitSeq: make(map[string]uint64),
+		deficitN:   make(map[string]int),
+		res:        cfg.Resilience.withDefaults(),
+		chaos:      chaos.New(),
 	}
 	d.casLazyStop = make(chan struct{})
 	d.limiter = resilience.NewLimiter(d.res.MaxInFlight)
@@ -219,7 +246,16 @@ func New(cfg Config) (*Daemon, error) {
 	d.admCapacity.Set(float64(d.limiter.Max()))
 	d.faults.onDrop = d.telemetry.Counter("faasnap_fault_watch_dropped_total",
 		"Fault-timeline lines dropped because a watcher was too slow.", nil)
+	eventsDropped := d.telemetry.Counter("faasnap_events_watch_dropped_total",
+		"Event-ledger lines dropped because a watcher was too slow.", nil)
+	d.events.OnDrop = eventsDropped.Inc
 	d.chaos.SetTelemetry(d.telemetry)
+	d.chaos.SetOnFire(func(point, op string, kind chaos.Kind) {
+		ledger.Append(events.Event{
+			Type:   events.ChaosInjected,
+			Fields: map[string]string{"point": point, "op": op, "kind": string(kind)},
+		})
+	})
 	if cfg.Chaos != nil {
 		if err := d.chaos.Configure(*cfg.Chaos); err != nil {
 			return nil, fmt.Errorf("daemon: chaos config: %w", err)
@@ -244,6 +280,12 @@ func New(cfg Config) (*Daemon, error) {
 		if err := d.initCAS(); err != nil {
 			return nil, fmt.Errorf("daemon: chunk store: %w", err)
 		}
+		d.cas.SetOnQuarantine(func(dg casstore.Digest, tier casstore.Tier) {
+			ledger.Append(events.Event{
+				Type:   events.ChunkQuarantine,
+				Fields: map[string]string{"digest": dg.String(), "tier": tier.String()},
+			})
+		})
 		m, rec, err := statedir.Open(cfg.StateDir)
 		if err != nil {
 			return nil, fmt.Errorf("daemon: manifest: %w", err)
@@ -266,6 +308,7 @@ func New(cfg Config) (*Daemon, error) {
 // so http.Server.Shutdown can finish; pass it to RegisterOnShutdown.
 func (d *Daemon) DrainStreams() {
 	d.faults.close()
+	d.events.Close()
 }
 
 func (d *Daemon) Close() {
@@ -327,6 +370,7 @@ func (d *Daemon) Handler() http.Handler {
 	handle("POST /functions/{name}/invoke", d.handleInvoke)
 	handle("POST /functions/{name}/burst", d.handleBurst)
 	handle("GET /functions/{name}/faults", d.handleFaults)
+	handle("GET /events", d.handleEvents)
 	handle("GET /traces", d.handleTraceList)
 	handle("GET /traces/{id}", d.handleTraceGet)
 	handle("GET /profiles", d.handleProfiles)

@@ -1,0 +1,126 @@
+package daemon
+
+// The daemon half of the cluster event ledger: GET /events serves the
+// retained control-plane events with seq/type/function filters, and
+// ?watch=1 streams new events as NDJSON with the same bounded-buffer
+// drop discipline as the fault hub — a stalled watcher loses lines,
+// never blocks an Append.
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+
+	"faasnap/internal/events"
+)
+
+// publishEvent appends e to the ledger and returns the stamped event.
+func (d *Daemon) publishEvent(e events.Event) events.Event {
+	return d.events.Append(e)
+}
+
+// Events exposes the ledger (for embedding callers like the bench
+// harness and tests).
+func (d *Daemon) Events() *events.Ledger { return d.events }
+
+// eventsReply is the non-watch GET /events payload.
+type eventsReply struct {
+	Events  []events.Event `json:"events"`
+	LastSeq uint64         `json:"last_seq"`
+}
+
+// handleEvents serves the event ledger. Query parameters: since_seq
+// (exclusive lower bound), type, function, and watch=1 for an NDJSON
+// stream of events as they are appended.
+func (d *Daemon) handleEvents(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var since uint64
+	if s := q.Get("since_seq"); s != "" {
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "bad since_seq")
+			return
+		}
+		since = v
+	}
+	typ := events.Type(q.Get("type"))
+	fn := q.Get("function")
+
+	if q.Get("watch") == "" {
+		evs := d.events.Since(since, typ, fn)
+		if evs == nil {
+			evs = []events.Event{}
+		}
+		writeJSON(w, http.StatusOK, eventsReply{Events: evs, LastSeq: d.events.LastSeq()})
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	ch := d.events.Subscribe()
+	defer d.events.Unsubscribe(ch)
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+	// Replay the retained backlog first so a watcher with a since_seq
+	// cursor misses nothing between its last poll and the subscribe.
+	for _, e := range d.events.Since(since, typ, fn) {
+		line, err := json.Marshal(e)
+		if err != nil {
+			continue
+		}
+		if _, err := w.Write(append(line, '\n')); err != nil {
+			return
+		}
+	}
+	_ = rc.Flush()
+	ctx := r.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-d.events.Done():
+			return
+		case line := <-ch:
+			// Live lines are pre-marshalled; apply filters by decoding.
+			if typ != "" || fn != "" {
+				var e events.Event
+				if err := json.Unmarshal(line, &e); err != nil {
+					continue
+				}
+				if (typ != "" && e.Type != typ) || (fn != "" && e.Function != fn) {
+					continue
+				}
+			}
+			if _, err := w.Write(append(line, '\n')); err != nil {
+				return
+			}
+			if err := rc.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// noteDeficit records a chunk-deficit observation for fn and returns
+// the seq of the manifest_deficit event announcing it (0 when there is
+// no deficit). A deficit is announced when it first appears or when
+// its size changes; clearing to zero forgets the episode so the next
+// deficit is announced afresh.
+func (d *Daemon) noteDeficit(fn string, missing int) uint64 {
+	d.deficitMu.Lock()
+	defer d.deficitMu.Unlock()
+	if missing == 0 {
+		delete(d.deficitSeq, fn)
+		delete(d.deficitN, fn)
+		return 0
+	}
+	if d.deficitN[fn] != missing {
+		e := d.events.Append(events.Event{
+			Type:     events.ManifestDeficit,
+			Function: fn,
+			Fields:   map[string]string{"chunks_missing": strconv.Itoa(missing)},
+		})
+		d.deficitSeq[fn] = e.Seq
+		d.deficitN[fn] = missing
+	}
+	return d.deficitSeq[fn]
+}

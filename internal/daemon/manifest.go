@@ -14,12 +14,16 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
+	"time"
 
 	"faasnap/internal/chaos"
 	"faasnap/internal/core"
+	"faasnap/internal/events"
 	"faasnap/internal/snapfile"
 	"faasnap/internal/statedir"
+	"faasnap/internal/trace"
 	"faasnap/internal/workload"
 )
 
@@ -58,6 +62,7 @@ func (d *Daemon) gateRecovering(w http.ResponseWriter) bool {
 // Config.AsyncRecovery) and flips recovering off when the registry is
 // authoritative.
 func (d *Daemon) recoverState(rec *statedir.Recovery) {
+	start := time.Now()
 	defer func() {
 		d.recovering.Store(false)
 		close(d.recovered)
@@ -105,8 +110,35 @@ func (d *Daemon) recoverState(rec *statedir.Recovery) {
 		}
 		d.reg.set(e.Name, fs)
 	}
+	replayDone := time.Since(start)
 	d.sweepStateDir()
+	sweepDone := time.Since(start)
 	d.casRecoverySweep()
+	wall := time.Since(start)
+	d.telemetry.Histogram("faasnap_recovery_replay_seconds",
+		"Wall time of manifest replay and state re-deployment at daemon start.", nil).Observe(wall)
+
+	// The replay leaves a waterfall trace: manifest replay, state-dir
+	// sweep, chunk-store sweep — the startup counterpart of the restore
+	// waterfall.
+	tid := d.traces.NextID()
+	b := trace.NewBuilder(tid, "recovery-replay")
+	root := b.Span("recovery-replay", "", 0, wall, map[string]string{
+		"functions": strconv.Itoa(d.reg.size()),
+	})
+	b.Span("manifest-replay", root, 0, replayDone, nil)
+	b.Span("statedir-sweep", root, replayDone, sweepDone-replayDone, nil)
+	b.Span("cas-sweep", root, sweepDone, wall-sweepDone, nil)
+	d.traces.Put(b.Finish())
+
+	d.publishEvent(events.Event{
+		Type:    events.RecoveryReplay,
+		TraceID: string(tid),
+		Fields: map[string]string{
+			"functions": strconv.Itoa(d.reg.size()),
+			"wall_ms":   strconv.FormatInt(wall.Milliseconds(), 10),
+		},
+	})
 	d.log.Printf("recovery complete: %d functions, manifest digest %s", d.reg.size(), d.manifest.Digest())
 }
 
@@ -210,6 +242,11 @@ type ManifestFunction struct {
 	// values tell the gateway's anti-entropy pass this replica needs an
 	// eager chunk re-sync from a complete copy.
 	ChunksMissing int `json:"chunks_missing,omitempty"`
+	// DeficitSeq is the ledger seq of the manifest_deficit event that
+	// announced the deficit; the gateway links its repair event back to
+	// it as cause_seq, making the causality chain resolvable across
+	// daemons.
+	DeficitSeq uint64 `json:"deficit_seq,omitempty"`
 }
 
 // ManifestResponse is GET /manifest: the durable-state summary the
@@ -236,6 +273,7 @@ func (d *Daemon) handleManifest(w http.ResponseWriter, r *http.Request) {
 		mf := ManifestFunction{Entry: e}
 		if !e.Deleted && e.HasSnapshot {
 			mf.ChunksMissing = d.missingChunks(e.Name)
+			mf.DeficitSeq = d.noteDeficit(e.Name, mf.ChunksMissing)
 		}
 		fns = append(fns, mf)
 	}

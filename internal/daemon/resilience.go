@@ -15,10 +15,12 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"time"
 
 	"faasnap/internal/chaos"
 	"faasnap/internal/core"
+	"faasnap/internal/events"
 	"faasnap/internal/resilience"
 	"faasnap/internal/statedir"
 	"faasnap/internal/telemetry"
@@ -93,7 +95,14 @@ func (d *Daemon) breaker(fn string) *resilience.Breaker {
 		"Restore circuit-breaker state per function (0 closed, 1 open, 2 half-open).",
 		telemetry.L("function", fn))
 	b := resilience.NewBreaker(d.res.BreakerThreshold, d.res.BreakerCooldown,
-		func(s resilience.BreakerState) { gauge.Set(float64(s)) })
+		func(s resilience.BreakerState) {
+			gauge.Set(float64(s))
+			d.publishEvent(events.Event{
+				Type:     events.BreakerTransition,
+				Function: fn,
+				Fields:   map[string]string{"state": s.String()},
+			})
+		})
 	actual, _ := d.breakers.LoadOrStore(fn, b)
 	return actual.(*resilience.Breaker)
 }
@@ -289,6 +298,11 @@ func (d *Daemon) quarantine(path string, cause error) {
 	}
 	d.telemetry.Counter("faasnap_snapfile_quarantined_total",
 		"Snapshot files that failed verification and were quarantined.", nil).Inc()
+	d.publishEvent(events.Event{
+		Type:     events.SnapfileQuarantine,
+		Function: strings.TrimSuffix(filepath.Base(path), ".snap"),
+		Fields:   map[string]string{"cause": cause.Error()},
+	})
 	d.log.Printf("quarantined corrupt snapfile %s -> %s: %v", path, dst, cause)
 }
 

@@ -1,0 +1,217 @@
+// Package events implements the cluster event ledger: a bounded,
+// monotonically-sequenced ring of typed control-plane events with a
+// non-blocking watch hub for NDJSON streaming.
+//
+// The ledger records what the control plane did while no request was
+// in flight — breaker transitions, anti-entropy repairs, GC sweeps,
+// chunk quarantines, lazy-fetch abandonment, recovery replay, chaos
+// rule firings, SLO page conditions, and backend stale/clean
+// transitions. Each event carries a sequence number that is monotonic
+// per ledger (per daemon or per gateway); causal links between events
+// are expressed as (cause_seq, cause_origin) pairs so a repair on the
+// gateway can point at the manifest-deficit event on the daemon that
+// triggered it.
+package events
+
+import (
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Type enumerates the control-plane event kinds the ledger records.
+type Type string
+
+const (
+	// BreakerTransition fires when a circuit breaker changes state
+	// (daemon per-function breakers and gateway per-backend breakers).
+	BreakerTransition Type = "breaker_transition"
+	// ManifestDeficit fires when a daemon first observes (or the size
+	// of) a chunk deficit for a registered function.
+	ManifestDeficit Type = "manifest_deficit"
+	// Repair fires on the gateway for each anti-entropy repair action.
+	Repair Type = "repair"
+	// Converged fires on the gateway when a previously-stale backend
+	// returns to the converged set.
+	Converged Type = "converged"
+	// GCSweep fires after a chunk-store garbage collection pass.
+	GCSweep Type = "gc_sweep"
+	// ChunkQuarantine fires when the chunk store quarantines a
+	// corrupted chunk.
+	ChunkQuarantine Type = "chunk_quarantine"
+	// SnapfileQuarantine fires when the daemon quarantines a corrupt
+	// snapshot file.
+	SnapfileQuarantine Type = "snapfile_quarantine"
+	// LazyAbandoned fires when the background lazy fetcher gives up on
+	// one or more chunks after exhausting retries.
+	LazyAbandoned Type = "lazy_abandoned"
+	// RecoveryReplay fires after a daemon finishes replaying its
+	// manifest journal at startup.
+	RecoveryReplay Type = "recovery_replay"
+	// ChaosInjected fires each time a chaos rule injects a fault.
+	ChaosInjected Type = "chaos_injected"
+	// SLOPage fires when a function's error budget enters or leaves
+	// the page condition (fast and slow burn both above 1).
+	SLOPage Type = "slo_page"
+	// BackendStale fires when the gateway marks a backend stale.
+	BackendStale Type = "backend_stale"
+	// BackendClean fires when the gateway marks a backend clean again.
+	BackendClean Type = "backend_clean"
+)
+
+// Event is one entry in the ledger. Seq is assigned by Append and is
+// monotonic within one ledger; CauseSeq/CauseOrigin optionally link to
+// the event (possibly on another host) that caused this one.
+type Event struct {
+	Seq         uint64            `json:"seq"`
+	Type        Type              `json:"type"`
+	Function    string            `json:"function,omitempty"`
+	Origin      string            `json:"origin,omitempty"`
+	CauseSeq    uint64            `json:"cause_seq,omitempty"`
+	CauseOrigin string            `json:"cause_origin,omitempty"`
+	TraceID     string            `json:"trace_id,omitempty"`
+	UnixMs      int64             `json:"unix_ms"`
+	Fields      map[string]string `json:"fields,omitempty"`
+}
+
+// DefaultRing is the ledger capacity when none is configured.
+const DefaultRing = 1024
+
+// subBuf is the per-subscriber channel depth; mirrors the faultHub
+// discipline so a stalled watcher drops lines instead of blocking the
+// ledger.
+const subBuf = 4096
+
+// Ledger is a bounded ring of events plus a watch hub. All methods
+// are safe for concurrent use; Append never blocks on subscribers.
+type Ledger struct {
+	mu      sync.Mutex
+	ring    []Event
+	cap     int
+	next    uint64 // next sequence number to assign (first is 1)
+	subs    map[chan []byte]struct{}
+	done    chan struct{}
+	once    sync.Once
+	dropped atomic.Uint64
+
+	// OnDrop, if set, is invoked once per line dropped on a slow
+	// subscriber (wired to faasnap_events_watch_dropped_total).
+	OnDrop func()
+	// Now is the clock; defaults to time.Now. Tests may override.
+	Now func() time.Time
+}
+
+// NewLedger returns a ledger retaining at most capacity events.
+// capacity <= 0 selects DefaultRing.
+func NewLedger(capacity int) *Ledger {
+	if capacity <= 0 {
+		capacity = DefaultRing
+	}
+	return &Ledger{
+		cap:  capacity,
+		subs: make(map[chan []byte]struct{}),
+		done: make(chan struct{}),
+		Now:  time.Now,
+	}
+}
+
+// Append stamps e with the next sequence number and the current time,
+// stores it in the ring, publishes it to watchers, and returns the
+// stamped event. It never blocks: slow subscribers lose lines.
+func (l *Ledger) Append(e Event) Event {
+	l.mu.Lock()
+	l.next++
+	e.Seq = l.next
+	if e.UnixMs == 0 {
+		e.UnixMs = l.Now().UnixMilli()
+	}
+	if len(l.ring) == l.cap {
+		copy(l.ring, l.ring[1:])
+		l.ring[len(l.ring)-1] = e
+	} else {
+		l.ring = append(l.ring, e)
+	}
+	line, err := json.Marshal(e)
+	if err == nil {
+		for ch := range l.subs {
+			select {
+			case ch <- line:
+			default:
+				l.dropped.Add(1)
+				if l.OnDrop != nil {
+					l.OnDrop()
+				}
+			}
+		}
+	}
+	l.mu.Unlock()
+	return e
+}
+
+// Since returns, oldest-first, the retained events with Seq > seq that
+// match the optional type and function filters (empty string matches
+// everything). The returned slice is a copy.
+func (l *Ledger) Since(seq uint64, typ Type, function string) []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []Event
+	for _, e := range l.ring {
+		if e.Seq <= seq {
+			continue
+		}
+		if typ != "" && e.Type != typ {
+			continue
+		}
+		if function != "" && e.Function != function {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// LastSeq returns the sequence number of the most recent event, or 0
+// if none were appended yet.
+func (l *Ledger) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next
+}
+
+// Len returns the number of retained events.
+func (l *Ledger) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.ring)
+}
+
+// Dropped returns the total lines dropped on slow subscribers.
+func (l *Ledger) Dropped() uint64 { return l.dropped.Load() }
+
+// Subscribe registers a watcher and returns its line channel. Each
+// line is one marshalled Event (no trailing newline).
+func (l *Ledger) Subscribe() chan []byte {
+	ch := make(chan []byte, subBuf)
+	l.mu.Lock()
+	l.subs[ch] = struct{}{}
+	l.mu.Unlock()
+	return ch
+}
+
+// Unsubscribe removes a watcher registered with Subscribe.
+func (l *Ledger) Unsubscribe(ch chan []byte) {
+	l.mu.Lock()
+	delete(l.subs, ch)
+	l.mu.Unlock()
+}
+
+// Done returns a channel closed when the ledger shuts down; watch
+// handlers select on it to terminate streams.
+func (l *Ledger) Done() <-chan struct{} { return l.done }
+
+// Close shuts the watch hub down. Idempotent. Events already in the
+// ring remain readable via Since.
+func (l *Ledger) Close() {
+	l.once.Do(func() { close(l.done) })
+}

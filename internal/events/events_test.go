@@ -1,0 +1,157 @@
+package events
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAppendAssignsMonotonicSeq(t *testing.T) {
+	l := NewLedger(8)
+	a := l.Append(Event{Type: GCSweep})
+	b := l.Append(Event{Type: Repair, Function: "fn"})
+	if a.Seq != 1 || b.Seq != 2 {
+		t.Fatalf("seqs = %d, %d, want 1, 2", a.Seq, b.Seq)
+	}
+	if a.UnixMs == 0 || b.UnixMs == 0 {
+		t.Fatal("events not timestamped")
+	}
+	if l.LastSeq() != 2 {
+		t.Fatalf("LastSeq = %d, want 2", l.LastSeq())
+	}
+}
+
+func TestRingBoundAndSeqContinuity(t *testing.T) {
+	l := NewLedger(4)
+	for i := 0; i < 10; i++ {
+		l.Append(Event{Type: GCSweep})
+	}
+	if l.Len() != 4 {
+		t.Fatalf("Len = %d, want ring-bounded 4", l.Len())
+	}
+	got := l.Since(0, "", "")
+	if len(got) != 4 {
+		t.Fatalf("Since(0) = %d events, want 4", len(got))
+	}
+	// Oldest retained is seq 7; sequence numbers keep counting across
+	// overwrites.
+	for i, e := range got {
+		if want := uint64(7 + i); e.Seq != want {
+			t.Fatalf("event %d seq = %d, want %d", i, e.Seq, want)
+		}
+	}
+}
+
+func TestSinceFilters(t *testing.T) {
+	l := NewLedger(16)
+	l.Append(Event{Type: Repair, Function: "a"})
+	l.Append(Event{Type: Repair, Function: "b"})
+	l.Append(Event{Type: GCSweep})
+	l.Append(Event{Type: Repair, Function: "a"})
+
+	if got := l.Since(0, Repair, ""); len(got) != 3 {
+		t.Fatalf("type filter = %d, want 3", len(got))
+	}
+	if got := l.Since(0, Repair, "a"); len(got) != 2 {
+		t.Fatalf("type+function filter = %d, want 2", len(got))
+	}
+	if got := l.Since(2, "", ""); len(got) != 2 || got[0].Seq != 3 {
+		t.Fatalf("since_seq filter = %+v, want seqs 3,4", got)
+	}
+	if got := l.Since(99, "", ""); len(got) != 0 {
+		t.Fatalf("future since_seq returned %d events", len(got))
+	}
+}
+
+func TestCauseLinkRoundTrips(t *testing.T) {
+	l := NewLedger(8)
+	def := l.Append(Event{Type: ManifestDeficit, Function: "fn", Origin: "127.0.0.1:1"})
+	rep := l.Append(Event{
+		Type: Repair, Function: "fn", Origin: "gateway",
+		CauseSeq: def.Seq, CauseOrigin: def.Origin, TraceID: "abc",
+	})
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Event
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.CauseSeq != def.Seq || back.CauseOrigin != "127.0.0.1:1" || back.TraceID != "abc" {
+		t.Fatalf("cause link lost in round trip: %+v", back)
+	}
+}
+
+func TestWatchDeliversAndSlowSubscriberDrops(t *testing.T) {
+	l := NewLedger(8)
+	var drops int
+	l.OnDrop = func() { drops++ }
+
+	fast := l.Subscribe()
+	l.Append(Event{Type: GCSweep})
+	select {
+	case line := <-fast:
+		var e Event
+		if err := json.Unmarshal(line, &e); err != nil || e.Type != GCSweep {
+			t.Fatalf("bad line %q: %v", line, err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("subscriber got nothing")
+	}
+	l.Unsubscribe(fast)
+
+	// A subscriber that never reads must not block Append past its
+	// buffer; overflow increments the drop counter.
+	slow := l.Subscribe()
+	for i := 0; i < subBuf+50; i++ {
+		l.Append(Event{Type: Repair})
+	}
+	if l.Dropped() != 50 || drops != 50 {
+		t.Fatalf("dropped = %d (cb %d), want 50", l.Dropped(), drops)
+	}
+	l.Unsubscribe(slow)
+}
+
+func TestConcurrentAppendAndSubscribe(t *testing.T) {
+	l := NewLedger(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l.Append(Event{Type: ChaosInjected})
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				ch := l.Subscribe()
+				l.Since(0, "", "")
+				l.Unsubscribe(ch)
+			}
+		}()
+	}
+	wg.Wait()
+	if l.LastSeq() != 400 {
+		t.Fatalf("LastSeq = %d, want 400", l.LastSeq())
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	l := NewLedger(4)
+	l.Append(Event{Type: GCSweep})
+	l.Close()
+	l.Close()
+	select {
+	case <-l.Done():
+	default:
+		t.Fatal("Done not closed")
+	}
+	if got := l.Since(0, "", ""); len(got) != 1 {
+		t.Fatal("ring unreadable after Close")
+	}
+}

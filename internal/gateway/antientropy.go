@@ -16,8 +16,12 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
+	"time"
 
+	"faasnap/internal/events"
 	"faasnap/internal/telemetry"
+	"faasnap/internal/trace"
 )
 
 // manifestEntry mirrors the daemon's statedir.Entry JSON: one
@@ -33,6 +37,10 @@ type manifestEntry struct {
 	// function's chunk map (lazy chunks lost to a failed background
 	// fetch); non-zero triggers an eager chunk re-sync repair.
 	ChunksMissing int `json:"chunks_missing,omitempty"`
+	// DeficitSeq is the seq of the backend's manifest_deficit ledger
+	// event announcing that deficit; the gateway's repair event cites it
+	// as cause_seq so the causality chain resolves across daemons.
+	DeficitSeq uint64 `json:"deficit_seq,omitempty"`
 }
 
 // manifestInfo mirrors the daemon's GET /manifest response.
@@ -118,6 +126,10 @@ type syncResult struct {
 	BytesTotal    int64 `json:"bytes_total"`
 	BytesFetched  int64 `json:"bytes_fetched"`
 	SnapfileBytes int64 `json:"snapfile_bytes"`
+	// TraceID identifies the restore-waterfall trace the target daemon
+	// minted for this sync; the gateway's repair event carries it so the
+	// transfer can be rendered with `faasnapctl waterfall`.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // resyncChunkSync asks backend b to pull fn's snapshot from source via
@@ -151,6 +163,19 @@ func (p *Pool) resyncChunkSync(b *Backend, fn, source string, eager bool) (syncR
 	return sr, true
 }
 
+// noteRepair publishes a repair event and remembers its seq as the
+// backend's most recent repair, so the converged event a later clean
+// pass emits can cite it as cause_seq.
+func (p *Pool) noteRepair(addr string, e events.Event) {
+	if p.events == nil {
+		return
+	}
+	ev := p.events.Append(e)
+	p.repairMu.Lock()
+	p.lastRepairSeq[addr] = ev.Seq
+	p.repairMu.Unlock()
+}
+
 // ResyncNow runs one anti-entropy pass over the manifests collected by
 // the last health sweep and returns the number of repair actions
 // issued. The sweep loop calls it after every CheckNow; tests call it
@@ -175,6 +200,18 @@ func (p *Pool) resyncChunkSync(b *Backend, fn, source string, eager bool) (syncR
 // Backends without a manifest (stateless, recovering, or unreachable
 // this sweep) are neither sources nor targets.
 func (p *Pool) ResyncNow() int {
+	t0 := time.Now()
+	type repairRec struct {
+		fn, backend, action, traceID string
+		start, dur                   time.Duration
+	}
+	var repairs []repairRec
+	timed := func(fn, backend, action, traceID string, start time.Duration) {
+		repairs = append(repairs, repairRec{
+			fn: fn, backend: backend, action: action, traceID: traceID,
+			start: start, dur: time.Since(t0) - start,
+		})
+	}
 	backends := p.snapshot()
 	manifests := make(map[string]*manifestInfo, len(backends))
 	fns := make(map[string]bool)
@@ -238,18 +275,30 @@ func (p *Pool) ResyncNow() int {
 			if winner.Deleted {
 				if ok && !e.Deleted && e.Generation < winner.Generation {
 					stale[b.Addr] = true
+					rs := time.Since(t0)
 					if p.resyncOp(b, http.MethodDelete, "/functions/"+fn, nil) {
 						p.resyncCounter(b, "delete").Inc()
 						actions++
+						timed(fn, b.Addr, "delete", "", rs)
+						p.noteRepair(b.Addr, events.Event{
+							Type: events.Repair, Function: fn,
+							Fields: map[string]string{"backend": b.Addr, "action": "delete"},
+						})
 					}
 				}
 				continue
 			}
 			if !ok || e.Deleted {
 				stale[b.Addr] = true
+				rs := time.Since(t0)
 				if p.resyncOp(b, http.MethodPut, "/functions/"+fn, []byte(winner.Spec)) {
 					p.resyncCounter(b, "register").Inc()
 					actions++
+					timed(fn, b.Addr, "register", "", rs)
+					p.noteRepair(b.Addr, events.Event{
+						Type: events.Repair, Function: fn,
+						Fields: map[string]string{"backend": b.Addr, "action": "register"},
+					})
 				} else {
 					continue // no point recording onto a failed register
 				}
@@ -265,18 +314,34 @@ func (p *Pool) ResyncNow() int {
 				// or targets that predate the chunk store.
 				synced := false
 				if winnerAddr != "" && winnerAddr != b.Addr {
+					rs := time.Since(t0)
 					if sr, ok := p.resyncChunkSync(b, fn, winnerAddr, false); ok {
 						p.resyncCounter(b, "chunks").Inc()
 						p.chunkBytesCounter(b).Add(float64(sr.BytesFetched))
 						actions++
 						synced = true
+						timed(fn, b.Addr, "chunks", sr.TraceID, rs)
+						p.noteRepair(b.Addr, events.Event{
+							Type: events.Repair, Function: fn, TraceID: sr.TraceID,
+							Fields: map[string]string{
+								"backend": b.Addr, "action": "chunks", "source": winnerAddr,
+								"chunks_fetched": strconv.Itoa(sr.ChunksFetched),
+								"bytes_fetched":  strconv.FormatInt(sr.BytesFetched, 10),
+							},
+						})
 					}
 				}
 				if !synced {
 					body, _ := json.Marshal(map[string]string{"input": winner.RecordInput})
+					rs := time.Since(t0)
 					if p.resyncOp(b, http.MethodPost, "/functions/"+fn+"/record", body) {
 						p.resyncCounter(b, "record").Inc()
 						actions++
+						timed(fn, b.Addr, "record", "", rs)
+						p.noteRepair(b.Addr, events.Event{
+							Type: events.Repair, Function: fn,
+							Fields: map[string]string{"backend": b.Addr, "action": "record"},
+						})
 					}
 				}
 			} else if winner.HasSnapshot && e.HasSnapshot && e.ChunksMissing > 0 &&
@@ -287,23 +352,89 @@ func (p *Pool) ResyncNow() int {
 				// answers 404 to peers for the missing digests, so repair by
 				// pulling the deficit eagerly from a complete copy.
 				stale[b.Addr] = true
+				rs := time.Since(t0)
 				if sr, ok := p.resyncChunkSync(b, fn, winnerAddr, true); ok {
 					p.resyncCounter(b, "chunks").Inc()
 					p.chunkBytesCounter(b).Add(float64(sr.BytesFetched))
 					actions++
+					timed(fn, b.Addr, "chunks_eager", sr.TraceID, rs)
+					// The repair event cites the backend's own
+					// manifest_deficit event as its cause: cause_seq plus
+					// cause_origin (the backend's address) resolve against
+					// that daemon's /events ledger, and trace_id resolves to
+					// the restore waterfall the sync minted.
+					p.noteRepair(b.Addr, events.Event{
+						Type: events.Repair, Function: fn, TraceID: sr.TraceID,
+						CauseSeq: e.DeficitSeq, CauseOrigin: b.Addr,
+						Fields: map[string]string{
+							"backend": b.Addr, "action": "chunks_eager", "source": winnerAddr,
+							"chunks_fetched": strconv.Itoa(sr.ChunksFetched),
+							"bytes_fetched":  strconv.FormatInt(sr.BytesFetched, 10),
+						},
+					})
 				}
 			}
 		}
 	}
 	for _, b := range backends {
-		b.setStale(stale[b.Addr])
+		prev := b.Stale()
+		now := stale[b.Addr]
+		b.setStale(now)
 		v := 0.0
-		if stale[b.Addr] {
+		if now {
 			v = 1
 		}
 		p.reg.Gauge("faasnap_gw_backend_stale",
 			"Backends found stale by the last anti-entropy pass (1 = repairs in flight, demoted in placement).",
 			telemetry.L("backend", b.Addr)).Set(v)
+		if p.events == nil || now == prev {
+			continue
+		}
+		if now {
+			p.events.Append(events.Event{
+				Type:   events.BackendStale,
+				Fields: map[string]string{"backend": b.Addr},
+			})
+			continue
+		}
+		p.events.Append(events.Event{
+			Type:   events.BackendClean,
+			Fields: map[string]string{"backend": b.Addr},
+		})
+		// Converged closes the causality chain: it cites the backend's
+		// last repair event (a gateway-ledger seq) as cause_seq.
+		p.repairMu.Lock()
+		cause := p.lastRepairSeq[b.Addr]
+		p.repairMu.Unlock()
+		ev := events.Event{
+			Type:   events.Converged,
+			Fields: map[string]string{"backend": b.Addr},
+		}
+		if cause > 0 {
+			ev.CauseSeq = cause
+			ev.CauseOrigin = "gateway"
+		}
+		p.events.Append(ev)
+	}
+
+	// A sweep that issued repairs leaves a trace in the gateway-local
+	// store: one root span for the pass, one child per repair action,
+	// chunk syncs cross-linked to the daemon-minted restore waterfall
+	// via the sync_trace tag.
+	if actions > 0 && p.traces != nil {
+		wall := time.Since(t0)
+		tid := p.traces.NextID()
+		tb := trace.NewBuilder(tid, "anti-entropy-sweep")
+		root := tb.Span("anti-entropy-sweep", "", 0, wall,
+			map[string]string{"actions": strconv.Itoa(actions)})
+		for _, r := range repairs {
+			tags := map[string]string{"backend": r.backend, "action": r.action}
+			if r.traceID != "" {
+				tags["sync_trace"] = r.traceID
+			}
+			tb.Span("repair "+r.fn, root, r.start, r.dur, tags)
+		}
+		p.traces.Put(tb.Finish())
 	}
 	return actions
 }

@@ -25,7 +25,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"faasnap/internal/events"
 	"faasnap/internal/telemetry"
+	"faasnap/internal/trace"
 )
 
 // Policy names a routing policy.
@@ -134,6 +136,13 @@ type Gateway struct {
 	pool *Pool
 	reg  *telemetry.Registry
 
+	// events is the gateway's own event ledger (repairs, convergence,
+	// backend breaker/staleness transitions), merged with the daemons'
+	// ledgers by GET /cluster/events; traces holds the anti-entropy
+	// sweep traces GET /traces/{id} checks before fanning out.
+	events *events.Ledger
+	traces *trace.Store
+
 	// proxy is the client for forwarded requests; per-request deadlines
 	// come from contexts, not a client timeout.
 	proxy *http.Client
@@ -155,20 +164,32 @@ func New(cfg Config) (*Gateway, error) {
 		return nil, fmt.Errorf("gateway: unknown policy %q (%s or %s)", cfg.Policy, PolicySticky, PolicyRandom)
 	}
 	g := &Gateway{
-		cfg:   cfg,
-		log:   cfg.Logger,
-		reg:   cfg.Registry,
-		proxy: &http.Client{},
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		cfg:    cfg,
+		log:    cfg.Logger,
+		reg:    cfg.Registry,
+		events: events.NewLedger(0),
+		traces: trace.NewStore(0),
+		proxy:  &http.Client{},
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
 	}
 	g.pool = newPool(cfg.Backends, cfg.VNodes, cfg.HealthInterval, cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Registry)
 	g.pool.replicas = cfg.Replicas
+	// Wire the ledger and trace store before start: the first sweep
+	// (and its anti-entropy pass) runs synchronously inside start.
+	g.pool.events = g.events
+	g.pool.traces = g.traces
 	g.pool.start()
 	return g, nil
 }
 
 // Close stops the health loop.
-func (g *Gateway) Close() { g.pool.close() }
+func (g *Gateway) Close() {
+	g.pool.close()
+	g.events.Close()
+}
+
+// Events exposes the gateway's own event ledger (tests, bench harness).
+func (g *Gateway) Events() *events.Ledger { return g.events }
 
 // Pool exposes the backend pool (tests and the /cluster handler).
 func (g *Gateway) Pool() *Pool { return g.pool }
@@ -187,6 +208,7 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("GET /cluster", g.handleCluster)
 	mux.HandleFunc("GET /cluster/slo", g.handleClusterSLO)
 	mux.HandleFunc("GET /cluster/profiles", g.handleClusterProfiles)
+	mux.HandleFunc("GET /cluster/events", g.handleClusterEvents)
 	mux.HandleFunc("GET /functions", g.handleListAll)
 	mux.HandleFunc("PUT /functions/{name}", g.handleFanout)
 	mux.HandleFunc("POST /functions/{name}/record", g.handleFanout)

@@ -10,12 +10,18 @@ package gateway
 
 import (
 	"context"
+	"encoding/json"
+	"io"
 	"net/http"
+	"sort"
+	"strconv"
 	"time"
 
+	"faasnap/internal/events"
 	"faasnap/internal/obs"
 	"faasnap/internal/slo"
 	"faasnap/internal/telemetry"
+	"faasnap/internal/trace"
 )
 
 // clusterSLO merges the last sweep's per-backend SLO reports. The
@@ -67,12 +73,101 @@ func (g *Gateway) handleClusterProfiles(w http.ResponseWriter, r *http.Request) 
 	})
 }
 
+// handleClusterEvents serves GET /cluster/events: the gateway's own
+// ledger (origin "gateway") merged with every ready backend's
+// GET /events, each event tagged with the address of the ledger it
+// came from. Seq values stay per-origin — the merge orders by wall
+// time with seq as the tiebreak, and (cause_seq, cause_origin) pairs
+// resolve against the named origin's ledger. Supports the same
+// since_seq/type/function filters as the daemon endpoint (since_seq
+// applies to backend ledgers; the gateway's own events are filtered by
+// type/function only). No watch mode: poll, or watch one daemon.
+func (g *Gateway) handleClusterEvents(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var sinceSeq uint64
+	if v := q.Get("since_seq"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "bad since_seq %q: %v", v, err)
+			return
+		}
+		sinceSeq = n
+	}
+	typ := q.Get("type")
+	fn := q.Get("function")
+
+	merged := g.events.Since(0, events.Type(typ), fn)
+	for i := range merged {
+		merged[i].Origin = "gateway"
+	}
+	for _, b := range g.pool.snapshot() {
+		if !b.Ready() {
+			continue
+		}
+		evs := g.fetchBackendEvents(r.Context(), b, sinceSeq, typ, fn)
+		for i := range evs {
+			evs[i].Origin = b.Addr
+		}
+		merged = append(merged, evs...)
+	}
+	sort.SliceStable(merged, func(i, j int) bool {
+		if merged[i].UnixMs != merged[j].UnixMs {
+			return merged[i].UnixMs < merged[j].UnixMs
+		}
+		return merged[i].Seq < merged[j].Seq
+	})
+	writeJSON(w, http.StatusOK, map[string]interface{}{"events": merged})
+}
+
+// fetchBackendEvents pulls one backend's ledger tail for the cluster
+// merge; empty on any error — a backend that cannot answer simply
+// contributes nothing to this poll.
+func (g *Gateway) fetchBackendEvents(ctx context.Context, b *Backend, sinceSeq uint64, typ, fn string) []events.Event {
+	url := "http://" + b.Addr + "/events?since_seq=" + strconv.FormatUint(sinceSeq, 10)
+	if typ != "" {
+		url += "&type=" + typ
+	}
+	if fn != "" {
+		url += "&function=" + fn
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil
+	}
+	resp, err := g.pool.client.Do(req)
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil
+	}
+	var reply struct {
+		Events []events.Event `json:"events"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(&reply); err != nil {
+		return nil
+	}
+	return reply.Events
+}
+
 // handleTraceFind looks a trace id up across backends: the gateway
 // minted the id, but only the daemon that served the invocation stored
 // the stitched trace. Probes fan out concurrently, each holding a
 // slice of the request budget rather than the whole of it, so one
 // wedged backend cannot starve the lookup; the first 200 wins.
+// Gateway-local traces (anti-entropy sweeps) resolve without fan-out.
 func (g *Gateway) handleTraceFind(w http.ResponseWriter, r *http.Request) {
+	if t, ok := g.traces.Get(trace.ID(r.PathValue("id"))); ok {
+		raw, err := t.MarshalZipkin()
+		if err == nil {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusOK)
+			w.Write(raw)
+			return
+		}
+	}
 	var ready []*Backend
 	for _, b := range g.pool.snapshot() {
 		if b.Ready() {

@@ -20,10 +20,12 @@ import (
 	"sync/atomic"
 	"time"
 
+	"faasnap/internal/events"
 	"faasnap/internal/obs"
 	"faasnap/internal/resilience"
 	"faasnap/internal/slo"
 	"faasnap/internal/telemetry"
+	"faasnap/internal/trace"
 )
 
 // Backend is one faasnapd the gateway routes to.
@@ -206,19 +208,29 @@ type Pool struct {
 	mu       sync.RWMutex
 	backends map[string]*Backend
 
+	// events/traces are the gateway's ledger and trace store, wired by
+	// New before start; nil in bare-pool tests. repairMu/lastRepairSeq
+	// remember each backend's most recent repair event so the converged
+	// event a later pass emits can cite it as cause_seq.
+	events        *events.Ledger
+	traces        *trace.Store
+	repairMu      sync.Mutex
+	lastRepairSeq map[string]uint64
+
 	stop chan struct{}
 	done chan struct{}
 }
 
 func newPool(addrs []string, vnodes int, interval time.Duration, breakerThreshold int, breakerCooldown time.Duration, reg *telemetry.Registry) *Pool {
 	p := &Pool{
-		ring:     NewRing(vnodes),
-		client:   &http.Client{Timeout: 2 * time.Second},
-		interval: interval,
-		reg:      reg,
-		backends: make(map[string]*Backend),
-		stop:     make(chan struct{}),
-		done:     make(chan struct{}),
+		ring:          NewRing(vnodes),
+		client:        &http.Client{Timeout: 2 * time.Second},
+		interval:      interval,
+		reg:           reg,
+		backends:      make(map[string]*Backend),
+		lastRepairSeq: make(map[string]uint64),
+		stop:          make(chan struct{}),
+		done:          make(chan struct{}),
 	}
 	for _, addr := range addrs {
 		if _, dup := p.backends[addr]; dup {
@@ -229,7 +241,15 @@ func newPool(addrs []string, vnodes int, interval time.Duration, breakerThreshol
 			"Per-backend circuit-breaker state (0 closed, 1 open, 2 half-open).",
 			telemetry.L("backend", addr))
 		b.breaker = resilience.NewBreaker(breakerThreshold, breakerCooldown,
-			func(s resilience.BreakerState) { gauge.Set(float64(s)) })
+			func(s resilience.BreakerState) {
+				gauge.Set(float64(s))
+				if p.events != nil {
+					p.events.Append(events.Event{
+						Type:   events.BreakerTransition,
+						Fields: map[string]string{"backend": addr, "state": s.String()},
+					})
+				}
+			})
 		p.backends[addr] = b
 		p.ring.Add(addr)
 	}
@@ -242,8 +262,15 @@ func newPool(addrs []string, vnodes int, interval time.Duration, breakerThreshol
 // pass so a rejoined-but-stale backend is repaired within one interval
 // of coming back.
 func (p *Pool) start() {
-	p.CheckNow()
-	p.ResyncNow()
+	sweepHist := p.reg.Histogram("faasnap_gw_sweep_seconds",
+		"Wall time of one health-check plus anti-entropy sweep across all backends.", nil)
+	sweep := func() {
+		t0 := time.Now()
+		p.CheckNow()
+		p.ResyncNow()
+		sweepHist.Observe(time.Since(t0))
+	}
+	sweep()
 	go func() {
 		defer close(p.done)
 		t := time.NewTicker(p.interval)
@@ -253,8 +280,7 @@ func (p *Pool) start() {
 			case <-p.stop:
 				return
 			case <-t.C:
-				p.CheckNow()
-				p.ResyncNow()
+				sweep()
 			}
 		}
 	}()

@@ -159,6 +159,7 @@ type fnState struct {
 	obj       Objective
 	good, bad int64            // lifetime
 	windows   []*slidingWindow // flattened pairs: fast0, slow0, fast1, slow1, ...
+	burning   bool             // last page-condition state, for transition callbacks
 }
 
 // Gauges receives burn-rate/attainment updates as they change; wired
@@ -181,6 +182,11 @@ type Config struct {
 	Now func() time.Time
 	// Gauges, when set, receives burn-rate/attainment updates on Record.
 	Gauges Gauges
+	// OnPage, when set, fires on page-condition transitions: burning
+	// true when fn enters the page condition (a fast window burning > 1
+	// with its paired slow window also > 1), false when it recovers.
+	// Called under the engine lock; must not call back into the engine.
+	OnPage func(function string, burning bool)
 }
 
 // Engine tracks outcomes and computes burn rates.
@@ -256,6 +262,25 @@ func (e *Engine) Record(fn string, good bool) {
 	if e.cfg.Gauges != nil {
 		e.publishLocked(fn, st, now)
 	}
+	if e.cfg.OnPage != nil {
+		if burning := e.burningLocked(st, now); burning != st.burning {
+			st.burning = burning
+			e.cfg.OnPage(fn, burning)
+		}
+	}
+}
+
+// burningLocked evaluates the page condition: any fast window burning
+// above 1 with its paired slow window also above 1.
+func (e *Engine) burningLocked(st *fnState, now time.Time) bool {
+	for i := range e.windows {
+		fg, fb := st.windows[2*i].totals(now)
+		sg, sb := st.windows[2*i+1].totals(now)
+		if burnRate(fg, fb, st.obj.Target) > 1 && burnRate(sg, sb, st.obj.Target) > 1 {
+			return true
+		}
+	}
+	return false
 }
 
 // burnRate converts window counts to a burn rate: the bad fraction

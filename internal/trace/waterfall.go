@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// waterfallWidth is the bar column width in characters.
+const waterfallWidth = 40
+
+// RenderWaterfall renders spans as an ASCII waterfall: one row per
+// span, indented by parent depth, with a bar positioned and scaled on
+// a shared time axis and the span's duration and tags alongside. Spans
+// may arrive in any order; they are laid out by timestamp. An empty
+// span set renders as a single "(no spans)" line.
+func RenderWaterfall(spans []*Span) string {
+	if len(spans) == 0 {
+		return "(no spans)\n"
+	}
+	ordered := make([]*Span, len(spans))
+	copy(ordered, spans)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		if ordered[i].Timestamp != ordered[j].Timestamp {
+			return ordered[i].Timestamp < ordered[j].Timestamp
+		}
+		return ordered[i].SpanID < ordered[j].SpanID
+	})
+
+	byID := make(map[ID]*Span, len(ordered))
+	for _, s := range ordered {
+		byID[s.SpanID] = s
+	}
+	depth := func(s *Span) int {
+		d := 0
+		for p := s.ParentID; p != ""; d++ {
+			ps, ok := byID[p]
+			if !ok || d > len(ordered) { // orphan or cycle guard
+				break
+			}
+			p = ps.ParentID
+		}
+		return d
+	}
+
+	start := ordered[0].Timestamp
+	end := start
+	for _, s := range ordered {
+		if s.Timestamp < start {
+			start = s.Timestamp
+		}
+		if e := s.Timestamp + s.Duration; e > end {
+			end = e
+		}
+	}
+	total := end - start
+	if total <= 0 {
+		total = 1
+	}
+
+	// Measure the label column first so bars align.
+	labels := make([]string, len(ordered))
+	nameW := 0
+	for i, s := range ordered {
+		labels[i] = strings.Repeat("  ", depth(s)) + s.Name
+		if len(labels[i]) > nameW {
+			nameW = len(labels[i])
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %s · %d spans · %s\n",
+		ordered[0].TraceID, len(ordered), fmtUs(total))
+	for i, s := range ordered {
+		off := int(float64(s.Timestamp-start) / float64(total) * waterfallWidth)
+		bar := int(float64(s.Duration) / float64(total) * waterfallWidth)
+		if bar < 1 {
+			bar = 1
+		}
+		if off >= waterfallWidth {
+			off = waterfallWidth - 1
+		}
+		if off+bar > waterfallWidth {
+			bar = waterfallWidth - off
+		}
+		row := strings.Repeat(" ", off) + strings.Repeat("█", bar) +
+			strings.Repeat(" ", waterfallWidth-off-bar)
+		fmt.Fprintf(&b, "%-*s |%s| %8s", nameW, labels[i], row, fmtUs(s.Duration))
+		if len(s.Tags) > 0 {
+			keys := make([]string, 0, len(s.Tags))
+			for k := range s.Tags {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			parts := make([]string, len(keys))
+			for j, k := range keys {
+				parts[j] = k + "=" + s.Tags[k]
+			}
+			fmt.Fprintf(&b, "  [%s]", strings.Join(parts, " "))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// fmtUs renders a microsecond quantity human-readably.
+func fmtUs(us int64) string {
+	switch {
+	case us >= 1_000_000:
+		return fmt.Sprintf("%.2fs", float64(us)/1e6)
+	case us >= 1_000:
+		return fmt.Sprintf("%.1fms", float64(us)/1e3)
+	default:
+		return fmt.Sprintf("%dµs", us)
+	}
+}
